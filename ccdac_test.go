@@ -1,0 +1,137 @@
+package ccdac
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	// Empty style defaults to spiral.
+	r, err := Generate(Config{Bits: 6, MaxParallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Metrics
+	if m.F3dBHz <= 0 || m.AreaUm2 <= 0 || m.ViaCuts <= 0 {
+		t.Fatalf("degenerate metrics: %+v", m)
+	}
+	if m.MaxAbsINL <= 0 || m.MaxAbsINL > 0.5 {
+		t.Errorf("INL = %g out of expected band", m.MaxAbsINL)
+	}
+	if len(m.ParallelWires) != 7 {
+		t.Errorf("parallel assignment length %d, want 7", len(m.ParallelWires))
+	}
+	if m.RTotalkOhm < m.RVkOhm {
+		t.Error("total resistance below via resistance")
+	}
+}
+
+func TestGenerateAllStyles(t *testing.T) {
+	for _, s := range Styles() {
+		cfg := Config{Bits: 6, Style: s, SkipNonlinearity: true, AnnealMoves: 2000}
+		r, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if r.Metrics.F3dBHz <= 0 {
+			t.Errorf("%s: degenerate f3dB", s)
+		}
+	}
+}
+
+func TestGenerateRejectsBadStyle(t *testing.T) {
+	if _, err := Generate(Config{Bits: 6, Style: "bogus"}); err == nil {
+		t.Fatal("unknown style must be rejected")
+	}
+}
+
+func TestGenerateRejectsBadBits(t *testing.T) {
+	if _, err := Generate(Config{Bits: 1}); err == nil {
+		t.Fatal("bits below range must be rejected")
+	}
+	if _, err := Generate(Config{Bits: 42}); err == nil {
+		t.Fatal("bits above range must be rejected")
+	}
+}
+
+func TestGenerateBestBC(t *testing.T) {
+	best, all, err := GenerateBestBC(Config{Bits: 6, MaxParallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 2 {
+		t.Fatalf("only %d BC candidates swept", len(all))
+	}
+	if best.Config.BlockCells == 0 {
+		t.Error("best result does not report its block granularity")
+	}
+	for _, c := range all {
+		ok := c.Metrics.MaxAbsDNL <= 0.5 && c.Metrics.MaxAbsINL <= 0.5
+		if ok && c.Metrics.F3dBHz > best.Metrics.F3dBHz {
+			t.Errorf("candidate %+v beats reported best", c.Config)
+		}
+	}
+}
+
+func TestRendersFromFacade(t *testing.T) {
+	r, err := Generate(Config{Bits: 6, SkipNonlinearity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(r.SVGPlacement("p"), "<svg") {
+		t.Error("SVGPlacement not an SVG")
+	}
+	if !strings.HasPrefix(r.SVGLayout("l"), "<svg") {
+		t.Error("SVGLayout not an SVG")
+	}
+	ascii := r.PlacementASCII()
+	if len(strings.Split(strings.TrimSpace(ascii), "\n")) != 8 {
+		t.Error("ASCII placement wrong shape")
+	}
+	if !strings.Contains(r.GroupsSummary(), "C_6") {
+		t.Error("groups summary incomplete")
+	}
+}
+
+func TestPaperHeadlineTradeoff(t *testing.T) {
+	// The paper's headline: spiral trades INL/DNL for much higher f3dB
+	// versus chessboard.
+	sp, err := Generate(Config{Bits: 8, Style: Spiral, MaxParallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := Generate(Config{Bits: 8, Style: Chessboard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Metrics.F3dBHz < 2*cb.Metrics.F3dBHz {
+		t.Errorf("spiral f3dB %g not well above chessboard %g",
+			sp.Metrics.F3dBHz, cb.Metrics.F3dBHz)
+	}
+	if sp.Metrics.MaxAbsINL <= cb.Metrics.MaxAbsINL {
+		t.Errorf("spiral INL %g not above chessboard %g (tradeoff missing)",
+			sp.Metrics.MaxAbsINL, cb.Metrics.MaxAbsINL)
+	}
+	if sp.Metrics.ViaCuts >= cb.Metrics.ViaCuts {
+		t.Errorf("spiral vias %d not below chessboard %d",
+			sp.Metrics.ViaCuts, cb.Metrics.ViaCuts)
+	}
+}
+
+func TestTechNodeSelection(t *testing.T) {
+	fin, err := Generate(Config{Bits: 6, SkipNonlinearity: true, TechNode: "finfet12"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := Generate(Config{Bits: 6, SkipNonlinearity: true, TechNode: "bulk65"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bulk unit cells are larger: bigger array.
+	if bulk.Metrics.AreaUm2 <= fin.Metrics.AreaUm2 {
+		t.Errorf("bulk area %g not above finfet %g", bulk.Metrics.AreaUm2, fin.Metrics.AreaUm2)
+	}
+	if _, err := Generate(Config{Bits: 6, TechNode: "tube"}); err == nil {
+		t.Error("unknown tech node must be rejected")
+	}
+}

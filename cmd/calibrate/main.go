@@ -1,0 +1,78 @@
+// Command calibrate fits the synthetic technology's knobs to maximize
+// shape agreement (mean Spearman rank correlation) with the paper's
+// published tables, and prints the fitted factors and score.
+//
+// Usage:
+//
+//	calibrate [-bits 6,8] [-rounds 2] [-knobs via-r,wire-r,switch-r]
+//
+// Each objective evaluation runs the full harness at the given bit
+// counts; keep the bit list small for interactive use.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ccdac/internal/calib"
+	"ccdac/internal/sweep"
+	"ccdac/internal/tech"
+)
+
+func main() {
+	bitsFlag := flag.String("bits", "6,8", "bit counts per objective evaluation")
+	rounds := flag.Int("rounds", 2, "coordinate-descent rounds")
+	knobsFlag := flag.String("knobs", "via-r,wire-r,switch-r,coupling", "knobs to fit")
+	parallel := flag.Int("parallel", 2, "parallel wires for S/BC")
+	flag.Parse()
+
+	bits, err := parseInts(*bitsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var knobs []sweep.Knob
+	for _, k := range strings.Split(*knobsFlag, ",") {
+		k = strings.TrimSpace(k)
+		if k != "" {
+			knobs = append(knobs, sweep.Knob(k))
+		}
+	}
+	fmt.Printf("calibrating %v over bits %v (%d rounds)\n", knobs, bits, *rounds)
+	res, err := calib.Fit(tech.FinFET12(), knobs, calib.MeanSpearman(bits, *parallel), *rounds)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nmean Spearman: %.4f -> %.4f (%d evaluations)\n",
+		res.BaseScore, res.Score, res.Evals)
+	fmt.Println("fitted factors:")
+	for _, k := range knobs {
+		fmt.Printf("  %-10s %.3gx\n", k, res.Factors[k])
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad bit count %q: %w", f, err)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no bit counts")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "calibrate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command compare runs the full experiment harness and scores the
+// reproduction against the numbers published in the paper's Tables I
+// and II: a side-by-side dump of every shared cell and a per-metric
+// Spearman rank correlation (shape agreement; absolute values are not
+// expected to match across technologies — see DESIGN.md).
+//
+// Usage:
+//
+//	compare [-bits 6,7,8,9,10] [-parallel 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ccdac/internal/exp"
+	"ccdac/internal/paperdata"
+)
+
+func main() {
+	bitsFlag := flag.String("bits", "6,7,8,9,10", "bit counts to compare")
+	parallel := flag.Int("parallel", exp.DefaultParallel, "parallel wires for S/BC")
+	flag.Parse()
+
+	bits, err := parseBits(*bitsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	h := exp.NewHarness()
+	h.Parallel = *parallel
+	if err := h.Prefetch(bits); err != nil {
+		fatal(err)
+	}
+
+	measured := map[string]paperdata.Cell{}
+	for _, n := range bits {
+		for _, m := range exp.Methods {
+			if !exp.Available(m, n) {
+				continue
+			}
+			r, err := h.Run(m, n)
+			if err != nil {
+				fatal(err)
+			}
+			crit := r.Electrical.Bits[r.CriticalBit]
+			cell := paperdata.Cell{
+				Bits: n, Method: string(m),
+				CTSfF: r.Electrical.CTSfF, CWirefF: r.Electrical.CWirefF, CBBfF: r.Electrical.CBBfF,
+				NV: float64(r.Electrical.ViaCuts), LUm: r.Electrical.WirelengthUm,
+				RVkOhm: crit.RViaOhm / 1000, RTotalkOhm: (crit.RViaOhm + crit.RWireOhm) / 1000,
+				AreaUm2: r.Electrical.AreaUm2, F3dBMHz: r.F3dBHz / 1e6,
+			}
+			if r.NL != nil {
+				cell.DNL, cell.INL = r.NL.MaxAbsDNL, r.NL.MaxAbsINL
+			}
+			measured[paperdata.Key(n, string(m))] = cell
+		}
+	}
+
+	fmt.Println("paper vs measured, cell by cell (paper | measured)")
+	fmt.Printf("%-9s %22s %22s %16s %22s\n", "cell", "Cwire fF", "NV", "INL LSB", "f3dB MHz")
+	for _, pc := range paperdata.Cells() {
+		mc, ok := measured[paperdata.Key(pc.Bits, pc.Method)]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%d-bit %-4s %10.1f | %8.1f %10.0f | %8.0f %7.2f | %6.3f %10.1f | %9.1f\n",
+			pc.Bits, pc.Method,
+			pc.CWirefF, mc.CWirefF, pc.NV, mc.NV, pc.INL, mc.INL, pc.F3dBMHz, mc.F3dBMHz)
+	}
+
+	fmt.Println("\nshape agreement (Spearman rank correlation over shared cells):")
+	fmt.Printf("%-8s %6s %4s\n", "metric", "rho", "n")
+	for _, c := range paperdata.Compare(measured) {
+		fmt.Printf("%-8s %6.2f %4d\n", c.Metric, c.Rho, c.N)
+	}
+	fmt.Println("\nrho = 1 is perfect rank agreement; the orderings the paper argues from")
+	fmt.Println("(who wins each metric, how gaps grow with N) are preserved at high rho.")
+}
+
+func parseBits(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad bit count %q: %w", f, err)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no bit counts")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "compare:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,193 @@
+// Command figures regenerates the paper's figures: SVG layout views
+// for Figs. 2-5 and the data series behind Figs. 6(a) and 6(b).
+//
+// Usage:
+//
+//	figures [-fig 2|3|4|5|6a|6b|all] [-out figures/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ccdac/internal/exp"
+	"ccdac/internal/place"
+	"ccdac/internal/render"
+	"ccdac/internal/route"
+	"ccdac/internal/tech"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to generate: 2, 3, 4, 5, 6a, 6b or all")
+	out := flag.String("out", "figures", "output directory")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+	any := false
+	if want("2") {
+		any = true
+		fig2(*out)
+	}
+	if want("3") {
+		any = true
+		fig3(*out)
+	}
+	if want("4") {
+		any = true
+		fig4(*out)
+	}
+	if want("5") {
+		any = true
+		fig5(*out)
+	}
+	if want("6a") {
+		any = true
+		fig6a(*out)
+	}
+	if want("6b") {
+		any = true
+		fig6b(*out)
+	}
+	if !any {
+		fatal(fmt.Errorf("unknown -fig %q", *fig))
+	}
+}
+
+// fig2 renders the 6-bit placement styles of Fig. 2: spiral,
+// chessboard, and two block-chessboard granularities.
+func fig2(dir string) {
+	spiral, err := place.NewSpiral(6)
+	check(err)
+	write(dir, "fig2a_spiral_6bit.svg", render.SVGPlacement(spiral, "Fig 2(a): spiral, 6-bit"))
+
+	cb, err := place.NewChessboard(6)
+	check(err)
+	write(dir, "fig2b_chessboard_6bit.svg", render.SVGPlacement(cb, "Fig 2(b): chessboard [7], 6-bit"))
+
+	coarse, err := place.NewBlockChessboard(6, place.BCParams{CoreBits: 4, BlockCells: 4})
+	check(err)
+	write(dir, "fig2c_bc_coarse_6bit.svg", render.SVGPlacement(coarse, "Fig 2(c): block chessboard (coarser), 6-bit"))
+
+	fine, err := place.NewBlockChessboard(6, place.BCParams{CoreBits: 4, BlockCells: 1})
+	check(err)
+	write(dir, "fig2d_bc_fine_6bit.svg", render.SVGPlacement(fine, "Fig 2(d): block chessboard (finer), 6-bit"))
+}
+
+// fig3 renders the routed 6-bit spiral with parallel wires on the MSB
+// plus the connected-group summary (Fig. 3).
+func fig3(dir string) {
+	m, err := place.NewSpiral(6)
+	check(err)
+	par := []int{1, 1, 1, 1, 1, 1, 2}
+	l, err := route.Route(m, tech.FinFET12(), par)
+	check(err)
+	write(dir, "fig3_routing_spiral_6bit.svg",
+		render.SVGLayout(l, "Fig 3: routed 6-bit spiral, 2 parallel wires on C_6"))
+	write(dir, "fig3_groups_6bit.txt", render.GroupsSummary(l))
+}
+
+// fig4 renders 8-bit block-chessboard layouts at several granularities.
+func fig4(dir string) {
+	for _, p := range place.DefaultBCParams(8) {
+		m, err := place.NewBlockChessboard(8, p)
+		check(err)
+		name := fmt.Sprintf("fig4_bc_8bit_core%d_block%d.svg", p.CoreBits, p.BlockCells)
+		title := fmt.Sprintf("Fig 4: 8-bit BC, core C_0..C_%d, blocks of %d", p.CoreBits, p.BlockCells)
+		write(dir, name, render.SVGPlacement(m, title))
+	}
+}
+
+// fig5 renders the routed 8-bit chessboard vs spiral comparison.
+func fig5(dir string) {
+	t := tech.FinFET12()
+	cb, err := place.NewChessboard(8)
+	check(err)
+	lcb, err := route.Route(cb, t, nil)
+	check(err)
+	write(dir, "fig5a_chessboard_8bit_routed.svg",
+		render.SVGLayout(lcb, "Fig 5(a): routed 8-bit chessboard [7]"))
+
+	sp, err := place.NewSpiral(8)
+	check(err)
+	par := make([]int, 9)
+	for i := range par {
+		par[i] = 1
+	}
+	par[8] = 2
+	lsp, err := route.Route(sp, t, par)
+	check(err)
+	write(dir, "fig5b_spiral_8bit_routed.svg",
+		render.SVGLayout(lsp, "Fig 5(b): routed 8-bit spiral (parallel MSB)"))
+}
+
+// fig6a emits the parallel-wire improvement factors (Fig. 6(a)) as
+// text data and an SVG chart.
+func fig6a(dir string) {
+	h := exp.NewHarness()
+	series, err := h.Fig6a(exp.DefaultBits, []int{1, 2, 3, 4, 5, 6})
+	check(err)
+	txt := exp.FormatFig6a(series)
+	write(dir, "fig6a_parallel_factors.txt", txt)
+	var chart []render.Series
+	for _, s := range series {
+		cs := render.Series{Name: fmt.Sprintf("%d-bit", s.Bits)}
+		for i, k := range s.Ks {
+			cs.X = append(cs.X, float64(k))
+			cs.Y = append(cs.Y, s.Factors[i])
+		}
+		chart = append(chart, cs)
+	}
+	write(dir, "fig6a_parallel_factors.svg", render.LineChart(chart, render.ChartOptions{
+		Title:  "Fig 6(a): f3dB improvement factor vs parallel wires (spiral)",
+		XLabel: "parallel wires k", YLabel: "f3dB(k) / f3dB(1)",
+	}))
+	fmt.Print(txt)
+}
+
+// fig6b emits the per-method normalized f3dB series (Fig. 6(b)) as
+// text data and a log-scale SVG chart.
+func fig6b(dir string) {
+	h := exp.NewHarness()
+	series, err := h.Fig6b(8, []int{1, 2, 3, 4, 5, 6})
+	check(err)
+	txt := exp.FormatFig6b(8, series)
+	write(dir, "fig6b_methods_normalized.txt", txt)
+	var chart []render.Series
+	for _, s := range series {
+		cs := render.Series{Name: string(s.Method)}
+		for i, k := range s.Ks {
+			cs.X = append(cs.X, float64(k))
+			cs.Y = append(cs.Y, s.Normalized[i])
+		}
+		chart = append(chart, cs)
+	}
+	write(dir, "fig6b_methods_normalized.svg", render.LineChart(chart, render.ChartOptions{
+		Title:  "Fig 6(b): f3dB vs parallel wires at 8 bits, normalized to S(k=1)",
+		XLabel: "parallel wires k", YLabel: "normalized f3dB (log)", LogY: true,
+	}))
+	fmt.Print(txt)
+}
+
+func write(dir, name, content string) {
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", path)
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

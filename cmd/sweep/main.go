@@ -1,0 +1,120 @@
+// Command sweep runs the sensitivity and ablation studies behind the
+// paper's design choices: technology-knob sweeps (via/wire resistance,
+// correlation length, gradient, switch resistance, coupling), the
+// via-resistance study motivating parallel routing, and the
+// block-chessboard structure ablation.
+//
+// Usage:
+//
+//	sweep -study knob -knob via-r -bits 8 -style spiral -factors 0.5,1,2,4
+//	sweep -study viar -bits 8
+//	sweep -study bc   -bits 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ccdac/internal/core"
+	"ccdac/internal/place"
+	"ccdac/internal/sweep"
+)
+
+func main() {
+	study := flag.String("study", "knob", "study to run: knob, viar, bc")
+	knob := flag.String("knob", "via-r", "technology knob for -study knob")
+	bits := flag.Int("bits", 8, "DAC resolution")
+	style := flag.String("style", "spiral", "placement style for -study knob")
+	factorsFlag := flag.String("factors", "0.25,0.5,1,2,4,8", "scale factors")
+	parallel := flag.Int("parallel", 2, "parallel wires")
+	withNL := flag.Bool("nl", false, "include INL/DNL in knob sweeps (slower)")
+	flag.Parse()
+
+	factors, err := parseFactors(*factorsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	switch *study {
+	case "knob":
+		st, ok := map[string]place.Style{
+			"spiral":           place.Spiral,
+			"chessboard":       place.Chessboard,
+			"block-chessboard": place.BlockChessboard,
+			"annealed":         place.Annealed,
+		}[*style]
+		if !ok {
+			fatal(fmt.Errorf("unknown style %q", *style))
+		}
+		pts, err := sweep.Sensitivity(core.Config{
+			Bits: *bits, Style: st, MaxParallel: *parallel, ThetaSteps: 4,
+		}, sweep.Knob(*knob), factors, *withNL)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sensitivity of %d-bit %s to %s\n\n", *bits, *style, *knob)
+		fmt.Printf("%8s %12s %10s", "factor", "f3dB MHz", "via cuts")
+		if *withNL {
+			fmt.Printf(" %10s %10s", "|DNL| LSB", "|INL| LSB")
+		}
+		fmt.Println()
+		for _, p := range pts {
+			fmt.Printf("%8.2f %12.1f %10d", p.Factor, p.F3dBHz/1e6, p.ViaCuts)
+			if *withNL {
+				fmt.Printf(" %10.4f %10.4f", p.DNL, p.INL)
+			}
+			fmt.Println()
+		}
+	case "viar":
+		s, err := sweep.StudyViaR(*bits, factors)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("via-resistance study, %d-bit (S vs [7])\n\n", *bits)
+		fmt.Printf("%8s %14s %14s %14s\n", "factor", "gap S(p2)/[7]", "gap S(p1)/[7]", "S(p2)/S(p1)")
+		for i, f := range s.Factors {
+			fmt.Printf("%8.2f %14.2f %14.2f %14.2f\n",
+				f, s.GapParallel[i], s.GapSingle[i], s.ParallelGain[i])
+		}
+	case "bc":
+		pts, err := sweep.BCAblation(*bits, *parallel)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("block-chessboard structure ablation, %d-bit\n\n", *bits)
+		fmt.Printf("%6s %6s %12s %10s %10s %10s %10s\n",
+			"core", "block", "f3dB MHz", "|DNL| LSB", "|INL| LSB", "area um2", "via cuts")
+		for _, p := range pts {
+			fmt.Printf("%6d %6d %12.1f %10.4f %10.4f %10.0f %10d\n",
+				p.CoreBits, p.BlockCells, p.F3dBHz/1e6, p.DNL, p.INL, p.AreaUm2, p.ViaCuts)
+		}
+	default:
+		fatal(fmt.Errorf("unknown study %q", *study))
+	}
+}
+
+func parseFactors(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad factor %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no factors given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

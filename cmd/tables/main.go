@@ -1,0 +1,89 @@
+// Command tables regenerates the paper's Tables I, II and III for the
+// four methods ([1] annealed baseline, [7] chessboard, S spiral, BC
+// best block chessboard) over a bit range.
+//
+// Usage:
+//
+//	tables [-table 1|2|3|all] [-bits 6,7,8,9,10] [-parallel 2] [-theta 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ccdac/internal/exp"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to print: 1, 2, 3 or all")
+	bitsFlag := flag.String("bits", "6,7,8,9,10", "comma-separated DAC resolutions")
+	parallel := flag.Int("parallel", exp.DefaultParallel, "parallel wires for the S and BC flows")
+	theta := flag.Int("theta", 8, "gradient angles swept for worst-case INL/DNL")
+	annealMoves := flag.Int("anneal-moves", 0, "anneal baseline move budget (0 = size-scaled)")
+	flag.Parse()
+
+	bits, err := parseBits(*bitsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	h := exp.NewHarness()
+	h.Parallel = *parallel
+	h.ThetaSteps = *theta
+	h.AnnealMoves = *annealMoves
+
+	if err := h.Prefetch(bits); err != nil {
+		fatal(err)
+	}
+	want := func(t string) bool { return *table == "all" || *table == t }
+	if want("1") {
+		rows, err := h.TableI(bits)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.FormatTableI(rows))
+	}
+	if want("2") {
+		rows, err := h.TableII(bits)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.FormatTableII(rows))
+	}
+	if want("3") {
+		rows, err := h.TableIII(bits)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.FormatTableIII(rows))
+	}
+	if !want("1") && !want("2") && !want("3") {
+		fatal(fmt.Errorf("unknown -table %q (want 1, 2, 3 or all)", *table))
+	}
+}
+
+func parseBits(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad bit count %q: %w", f, err)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no bit counts given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tables:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Dynamics: the time-domain face of the paper's f3dB metric. Each
+// bit of a generated array settles through its own charging network;
+// mismatched settling speeds make the DAC output glitch at carry
+// transitions. This example simulates code transitions on the
+// extracted per-bit time constants and reports the worst glitch
+// impulse and the settling-limited update rate for each placement
+// style.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ccdac/internal/ccmatrix"
+	"ccdac/internal/core"
+	"ccdac/internal/dacsim"
+	"ccdac/internal/place"
+	"ccdac/internal/tech"
+)
+
+func main() {
+	bits := flag.Int("bits", 8, "DAC resolution")
+	flag.Parse()
+
+	t := tech.FinFET12()
+	fmt.Printf("%d-bit DAC dynamic behavior from extracted per-bit settling constants\n\n", *bits)
+	fmt.Printf("%-18s %16s %14s %16s\n",
+		"array style", "worst glitch", "at code", "update rate MS/s")
+
+	styles := []struct {
+		name  string
+		style place.Style
+		par   int
+	}{
+		{"spiral", place.Spiral, 2},
+		{"block-chessboard", place.BlockChessboard, 2},
+		{"chessboard", place.Chessboard, 1},
+	}
+	for _, s := range styles {
+		res, err := core.Run(core.Config{Bits: *bits, Style: s.style, MaxParallel: s.par, SkipNL: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := dacsim.FromExtract(res.Electrical, ccmatrix.UnitCounts(*bits), t.Unit.CfF, t.VRef)
+		if err != nil {
+			log.Fatal(err)
+		}
+		code, glitch, err := m.WorstGlitch()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rate, err := m.MaxUpdateRateHz()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %13.3g Vs %6d->%-6d %16.1f\n",
+			s.name, glitch, code, code+1, rate/1e6)
+	}
+	fmt.Println("\nSlow, unevenly-settling bits (the chessboard's long trunks and via")
+	fmt.Println("chains) both glitch harder at carries and cap the update rate — the")
+	fmt.Println("dynamic consequence of the paper's f3dB argument.")
+}

@@ -1,0 +1,43 @@
+// Parallelwires: reproduce the paper's Fig. 6(a) experiment — in FinFET
+// nodes, wire widths are quantized, so resistance on critical bits is
+// reduced with k parallel wires (wire R / k, via arrays R / k^2, wire
+// C x k). This example sweeps k and prints the 3dB-frequency
+// improvement factor, showing the 2x-4x gain at k=2 and the
+// diminishing returns beyond.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ccdac"
+)
+
+func main() {
+	bits := flag.Int("bits", 8, "DAC resolution")
+	maxK := flag.Int("maxk", 6, "largest parallel-wire count")
+	flag.Parse()
+
+	base := 0.0
+	fmt.Printf("spiral %d-bit: f3dB vs parallel wires on critical bits\n\n", *bits)
+	fmt.Printf("%3s %12s %18s %14s\n", "k", "f3dB MHz", "improvement vs k=1", "critical bit")
+	for k := 1; k <= *maxK; k++ {
+		res, err := ccdac.Generate(ccdac.Config{
+			Bits:             *bits,
+			Style:            ccdac.Spiral,
+			MaxParallel:      k,
+			SkipNonlinearity: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := res.Metrics.F3dBHz
+		if k == 1 {
+			base = f
+		}
+		fmt.Printf("%3d %12.1f %18.2f %14d\n", k, f/1e6, f/base, res.Metrics.CriticalBit)
+	}
+	fmt.Println("\nThe k=2 gain sits between 2x (wire-dominated) and 4x (via-dominated);")
+	fmt.Println("added wire capacitance gives diminishing returns at larger k (paper Fig 6a).")
+}

@@ -1,0 +1,77 @@
+// Saradc: the paper's motivating system — a charge-redistribution SAR
+// ADC built on a generated capacitor array. For each placement style
+// this example runs the full layout flow, builds a behavioral SAR ADC
+// from the (mismatched) capacitor values and the extracted C^TS, and
+// reports the system-level numbers an ADC designer quotes: static
+// INL/DNL of the converter, ENOB from full-scale sine quantization,
+// and the maximum sample rate the array's settling time permits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"ccdac/internal/core"
+	"ccdac/internal/place"
+	"ccdac/internal/sar"
+	"ccdac/internal/tech"
+	"ccdac/internal/variation"
+)
+
+func main() {
+	bits := flag.Int("bits", 8, "ADC resolution")
+	flag.Parse()
+
+	t := tech.FinFET12()
+	fmt.Printf("%d-bit SAR ADC on generated capacitor arrays (%s)\n\n", *bits, t.Name)
+	fmt.Printf("%-18s %10s %10s %8s %14s\n",
+		"array style", "|DNL| LSB", "|INL| LSB", "ENOB", "max rate MS/s")
+
+	styles := []struct {
+		name  string
+		style place.Style
+		par   int
+	}{
+		{"spiral", place.Spiral, 2},
+		{"block-chessboard", place.BlockChessboard, 2},
+		{"chessboard", place.Chessboard, 1},
+	}
+	for _, s := range styles {
+		res, err := core.Run(core.Config{
+			Bits: *bits, Style: s.style, MaxParallel: s.par, SkipNL: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		an, err := variation.Analyze(res.Placement, res.Layout.CellCenter, t, math.Pi/4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Worst static NL over correlated random-mismatch samples
+		// (gradient shifts included), plus the median ENOB.
+		shifts, err := variation.MonteCarlo(res.Placement, res.Layout.CellCenter, t, an, 20, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		worstDNL, worstINL, sumENOB := 0.0, 0.0, 0.0
+		for _, sh := range shifts {
+			adc, err := sar.NewFromShifts(an, sh, res.Electrical.CTSfF, t.VRef)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dnl, inl := adc.StaticNL()
+			worstDNL = math.Max(worstDNL, dnl)
+			worstINL = math.Max(worstINL, inl)
+			sumENOB += sar.ENOB(adc.SNDR(2048))
+		}
+		rate := sar.MaxSampleRateHz(*bits, res.Electrical.Tau())
+		fmt.Printf("%-18s %10.4f %10.4f %8.2f %14.1f\n",
+			s.name, worstDNL, worstINL, sumENOB/float64(len(shifts)), rate/1e6)
+	}
+
+	fmt.Println("\nThe spiral array converts fastest; the chessboard array converts most")
+	fmt.Println("accurately; the block chessboard balances both — the paper's tradeoff,")
+	fmt.Println("seen from the ADC system level.")
+}

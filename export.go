@@ -1,0 +1,73 @@
+package ccdac
+
+import (
+	"bytes"
+	"fmt"
+
+	"ccdac/internal/drc"
+	"ccdac/internal/gds"
+	"ccdac/internal/report"
+	"ccdac/internal/spice"
+)
+
+// GDS exports the routed layout as a GDSII stream: unit-capacitor
+// outlines on the device layer (datatype = capacitor index + 1), wires
+// as paths on their metal layers, via cuts on the via layers.
+func (r *Result) GDS(name string) ([]byte, error) {
+	lib, err := gds.FromLayout(r.res.Layout, name)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := lib.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SpiceNetlist exports the extracted RC charging network of one
+// capacitor as a SPICE subcircuit. Pass bit = -1 for the critical
+// (frequency-limiting) bit.
+func (r *Result) SpiceNetlist(bit int) (string, error) {
+	if bit == -1 {
+		bit = r.Metrics.CriticalBit
+	}
+	if bit < 0 || bit >= len(r.res.Electrical.Bits) {
+		return "", fmt.Errorf("ccdac: bit %d out of range 0..%d", bit, len(r.res.Electrical.Bits)-1)
+	}
+	bn := r.res.Electrical.Bits[bit]
+	name := fmt.Sprintf("%s_%dbit_c%d", r.Config.Style, r.Config.Bits, bit)
+	return spice.Netlist(bn.Net, bn.Root, name), nil
+}
+
+// DRC runs the design-rule checker on the routed layout and returns
+// one line per violation (empty slice = clean).
+func (r *Result) DRC() []string {
+	res := drc.Check(r.res.Layout)
+	out := make([]string, len(res.Violations))
+	for i, v := range res.Violations {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// HTMLReport renders a self-contained HTML design report: layout and
+// placement views, Table I/II metrics, per-bit extraction detail, the
+// group inventory, and the DRC verdict.
+func (r *Result) HTMLReport() (string, error) {
+	var buf bytes.Buffer
+	if err := report.Write(&buf, r.res); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// SimulatedSettleSeconds runs a Backward-Euler transient simulation of
+// the critical bit's charging network and returns the time for every
+// unit capacitor to settle within 1/4 LSB of the final value — the
+// circuit-level validation of the Elmore-based f3dB model (Eq. 15).
+func (r *Result) SimulatedSettleSeconds() (float64, error) {
+	crit := r.res.Electrical.Bits[r.Metrics.CriticalBit]
+	tol := 1.0 / float64(int(4)<<r.Config.Bits) // 2^-N / 4
+	return spice.SettleWithin(crit.Net, crit.Root, crit.CellNodes, tol, crit.TauSec)
+}

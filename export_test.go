@@ -1,0 +1,91 @@
+package ccdac
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func generated(t *testing.T) *Result {
+	t.Helper()
+	r, err := Generate(Config{Bits: 6, Style: Spiral, MaxParallel: 2, SkipNonlinearity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestGDSExport(t *testing.T) {
+	r := generated(t)
+	data, err := r.GDS("spiral6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 100 {
+		t.Fatalf("GDS stream suspiciously small: %d bytes", len(data))
+	}
+	// HEADER record: length 6, type 0x00, datatype 0x02, version 600.
+	want := []byte{0x00, 0x06, 0x00, 0x02, 0x02, 0x58}
+	if !bytes.Equal(data[:6], want) {
+		t.Errorf("GDS header = % x, want % x", data[:6], want)
+	}
+	// Stream ends with ENDLIB (0x04).
+	if data[len(data)-2] != 0x04 {
+		t.Error("GDS stream does not end with ENDLIB")
+	}
+}
+
+func TestSpiceNetlistExport(t *testing.T) {
+	r := generated(t)
+	nl, err := r.SpiceNetlist(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(nl, ".SUBCKT") || !strings.Contains(nl, ".ENDS") {
+		t.Error("netlist missing subcircuit wrapper")
+	}
+	// Critical bit carries many unit caps -> many C elements.
+	if strings.Count(nl, "\nC") < 16 {
+		t.Errorf("critical-bit netlist has too few capacitors:\n%s", nl)
+	}
+	if _, err := r.SpiceNetlist(99); err == nil {
+		t.Error("out-of-range bit must be rejected")
+	}
+	// Explicit bit works too.
+	if _, err := r.SpiceNetlist(3); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeDRCClean(t *testing.T) {
+	r := generated(t)
+	if v := r.DRC(); len(v) != 0 {
+		t.Fatalf("generated layout has %d DRC violations: %s", len(v), v[0])
+	}
+}
+
+func TestSimulatedSettleMatchesModel(t *testing.T) {
+	r := generated(t)
+	sim, err := r.SimulatedSettleSeconds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. 15 model: (N+2) ln2 tau.
+	model := float64(6+2) * math.Ln2 * r.Metrics.TauSec
+	ratio := sim / model
+	if ratio < 0.3 || ratio > 3 {
+		t.Fatalf("simulated settle %g vs model %g (ratio %g)", sim, model, ratio)
+	}
+}
+
+func TestHTMLReportFromFacade(t *testing.T) {
+	r := generated(t)
+	html, err := r.HTMLReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(html, "<!DOCTYPE html>") || !strings.Contains(html, "DRC clean") {
+		t.Error("report incomplete")
+	}
+}

@@ -1,0 +1,3 @@
+module ccdac
+
+go 1.22

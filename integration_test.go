@@ -1,0 +1,158 @@
+// Cross-system integration tests: flows that span the facade and
+// several internal systems (layout -> GDS -> decode, layout -> SPICE,
+// layout -> report -> DRC), plus end-to-end shape assertions at the
+// odd bit counts the unit tests do not cover.
+package ccdac_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ccdac"
+	"ccdac/internal/gds"
+)
+
+func gen(t *testing.T, cfg ccdac.Config) *ccdac.Result {
+	t.Helper()
+	r, err := ccdac.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestGDSRoundTripThroughFacade(t *testing.T) {
+	r := gen(t, ccdac.Config{Bits: 7, Style: ccdac.Spiral, SkipNonlinearity: true})
+	data, err := r.GDS("spiral7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := gds.Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Name != "spiral7" || len(lib.Structures) != 1 {
+		t.Fatalf("decoded library %q with %d structures", lib.Name, len(lib.Structures))
+	}
+	// 12x11 grid: 132 device boundaries (units + dummies).
+	devices := 0
+	viaCuts := 0
+	for _, e := range lib.Structures[0].Elements {
+		if b, ok := e.(gds.Boundary); ok {
+			if b.Layer == gds.LayerDevice {
+				devices++
+			}
+			if b.Layer >= gds.LayerViaBase {
+				viaCuts++
+			}
+		}
+	}
+	if devices != 132 {
+		t.Errorf("device outlines = %d, want 132", devices)
+	}
+	if viaCuts == 0 {
+		t.Error("no via cuts exported")
+	}
+}
+
+func TestSpiceNetlistsForEveryBit(t *testing.T) {
+	r := gen(t, ccdac.Config{Bits: 6, Style: ccdac.BlockChessboard, SkipNonlinearity: true})
+	for bit := 0; bit <= 6; bit++ {
+		nl, err := r.SpiceNetlist(bit)
+		if err != nil {
+			t.Fatalf("bit %d: %v", bit, err)
+		}
+		if !strings.Contains(nl, ".SUBCKT") {
+			t.Fatalf("bit %d: malformed netlist", bit)
+		}
+		// One C element per unit cell at minimum.
+		want := 1
+		if bit >= 1 {
+			want = 1 << (bit - 1)
+		}
+		if got := strings.Count(nl, "\nC"); got < want {
+			t.Fatalf("bit %d: %d capacitors, want >= %d", bit, got, want)
+		}
+	}
+}
+
+func TestOddBitEndToEndShape(t *testing.T) {
+	// 7 and 9 bits exercise dummy cells, rectangular grids and the
+	// odd-odd center special case through the whole pipeline.
+	for _, bits := range []int{7, 9} {
+		sp := gen(t, ccdac.Config{Bits: bits, Style: ccdac.Spiral, MaxParallel: 2, SkipNonlinearity: true})
+		cb := gen(t, ccdac.Config{Bits: bits, Style: ccdac.Chessboard, SkipNonlinearity: true})
+		if sp.Metrics.F3dBHz <= cb.Metrics.F3dBHz {
+			t.Errorf("bits %d: spiral f3dB %g not above chessboard %g",
+				bits, sp.Metrics.F3dBHz, cb.Metrics.F3dBHz)
+		}
+		// [7] doubles units at odd N: about twice the spiral's area.
+		if ratio := cb.Metrics.AreaUm2 / sp.Metrics.AreaUm2; ratio < 1.5 {
+			t.Errorf("bits %d: chessboard/spiral area ratio %g, want ~2 (unit doubling)", bits, ratio)
+		}
+		if v := sp.DRC(); len(v) != 0 {
+			t.Errorf("bits %d spiral: DRC violations: %s", bits, v[0])
+		}
+		if v := cb.DRC(); len(v) != 0 {
+			t.Errorf("bits %d chessboard: DRC violations: %s", bits, v[0])
+		}
+	}
+}
+
+func TestFacadeDeterminismAcrossStyles(t *testing.T) {
+	for _, style := range ccdac.Styles() {
+		cfg := ccdac.Config{Bits: 6, Style: style, MaxParallel: 2, SkipNonlinearity: true, AnnealMoves: 2000}
+		a, err := ccdac.Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", style, err)
+		}
+		b, err := ccdac.Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", style, err)
+		}
+		if a.Metrics.F3dBHz != b.Metrics.F3dBHz ||
+			a.Metrics.ViaCuts != b.Metrics.ViaCuts ||
+			a.PlacementASCII() != b.PlacementASCII() {
+			t.Errorf("%s: flow not deterministic", style)
+		}
+	}
+}
+
+func TestParallelWiresKeepLayoutLegal(t *testing.T) {
+	// Aggressive parallel routing must stay DRC-clean and keep the GDS
+	// and SPICE exports consistent.
+	r := gen(t, ccdac.Config{Bits: 8, Style: ccdac.Spiral, MaxParallel: 4, SkipNonlinearity: true})
+	if v := r.DRC(); len(v) != 0 {
+		t.Fatalf("p=4 layout dirty: %s", v[0])
+	}
+	if _, err := r.GDS("p4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SpiceNetlist(-1); err != nil {
+		t.Fatal(err)
+	}
+	// The promoted bits actually carry 4 wires.
+	found := false
+	for _, p := range r.Metrics.ParallelWires {
+		if p == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no bit promoted to 4 wires")
+	}
+}
+
+func TestBulkNodeEndToEnd(t *testing.T) {
+	r := gen(t, ccdac.Config{Bits: 6, Style: ccdac.Spiral, TechNode: "bulk65", SkipNonlinearity: true})
+	if v := r.DRC(); len(v) != 0 {
+		t.Fatalf("bulk layout dirty: %s", v[0])
+	}
+	if r.Metrics.F3dBHz <= 0 {
+		t.Fatal("degenerate bulk f3dB")
+	}
+	if _, err := r.GDS("bulk"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package calib auto-calibrates the synthetic technology against the
+// paper's published tables: a derivative-free coordinate descent over
+// technology knobs (via resistance, wire resistance, coupling, switch
+// resistance, ...) maximizing the mean Spearman rank correlation
+// between measured and published metric columns. This is the tool that
+// turns "some 12nm-ish parameter set" into "the parameter set that
+// best reproduces the paper's shape" — and demonstrates that the
+// reproduced orderings are not an accident of one hand-picked corner.
+package calib
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ccdac/internal/exp"
+	"ccdac/internal/paperdata"
+	"ccdac/internal/sweep"
+	"ccdac/internal/tech"
+)
+
+// Objective scores a technology; higher is better.
+type Objective func(t *tech.Technology) (float64, error)
+
+// MeanSpearman builds an objective that runs the full harness at the
+// given bit counts and returns the mean per-metric Spearman rank
+// correlation against the paper's tables.
+func MeanSpearman(bits []int, parallel int) Objective {
+	return func(t *tech.Technology) (float64, error) {
+		h := exp.NewHarness()
+		h.Parallel = parallel
+		h.Tech = t
+		measured := map[string]paperdata.Cell{}
+		for _, n := range bits {
+			for _, m := range exp.Methods {
+				if !exp.Available(m, n) {
+					continue
+				}
+				r, err := h.Run(m, n)
+				if err != nil {
+					return 0, err
+				}
+				crit := r.Electrical.Bits[r.CriticalBit]
+				cell := paperdata.Cell{
+					Bits: n, Method: string(m),
+					CTSfF: r.Electrical.CTSfF, CWirefF: r.Electrical.CWirefF,
+					CBBfF: r.Electrical.CBBfF,
+					NV:    float64(r.Electrical.ViaCuts), LUm: r.Electrical.WirelengthUm,
+					RVkOhm: crit.RViaOhm / 1000, RTotalkOhm: (crit.RViaOhm + crit.RWireOhm) / 1000,
+					AreaUm2: r.Electrical.AreaUm2, F3dBMHz: r.F3dBHz / 1e6,
+				}
+				if r.NL != nil {
+					cell.DNL, cell.INL = r.NL.MaxAbsDNL, r.NL.MaxAbsINL
+				}
+				measured[paperdata.Key(n, string(m))] = cell
+			}
+		}
+		sum, count := 0.0, 0
+		for _, c := range paperdata.Compare(measured) {
+			if !math.IsNaN(c.Rho) && c.N >= 3 {
+				sum += c.Rho
+				count++
+			}
+		}
+		if count == 0 {
+			return 0, fmt.Errorf("calib: no comparable metrics")
+		}
+		return sum / float64(count), nil
+	}
+}
+
+// Result reports a calibration run.
+type Result struct {
+	// Factors holds the fitted per-knob scale factors relative to the
+	// base technology.
+	Factors map[sweep.Knob]float64
+	// Score is the final objective value; BaseScore the starting one.
+	Score, BaseScore float64
+	// Evals counts objective evaluations.
+	Evals int
+	// Tech is the fitted technology.
+	Tech *tech.Technology
+}
+
+// Fit runs coordinate descent: each round tries scaling every knob up
+// and down by the current step (halving the step each round) and keeps
+// improvements. Deterministic; rounds*len(knobs)*2 evaluations at most.
+func Fit(base *tech.Technology, knobs []sweep.Knob, obj Objective, rounds int) (*Result, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	if len(knobs) == 0 {
+		return nil, fmt.Errorf("calib: no knobs to fit")
+	}
+	factors := map[sweep.Knob]float64{}
+	for _, k := range knobs {
+		factors[k] = 1
+	}
+	apply := func(f map[sweep.Knob]float64) (*tech.Technology, error) {
+		t := base
+		// Apply knobs in sorted order for determinism.
+		keys := make([]string, 0, len(f))
+		for k := range f {
+			keys = append(keys, string(k))
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			var err error
+			t, err = sweep.ScaledTech(t, sweep.Knob(k), f[sweep.Knob(k)])
+			if err != nil {
+				return nil, err
+			}
+		}
+		return t, nil
+	}
+
+	res := &Result{Factors: factors, Evals: 0}
+	t0, err := apply(factors)
+	if err != nil {
+		return nil, err
+	}
+	best, err := obj(t0)
+	if err != nil {
+		return nil, err
+	}
+	res.Evals++
+	res.BaseScore = best
+
+	step := 2.0
+	for round := 0; round < rounds; round++ {
+		for _, k := range knobs {
+			for _, mult := range []float64{step, 1 / step} {
+				trial := map[sweep.Knob]float64{}
+				for kk, v := range factors {
+					trial[kk] = v
+				}
+				trial[k] = factors[k] * mult
+				t, err := apply(trial)
+				if err != nil {
+					continue // out-of-range factor; skip
+				}
+				score, err := obj(t)
+				if err != nil {
+					return nil, err
+				}
+				res.Evals++
+				if score > best {
+					best = score
+					factors = trial
+				}
+			}
+		}
+		step = math.Sqrt(step)
+	}
+	res.Factors = factors
+	res.Score = best
+	fitted, err := apply(factors)
+	if err != nil {
+		return nil, err
+	}
+	res.Tech = fitted
+	return res, nil
+}

@@ -1,0 +1,67 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"ccdac/internal/sweep"
+	"ccdac/internal/tech"
+)
+
+func TestFitImprovesSyntheticObjective(t *testing.T) {
+	// Synthetic objective: peak at via-R factor 4 and switch-R factor
+	// 0.5; Fit must climb toward it from (1, 1).
+	base := tech.FinFET12()
+	obj := func(tt *tech.Technology) (float64, error) {
+		dv := math.Log2(tt.ViaROhm / base.ViaROhm / 4)
+		ds := math.Log2(tt.SwitchROhm / base.SwitchROhm / 0.5)
+		return -(dv*dv + ds*ds), nil
+	}
+	res, err := Fit(base, []sweep.Knob{sweep.KnobViaR, sweep.KnobSwitchR}, obj, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score <= res.BaseScore {
+		t.Fatalf("score %g did not improve on base %g", res.Score, res.BaseScore)
+	}
+	if res.Factors[sweep.KnobViaR] < 2 {
+		t.Errorf("via factor %g did not move toward the optimum 4", res.Factors[sweep.KnobViaR])
+	}
+	if res.Factors[sweep.KnobSwitchR] > 1 {
+		t.Errorf("switch factor %g did not move toward the optimum 0.5", res.Factors[sweep.KnobSwitchR])
+	}
+	if res.Tech == nil || res.Evals < 5 {
+		t.Error("result incomplete")
+	}
+}
+
+func TestFitRejectsNoKnobs(t *testing.T) {
+	if _, err := Fit(tech.FinFET12(), nil, func(*tech.Technology) (float64, error) { return 0, nil }, 2); err == nil {
+		t.Fatal("empty knob list must be rejected")
+	}
+}
+
+func TestMeanSpearmanObjective(t *testing.T) {
+	// One cheap evaluation at 6 bits: the default technology already
+	// has strong shape agreement.
+	obj := MeanSpearman([]int{6}, 2)
+	score, err := obj(tech.FinFET12())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0.4 || score > 1 {
+		t.Errorf("mean Spearman at 6 bits = %g, expected solid positive agreement", score)
+	}
+}
+
+func TestFitMeanSpearmanTiny(t *testing.T) {
+	// A 1-round fit over one knob at 6 bits: must run end to end and
+	// never return something worse than the base.
+	res, err := Fit(tech.FinFET12(), []sweep.Knob{sweep.KnobViaR}, MeanSpearman([]int{6}, 2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score < res.BaseScore {
+		t.Errorf("fit regressed: %g < %g", res.Score, res.BaseScore)
+	}
+}

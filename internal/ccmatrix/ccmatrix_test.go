@@ -1,0 +1,263 @@
+package ccmatrix
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ccdac/internal/geom"
+)
+
+func TestUnitCounts(t *testing.T) {
+	got := UnitCounts(6)
+	want := []int{1, 1, 2, 4, 8, 16, 32}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("n_%d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnitCountsSumProperty(t *testing.T) {
+	// Eq. 1: sum n_k = 2^N for any N >= 2.
+	for bits := 2; bits <= 14; bits++ {
+		sum := 0
+		for _, n := range UnitCounts(bits) {
+			sum += n
+		}
+		if sum != TotalUnits(bits) {
+			t.Errorf("bits=%d: sum=%d, want %d", bits, sum, TotalUnits(bits))
+		}
+	}
+}
+
+func fill4x4(t *testing.T) *Matrix {
+	t.Helper()
+	// 4-bit DAC on 4x4 = 16 cells: counts 1,1,2,4,8.
+	m := New(4, 4, 4, 1)
+	assign := [][]int{
+		{4, 4, 4, 4},
+		{4, 0, 3, 3},
+		{3, 3, 1, 4},
+		{4, 4, 2, 2},
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			m.Set(geom.Cell{Row: r, Col: c}, assign[r][c])
+		}
+	}
+	return m
+}
+
+func TestValidateComplete(t *testing.T) {
+	m := fill4x4(t)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid placement rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesEmpties(t *testing.T) {
+	m := New(4, 4, 4, 1)
+	if err := m.Validate(); err == nil {
+		t.Fatal("empty matrix must not validate")
+	}
+}
+
+func TestValidateCatchesWrongCounts(t *testing.T) {
+	m := fill4x4(t)
+	// Steal a C_4 cell for C_3.
+	m.Set(geom.Cell{Row: 3, Col: 0}, 3)
+	if err := m.Validate(); err == nil {
+		t.Fatal("miscounted placement must not validate")
+	}
+}
+
+func TestValidateScale(t *testing.T) {
+	// Scale 2 doubles every count ([7] odd-N rule): 2-bit on 2x4 with
+	// counts 2,2,4.
+	m := New(2, 4, 2, 2)
+	vals := []int{0, 0, 1, 1, 2, 2, 2, 2}
+	i := 0
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 4; c++ {
+			m.Set(geom.Cell{Row: r, Col: c}, vals[i])
+			i++
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("scaled placement rejected: %v", err)
+	}
+}
+
+func TestSetPanics(t *testing.T) {
+	m := New(2, 2, 2, 1)
+	for name, fn := range map[string]func(){
+		"outside cell": func() { m.Set(geom.Cell{Row: 2, Col: 0}, 0) },
+		"bad bit":      func() { m.Set(geom.Cell{Row: 0, Col: 0}, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive dims must panic")
+		}
+	}()
+	New(0, 4, 4, 1)
+}
+
+func TestCellsOfAndCounts(t *testing.T) {
+	m := fill4x4(t)
+	if got := len(m.CellsOf(4)); got != 8 {
+		t.Errorf("C_4 cells = %d, want 8", got)
+	}
+	counts, dummies, empties := m.Counts()
+	if counts[3] != 4 || dummies != 0 || empties != 0 {
+		t.Errorf("Counts = %v d=%d e=%d", counts, dummies, empties)
+	}
+	// CellsOf is row-major from the bottom.
+	cells := m.CellsOf(2)
+	if len(cells) != 2 || cells[0] != (geom.Cell{Row: 3, Col: 2}) {
+		t.Errorf("CellsOf(2) = %v", cells)
+	}
+}
+
+func TestCentroidOffsetPerfect(t *testing.T) {
+	// C_2 placed at two reflected cells: centroid exactly at center.
+	m := New(4, 4, 2, 1)
+	m.Set(geom.Cell{Row: 0, Col: 0}, 2)
+	m.Set(geom.Cell{Row: 3, Col: 3}, 2)
+	if off := m.CentroidOffset(2); off > 1e-12 {
+		t.Errorf("reflected pair centroid offset = %g, want 0", off)
+	}
+	// A single corner cell is offset by hypot(1.5, 1.5).
+	m.Set(geom.Cell{Row: 0, Col: 3}, 1)
+	want := math.Hypot(1.5, 1.5)
+	if off := m.CentroidOffset(1); math.Abs(off-want) > 1e-12 {
+		t.Errorf("corner centroid offset = %g, want %g", off, want)
+	}
+	if !math.IsNaN(m.CentroidOffset(0)) {
+		t.Error("missing capacitor must report NaN offset")
+	}
+}
+
+func TestDispersionExtremes(t *testing.T) {
+	// Clustered at center vs spread at corners on an 8x8 grid.
+	m := New(8, 8, 3, 1)
+	m.Set(geom.Cell{Row: 3, Col: 3}, 3)
+	m.Set(geom.Cell{Row: 3, Col: 4}, 3)
+	m.Set(geom.Cell{Row: 4, Col: 3}, 3)
+	m.Set(geom.Cell{Row: 4, Col: 4}, 3)
+	clustered := m.Dispersion(3)
+
+	m2 := New(8, 8, 3, 1)
+	m2.Set(geom.Cell{Row: 0, Col: 0}, 3)
+	m2.Set(geom.Cell{Row: 0, Col: 7}, 3)
+	m2.Set(geom.Cell{Row: 7, Col: 0}, 3)
+	m2.Set(geom.Cell{Row: 7, Col: 7}, 3)
+	spread := m2.Dispersion(3)
+
+	if !(spread > 1 && clustered < 0.3) {
+		t.Errorf("dispersion spread=%g clustered=%g: want spread>1, clustered<0.3", spread, clustered)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	m := New(2, 2, 2, 1)
+	m.Set(geom.Cell{Row: 0, Col: 0}, 0)
+	m.Set(geom.Cell{Row: 1, Col: 1}, 1) // C_0/C_1 swap allowed
+	m.Set(geom.Cell{Row: 0, Col: 1}, 2)
+	m.Set(geom.Cell{Row: 1, Col: 0}, 2)
+	if !m.IsSymmetric() {
+		t.Fatal("reflection-paired placement must be symmetric")
+	}
+	m.SwapCells(geom.Cell{Row: 0, Col: 1}, geom.Cell{Row: 0, Col: 0})
+	if m.IsSymmetric() {
+		t.Fatal("broken pairing must not be symmetric")
+	}
+}
+
+func TestAdjacencySameBit(t *testing.T) {
+	// Chessboard 2x2 of alternating bits: 0 same-bit adjacencies.
+	m := New(2, 2, 2, 1)
+	m.Set(geom.Cell{Row: 0, Col: 0}, 2)
+	m.Set(geom.Cell{Row: 0, Col: 1}, 0)
+	m.Set(geom.Cell{Row: 1, Col: 0}, 1)
+	m.Set(geom.Cell{Row: 1, Col: 1}, 2)
+	if got := m.AdjacencySameBit(); got != 0 {
+		t.Errorf("chessboard adjacency = %d, want 0", got)
+	}
+	// Row of one bit: 1 adjacency per neighbor pair.
+	m2 := New(1, 4, 2, 1)
+	for c := 0; c < 4; c++ {
+		m2.Set(geom.Cell{Row: 0, Col: c}, 2)
+	}
+	if got := m2.AdjacencySameBit(); got != 3 {
+		t.Errorf("row adjacency = %d, want 3", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := fill4x4(t)
+	c := m.Clone()
+	c.Set(geom.Cell{Row: 0, Col: 0}, Dummy)
+	if m.At(geom.Cell{Row: 0, Col: 0}) == Dummy {
+		t.Fatal("Clone must not alias cell storage")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := New(2, 2, 2, 1)
+	m.Set(geom.Cell{Row: 0, Col: 0}, 0)
+	m.Set(geom.Cell{Row: 0, Col: 1}, 2)
+	m.Set(geom.Cell{Row: 1, Col: 0}, Dummy)
+	s := m.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("rows = %d, want 2", len(lines))
+	}
+	// Top row printed first: dummy then empty.
+	if lines[0] != "d ." {
+		t.Errorf("top row = %q, want \"d .\"", lines[0])
+	}
+	if lines[1] != "0 2" {
+		t.Errorf("bottom row = %q, want \"0 2\"", lines[1])
+	}
+}
+
+func TestSwapCellsProperty(t *testing.T) {
+	m := fill4x4(t)
+	f := func(r1, c1, r2, c2 uint8) bool {
+		a := geom.Cell{Row: int(r1) % 4, Col: int(c1) % 4}
+		b := geom.Cell{Row: int(r2) % 4, Col: int(c2) % 4}
+		va, vb := m.At(a), m.At(b)
+		m.SwapCells(a, b)
+		ok := m.At(a) == vb && m.At(b) == va
+		m.SwapCells(a, b) // restore
+		return ok && m.At(a) == va && m.At(b) == vb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanDispersionBounds(t *testing.T) {
+	m := fill4x4(t)
+	d := m.MeanDispersion()
+	if math.IsNaN(d) || d <= 0 || d > 2 {
+		t.Errorf("MeanDispersion = %g out of plausible range", d)
+	}
+}

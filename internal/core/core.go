@@ -1,0 +1,258 @@
+// Package core orchestrates the paper's full constructive flow
+// (Sec. IV): placement → connected-group formation → Algorithm-1
+// routing → parasitic extraction → Elmore/f3dB analysis → 3σ INL/DNL
+// analysis, including the iterative critical-bit parallel-wire
+// assignment of Sec. IV-B4 and the "best block chessboard" selection
+// used by the paper's tables.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ccdac/internal/ccmatrix"
+	"ccdac/internal/dacmodel"
+	"ccdac/internal/extract"
+	"ccdac/internal/place"
+	"ccdac/internal/route"
+	"ccdac/internal/tech"
+	"ccdac/internal/variation"
+)
+
+// Config selects and parameterizes one flow run.
+type Config struct {
+	// Bits is the DAC resolution N (capacitors C_0..C_N).
+	Bits int
+	// Style selects the placement algorithm.
+	Style place.Style
+	// BC parameterizes block-chessboard placements (Style ==
+	// place.BlockChessboard); zero value lets RunBestBC sweep.
+	BC place.BCParams
+	// Anneal parameterizes the [1]-baseline (Style == place.Annealed).
+	Anneal place.AnnealConfig
+	// Tech is the process technology; nil selects tech.FinFET12.
+	Tech *tech.Technology
+	// MaxParallel enables parallel-wire routing: critical bits are
+	// promoted to MaxParallel wires iteratively until the critical bit
+	// is already parallel (Sec. IV-B4). Values <= 1 disable it. The
+	// paper applies it to the spiral and BC flows but not to the [1]
+	// and [7] baselines.
+	MaxParallel int
+	// ThetaSteps is the number of gradient angles swept for the
+	// worst-case INL/DNL (0 selects 8).
+	ThetaSteps int
+	// SkipNL skips the INL/DNL analysis (electrical metrics only).
+	SkipNL bool
+}
+
+// Result is a fully analyzed layout.
+type Result struct {
+	Config     Config
+	Placement  *ccmatrix.Matrix
+	Layout     *route.Layout
+	Electrical *extract.Summary
+	// NL is the worst-over-theta 3σ INL/DNL (nil if SkipNL).
+	NL *dacmodel.Result
+	// F3dBHz is Eq. 16 evaluated at the critical bit's Elmore delay.
+	F3dBHz float64
+	// CriticalBit is the capacitor limiting the switching speed.
+	CriticalBit int
+	// Par is the final per-bit parallel wire assignment.
+	Par []int
+	// PlaceTime and RouteTime are the constructive-runtime components
+	// reported in Table III; AnalyzeTime covers extraction + NL.
+	PlaceTime, RouteTime, AnalyzeTime time.Duration
+}
+
+// Place builds just the placement for a configuration.
+func Place(cfg Config) (*ccmatrix.Matrix, error) {
+	switch cfg.Style {
+	case place.Spiral:
+		return place.NewSpiral(cfg.Bits)
+	case place.Chessboard:
+		return place.NewChessboard(cfg.Bits)
+	case place.BlockChessboard:
+		p := cfg.BC
+		if p.BlockCells == 0 {
+			p = place.BCParams{CoreBits: 4, BlockCells: 2}
+			if p.CoreBits > cfg.Bits-1 {
+				p.CoreBits = 2
+			}
+		}
+		return place.NewBlockChessboard(cfg.Bits, p)
+	case place.Annealed:
+		a := cfg.Anneal
+		if a.Seed == 0 && a.Moves == 0 {
+			a = place.DefaultAnnealConfig()
+		}
+		return place.NewAnnealed(cfg.Bits, a)
+	}
+	return nil, fmt.Errorf("core: unknown placement style %v", cfg.Style)
+}
+
+// Run executes the full flow for one configuration.
+func Run(cfg Config) (*Result, error) {
+	t := cfg.Tech
+	if t == nil {
+		t = tech.FinFET12()
+	}
+	res := &Result{Config: cfg}
+
+	start := time.Now()
+	m, err := Place(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.PlaceTime = time.Since(start)
+	res.Placement = m
+
+	// Route; then iteratively promote the critical bit to parallel
+	// wires and re-route until the critical bit is already parallel
+	// (the paper: "when parallel routing is used on the MSB, the
+	// second-most MSB ... may become critical, and parallel routing is
+	// used there too").
+	start = time.Now()
+	par := make([]int, m.Bits+1)
+	for i := range par {
+		par[i] = 1
+	}
+	var l *route.Layout
+	var sum *extract.Summary
+	for iter := 0; ; iter++ {
+		l, err = route.Route(m, t, par)
+		if err != nil {
+			return nil, err
+		}
+		sum, err = extract.Extract(l)
+		if err != nil {
+			return nil, err
+		}
+		crit := sum.CriticalBit()
+		if cfg.MaxParallel <= 1 || par[crit] >= cfg.MaxParallel || iter > m.Bits+1 {
+			break
+		}
+		par[crit] = cfg.MaxParallel
+	}
+	res.RouteTime = time.Since(start)
+	res.Layout = l
+	res.Par = par
+
+	start = time.Now()
+	res.Electrical = sum
+	res.CriticalBit = sum.CriticalBit()
+	res.F3dBHz = extract.F3dB(m.Bits, sum.Tau())
+
+	if !cfg.SkipNL {
+		steps := cfg.ThetaSteps
+		if steps <= 0 {
+			steps = 8
+		}
+		sweep, err := variation.SweepTheta(m, l.CellCenter, t, steps)
+		if err != nil {
+			return nil, err
+		}
+		nl, err := dacmodel.WorstOverTheta(sweep, dacmodel.Parasitics{CTSfF: sum.CTSfF}, t.VRef)
+		if err != nil {
+			return nil, err
+		}
+		res.NL = nl
+	}
+	res.AnalyzeTime = time.Since(start)
+	return res, nil
+}
+
+// RunBestBC sweeps the block-chessboard parameter grid and returns the
+// best result — the paper reports "the best BC result" among several
+// granularities (Fig. 4). Best = the highest f3dB among candidates
+// whose INL and DNL stay below 0.5 LSB (all of the paper's do); ties
+// break toward lower INL.
+func RunBestBC(cfg Config) (*Result, []*Result, error) {
+	cfg.Style = place.BlockChessboard
+	params := place.DefaultBCParams(cfg.Bits)
+	if len(params) == 0 {
+		return nil, nil, fmt.Errorf("core: no feasible BC structures for %d bits", cfg.Bits)
+	}
+	var best *Result
+	all := make([]*Result, 0, len(params))
+	for _, p := range params {
+		c := cfg
+		c.BC = p
+		r, err := Run(c)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: BC %+v: %w", p, err)
+		}
+		all = append(all, r)
+		if r.NL != nil && (r.NL.MaxAbsDNL > 0.5 || r.NL.MaxAbsINL > 0.5) {
+			continue
+		}
+		if best == nil || better(r, best) {
+			best = r
+		}
+	}
+	if best == nil {
+		// No candidate met the 0.5 LSB bound; fall back to the fastest.
+		best = all[0]
+		for _, r := range all[1:] {
+			if r.F3dBHz > best.F3dBHz {
+				best = r
+			}
+		}
+	}
+	return best, all, nil
+}
+
+func better(a, b *Result) bool {
+	if a.F3dBHz != b.F3dBHz {
+		return a.F3dBHz > b.F3dBHz
+	}
+	if a.NL != nil && b.NL != nil {
+		return a.NL.MaxAbsINL < b.NL.MaxAbsINL
+	}
+	return false
+}
+
+// ParallelSweep routes one placement at every parallel-wire count in
+// ks (applied iteratively to critical bits) and returns the resulting
+// f3dB values — the data behind Fig. 6.
+func ParallelSweep(cfg Config, ks []int) ([]float64, error) {
+	out := make([]float64, len(ks))
+	for i, k := range ks {
+		c := cfg
+		c.MaxParallel = k
+		c.SkipNL = true
+		r, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r.F3dBHz
+	}
+	return out, nil
+}
+
+// MismatchSpan returns the relative systematic spread of a result's
+// placement at the worst gradient angle, a diagnostic for common-
+// centroid quality: max_k |DeltaC_k^sys| / C_k over capacitors k >= 2.
+func MismatchSpan(res *Result, steps int) (float64, error) {
+	if steps <= 0 {
+		steps = 8
+	}
+	t := res.Config.Tech
+	if t == nil {
+		t = tech.FinFET12()
+	}
+	sweep, err := variation.SweepTheta(res.Placement, res.Layout.CellCenter, t, steps)
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for _, a := range sweep {
+		for k := 2; k <= a.Bits; k++ {
+			rel := math.Abs(a.DCSys(k)) / (float64(a.Counts[k]) * a.CuFF)
+			if rel > worst {
+				worst = rel
+			}
+		}
+	}
+	return worst, nil
+}

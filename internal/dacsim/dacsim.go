@@ -1,0 +1,216 @@
+// Package dacsim simulates the dynamic behavior of a charge-scaling
+// DAC built on an extracted capacitor array: each bit's bottom plate
+// settles through its own charging network (the per-bit Elmore time
+// constants of the routed layout), and the shared top-plate output is
+// their capacitance-weighted superposition. Because different bits
+// settle at different speeds, major-carry transitions (e.g.
+// 0111..1 → 1000..0) produce output glitches; this package quantifies
+// the glitch impulse and the code-to-code settling time — the dynamic
+// face of the paper's f3dB metric.
+package dacsim
+
+import (
+	"fmt"
+	"math"
+
+	"ccdac/internal/extract"
+)
+
+// Model is a behavioral dynamic DAC.
+type Model struct {
+	// Bits is the resolution N.
+	Bits int
+	// CapFF holds the capacitor values C_0..C_N in fF.
+	CapFF []float64
+	// TauSec holds each bit's bottom-plate settling time constant.
+	// Tau[0] is unused (C_0 stays grounded).
+	TauSec []float64
+	// VRef is the reference voltage.
+	VRef float64
+
+	cT float64
+}
+
+// New builds a model from explicit capacitor values and taus.
+func New(bits int, capFF, tauSec []float64, vref float64) (*Model, error) {
+	if bits < 2 {
+		return nil, fmt.Errorf("dacsim: need at least 2 bits")
+	}
+	if len(capFF) != bits+1 || len(tauSec) != bits+1 {
+		return nil, fmt.Errorf("dacsim: need %d capacitors and taus, got %d/%d",
+			bits+1, len(capFF), len(tauSec))
+	}
+	if vref <= 0 {
+		return nil, fmt.Errorf("dacsim: vref must be positive")
+	}
+	m := &Model{Bits: bits, CapFF: capFF, TauSec: tauSec, VRef: vref}
+	for k, c := range capFF {
+		if c <= 0 {
+			return nil, fmt.Errorf("dacsim: capacitor %d non-positive", k)
+		}
+		if k >= 1 && tauSec[k] <= 0 {
+			return nil, fmt.Errorf("dacsim: tau %d non-positive", k)
+		}
+		m.cT += c
+	}
+	return m, nil
+}
+
+// FromExtract builds the dynamic model of a routed layout: capacitor
+// values from unit counts, taus from the extracted Elmore delays.
+func FromExtract(sum *extract.Summary, counts []int, cuFF, vref float64) (*Model, error) {
+	bits := len(sum.Bits) - 1
+	caps := make([]float64, bits+1)
+	taus := make([]float64, bits+1)
+	for k := 0; k <= bits; k++ {
+		caps[k] = float64(counts[k]) * cuFF
+		taus[k] = sum.Bits[k].TauSec
+	}
+	return New(bits, caps, taus, vref)
+}
+
+// Static returns the settled output ratio V/VREF for a code.
+func (m *Model) Static(code int) float64 {
+	on := 0.0
+	for k := 1; k <= m.Bits; k++ {
+		if code&(1<<(k-1)) != 0 {
+			on += m.CapFF[k]
+		}
+	}
+	return on / m.cT
+}
+
+// Transition simulates the output (as V/VREF) after switching from
+// code a to code b at t = 0, sampled at dt for steps samples. Each
+// switching bit's bottom plate moves exponentially with its own tau;
+// the output is the capacitance-weighted sum.
+func (m *Model) Transition(a, b int, dt float64, steps int) ([]float64, error) {
+	if dt <= 0 || steps < 1 {
+		return nil, fmt.Errorf("dacsim: need positive dt and steps")
+	}
+	maxCode := 1<<m.Bits - 1
+	if a < 0 || a > maxCode || b < 0 || b > maxCode {
+		return nil, fmt.Errorf("dacsim: codes %d -> %d out of range 0..%d", a, b, maxCode)
+	}
+	vFinal := m.Static(b)
+	out := make([]float64, steps)
+	for s := 0; s < steps; s++ {
+		t := float64(s+1) * dt
+		v := vFinal
+		for k := 1; k <= m.Bits; k++ {
+			bitMask := 1 << (k - 1)
+			wasOn := a&bitMask != 0
+			isOn := b&bitMask != 0
+			if wasOn == isOn {
+				continue
+			}
+			// The bit's bottom plate is exp-settling toward its new
+			// level; its remaining deviation scales the output by
+			// C_k/C_T.
+			delta := 0.0
+			if wasOn && !isOn {
+				delta = +1 // still partially high
+			} else {
+				delta = -1 // still partially low
+			}
+			v += delta * m.CapFF[k] / m.cT * math.Exp(-t/m.TauSec[k])
+		}
+		out[s] = v
+	}
+	return out, nil
+}
+
+// GlitchVS returns the glitch impulse of a transition in volt-seconds:
+// the area of the output excursion outside the direct band between the
+// start and final settled values (the classic mid-code carry glitch
+// from mismatched bit settling speeds).
+func (m *Model) GlitchVS(a, b int, dt float64, steps int) (float64, error) {
+	wave, err := m.Transition(a, b, dt, steps)
+	if err != nil {
+		return 0, err
+	}
+	v0, vf := m.Static(a), m.Static(b)
+	lo, hi := math.Min(v0, vf), math.Max(v0, vf)
+	area := 0.0
+	for _, v := range wave {
+		if v > hi {
+			area += (v - hi) * dt
+		} else if v < lo {
+			area += (lo - v) * dt
+		}
+	}
+	return area * m.VRef, nil
+}
+
+// WorstGlitch scans all single-LSB code increments and returns the
+// transition with the largest glitch impulse. The horizon adapts to
+// the slowest bit.
+func (m *Model) WorstGlitch() (code int, glitchVS float64, err error) {
+	tauMax := 0.0
+	for k := 1; k <= m.Bits; k++ {
+		tauMax = math.Max(tauMax, m.TauSec[k])
+	}
+	dt := tauMax / 50
+	steps := 500 // 10 tauMax
+	worst := -1.0
+	at := 0
+	for c := 0; c < 1<<m.Bits-1; c++ {
+		g, err := m.GlitchVS(c, c+1, dt, steps)
+		if err != nil {
+			return 0, 0, err
+		}
+		if g > worst {
+			worst, at = g, c
+		}
+	}
+	return at, worst, nil
+}
+
+// SettleSeconds returns the time for the output to stay within tol (in
+// LSB) of the final value after an a -> b transition.
+func (m *Model) SettleSeconds(a, b int, tolLSB float64) (float64, error) {
+	if tolLSB <= 0 {
+		return 0, fmt.Errorf("dacsim: tolerance must be positive")
+	}
+	tauMax := 0.0
+	for k := 1; k <= m.Bits; k++ {
+		tauMax = math.Max(tauMax, m.TauSec[k])
+	}
+	dt := tauMax / 100
+	steps := 4000
+	wave, err := m.Transition(a, b, dt, steps)
+	if err != nil {
+		return 0, err
+	}
+	tol := tolLSB / float64(int(1)<<m.Bits)
+	vf := m.Static(b)
+	last := -1
+	for s := len(wave) - 1; s >= 0; s-- {
+		if math.Abs(wave[s]-vf) > tol {
+			break
+		}
+		last = s
+	}
+	if last < 0 {
+		return 0, fmt.Errorf("dacsim: transition %d->%d not settled within %d steps", a, b, steps)
+	}
+	return float64(last+1) * dt, nil
+}
+
+// MaxUpdateRateHz returns the settling-limited update rate for the
+// worst single-LSB transition at 1/4 LSB accuracy (Eq. 15's criterion
+// applied to the dynamic model).
+func (m *Model) MaxUpdateRateHz() (float64, error) {
+	worstT := 0.0
+	for c := 0; c < 1<<m.Bits-1; c++ {
+		t, err := m.SettleSeconds(c, c+1, 0.25)
+		if err != nil {
+			return 0, err
+		}
+		worstT = math.Max(worstT, t)
+	}
+	if worstT == 0 {
+		return math.Inf(1), nil
+	}
+	return 1 / (2 * worstT), nil // charge + discharge phases per cycle
+}

@@ -1,0 +1,376 @@
+// Package drc checks routed layouts against the abstraction-level
+// design rules the router must uphold: reserved-direction layers,
+// same-layer spacing between different nets, top/bottom-plate
+// non-overlap (the paper's nonoverlapped routing, Sec. IV-B1), channel
+// and row routing capacity under width quantization, layout bounds,
+// and full electrical connectivity of every bit's net (an LVS-lite
+// check via union-find over wires, vias and cells).
+package drc
+
+import (
+	"fmt"
+	"math"
+
+	"ccdac/internal/geom"
+	"ccdac/internal/route"
+)
+
+// Violation is one design-rule failure.
+type Violation struct {
+	// Rule names the violated check.
+	Rule string
+	// Detail is a human-readable description.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Rule + ": " + v.Detail }
+
+// Result collects the violations of one layout check.
+type Result struct {
+	Violations []Violation
+}
+
+// Clean reports whether no rule fired.
+func (r *Result) Clean() bool { return len(r.Violations) == 0 }
+
+func (r *Result) add(rule, format string, args ...interface{}) {
+	r.Violations = append(r.Violations, Violation{Rule: rule, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Check runs all design-rule checks on a routed layout.
+func Check(l *route.Layout) *Result {
+	res := &Result{}
+	checkDirections(l, res)
+	checkBounds(l, res)
+	checkSpacing(l, res)
+	checkPlateSeparation(l, res)
+	checkRowCapacity(l, res)
+	checkColumnCapacity(l, res)
+	checkViaLanding(l, res)
+	checkConnectivity(l, res)
+	return res
+}
+
+// columnOf returns the cell column whose footprint contains x, or -1
+// if x falls in a routing channel.
+func columnOf(l *route.Layout, x float64) int {
+	half := l.Tech.Unit.W / 2
+	for c := 0; c < l.M.Cols; c++ {
+		cx := l.CellCenter(geom.Cell{Row: 0, Col: c}).X
+		if x >= cx-half-1e-9 && x <= cx+half+1e-9 {
+			return c
+		}
+	}
+	return -1
+}
+
+// insideColumn reports whether a vertical wire runs inside a cell
+// column footprint (abutment jumpers, top-plate spines, direct stubs):
+// the detailed router places these on distinct tracks within the
+// ~27-track cell width, so abstraction-level coincidence is not a
+// short; checkColumnCapacity bounds their number instead.
+func insideColumn(l *route.Layout, w route.Wire) (int, bool) {
+	if w.Seg.Dir() != geom.Vertical {
+		return -1, false
+	}
+	col := columnOf(l, w.Seg.A.X)
+	return col, col >= 0
+}
+
+// checkDirections verifies reserved-direction routing: a wire with
+// extent must run in its layer's direction (FinFET lower metals,
+// Sec. IV-A2).
+func checkDirections(l *route.Layout, res *Result) {
+	for i, w := range l.Wires {
+		if w.Seg.Len() == 0 {
+			continue
+		}
+		if !w.Seg.IsManhattan() {
+			res.add("manhattan", "wire %d (%v) is not axis-aligned", i, w.Kind)
+			continue
+		}
+		if l.Tech.Layers[w.Layer].Dir != w.Seg.Dir() {
+			res.add("reserved-direction", "wire %d (%v) runs %v on layer %s",
+				i, w.Kind, w.Seg.Dir(), l.Tech.Layers[w.Layer].Name)
+		}
+	}
+}
+
+// checkBounds verifies all geometry stays inside the layout extents.
+func checkBounds(l *route.Layout, res *Result) {
+	in := func(p geom.Pt) bool {
+		return p.X >= -1e-9 && p.X <= l.Width+1e-9 && p.Y >= -1e-9 && p.Y <= l.Height+1e-9
+	}
+	for i, w := range l.Wires {
+		if !in(w.Seg.A) || !in(w.Seg.B) {
+			res.add("bounds", "wire %d (%v) leaves the %gx%g layout", i, w.Kind, l.Width, l.Height)
+		}
+	}
+	for i, v := range l.Vias {
+		if !in(v.At) {
+			res.add("bounds", "via %d leaves the layout", i)
+		}
+	}
+}
+
+// sameRowBranches reports whether both wires are branch wires at the
+// same row height: the detailed router offsets these within the
+// 27-track cell row, so abstraction-level coincidence is not a short
+// (their count is limited by checkRowCapacity instead).
+func sameRowBranches(a, b route.Wire) bool {
+	return a.Kind == route.KindBranch && b.Kind == route.KindBranch &&
+		a.Seg.A.Y == b.Seg.A.Y
+}
+
+// checkSpacing flags same-layer different-net wires that run parallel
+// closer than the minimum spacing with nonzero overlap — an
+// abstraction-level short or spacing violation.
+func checkSpacing(l *route.Layout, res *Result) {
+	for i := 0; i < len(l.Wires); i++ {
+		wi := l.Wires[i]
+		for j := i + 1; j < len(l.Wires); j++ {
+			wj := l.Wires[j]
+			if wi.Bit == wj.Bit || wi.Layer != wj.Layer {
+				continue
+			}
+			if sameRowBranches(wi, wj) {
+				continue
+			}
+			if ci, ok := insideColumn(l, wi); ok {
+				if cj, ok2 := insideColumn(l, wj); ok2 && ci == cj {
+					continue // offset within the cell column; capacity-checked
+				}
+			}
+			sep := wi.Seg.Separation(wj.Seg)
+			if math.IsInf(sep, 1) {
+				continue
+			}
+			// Adjacent tracks sit at exactly the minimum spacing;
+			// tolerate accumulated coordinate rounding.
+			if sep >= l.Tech.SMinUm-1e-9 {
+				continue
+			}
+			if ov := wi.Seg.OverlapLen(wj.Seg); ov > 1e-9 {
+				res.add("spacing", "wires %d (%v bit %d) and %d (%v bit %d) on %s: sep %.4f um, overlap %.3f um",
+					i, wi.Kind, wi.Bit, j, wj.Kind, wj.Bit,
+					l.Tech.Layers[wi.Layer].Name, sep, ov)
+			}
+		}
+	}
+}
+
+// checkPlateSeparation enforces the paper's nonoverlapped routing: the
+// top-plate net and any bottom-plate net must not share a layer with
+// overlapping runs (this keeps C^TB negligible).
+func checkPlateSeparation(l *route.Layout, res *Result) {
+	for i, wi := range l.Wires {
+		if wi.Bit != route.TopPlateBit {
+			continue
+		}
+		for j, wj := range l.Wires {
+			if wj.Bit == route.TopPlateBit || wi.Layer != wj.Layer {
+				continue
+			}
+			if ci, ok := insideColumn(l, wi); ok {
+				if cj, ok2 := insideColumn(l, wj); ok2 && ci == cj {
+					continue // both on in-cell tracks; capacity-checked
+				}
+			}
+			sep := wi.Seg.Separation(wj.Seg)
+			if math.IsInf(sep, 1) || sep >= l.Tech.SMinUm-1e-9 {
+				continue
+			}
+			if ov := wi.Seg.OverlapLen(wj.Seg); ov > 1e-9 {
+				// Connections that meet only at a shared cell are the
+				// plate terminals themselves; outside cells this is a
+				// top/bottom overlap violation.
+				res.add("plate-overlap", "top-plate wire %d overlaps bit-%d wire %d on %s by %.3f um",
+					i, wj.Bit, j, l.Tech.Layers[wi.Layer].Name, ov)
+			}
+		}
+	}
+}
+
+// checkRowCapacity bounds the number of branch wires sharing one cell
+// row through one channel: the detailed router has cellH/pitch
+// horizontal tracks available per row.
+func checkRowCapacity(l *route.Layout, res *Result) {
+	pitch := l.Tech.Layers[l.Tech.HorizontalLayer()].Pitch
+	capacity := int(l.Tech.Unit.H / pitch)
+	type key struct {
+		y int64
+		// coarse x bucket: channel region between two column centers
+		bucket int64
+	}
+	counts := map[key]int{}
+	for _, w := range l.Wires {
+		if w.Kind != route.KindBranch {
+			continue
+		}
+		mid := (w.Seg.A.X + w.Seg.B.X) / 2
+		k := key{y: int64(math.Round(w.Seg.A.Y * 1000)), bucket: int64(mid / l.Tech.Unit.W)}
+		counts[k] += w.Par
+	}
+	for k, n := range counts {
+		if n > capacity {
+			res.add("row-capacity", "row y=%.3f um, bucket %d: %d branch tracks exceed capacity %d",
+				float64(k.y)/1000, k.bucket, n, capacity)
+		}
+	}
+}
+
+// checkColumnCapacity bounds the vertical wires riding inside one cell
+// column's footprint (abutment jumpers, top-plate spine, direct stubs):
+// at every row boundary their track demand must fit the cell width.
+func checkColumnCapacity(l *route.Layout, res *Result) {
+	pitch := l.Tech.Layers[l.Tech.VerticalLayer()].Pitch
+	capacity := int(l.Tech.Unit.W / pitch)
+	for col := 0; col < l.M.Cols; col++ {
+		var colWires []route.Wire
+		for _, w := range l.Wires {
+			if c, ok := insideColumn(l, w); ok && c == col {
+				colWires = append(colWires, w)
+			}
+		}
+		for r := 0; r+1 < l.M.Rows; r++ {
+			yb := (l.CellCenter(geom.Cell{Row: r, Col: col}).Y +
+				l.CellCenter(geom.Cell{Row: r + 1, Col: col}).Y) / 2
+			demand := 0
+			for _, w := range colWires {
+				lo := math.Min(w.Seg.A.Y, w.Seg.B.Y)
+				hi := math.Max(w.Seg.A.Y, w.Seg.B.Y)
+				if lo < yb && hi > yb {
+					demand += w.Par
+				}
+			}
+			if demand > capacity {
+				res.add("column-capacity", "column %d row boundary %d: %d vertical tracks exceed capacity %d",
+					col, r, demand, capacity)
+			}
+		}
+	}
+}
+
+// checkViaLanding verifies that every via point touches wire geometry
+// of its net on both layers it joins (input vias land on one layer and
+// the driver below).
+func checkViaLanding(l *route.Layout, res *Result) {
+	touches := func(p geom.Pt, layer, bit int) bool {
+		for _, w := range l.Wires {
+			if w.Bit != bit || w.Layer != layer {
+				continue
+			}
+			if onSegment(w.Seg, p) {
+				return true
+			}
+		}
+		return false
+	}
+	for i, v := range l.Vias {
+		if !touches(v.At, v.LayerA, v.Bit) {
+			res.add("via-landing", "via %d (bit %d) has no layer-%s wire at %v",
+				i, v.Bit, l.Tech.Layers[v.LayerA].Name, v.At)
+		}
+		if v.Input {
+			continue // the lower landing is the driver cluster outside the array
+		}
+		if !touches(v.At, v.LayerB, v.Bit) {
+			res.add("via-landing", "via %d (bit %d) has no layer-%s wire at %v",
+				i, v.Bit, l.Tech.Layers[v.LayerB].Name, v.At)
+		}
+	}
+}
+
+func onSegment(s geom.Seg, p geom.Pt) bool {
+	const eps = 1e-6
+	lo, hi := s.A, s.B
+	if s.Dir() == geom.Vertical {
+		if math.Abs(p.X-s.A.X) > eps {
+			return false
+		}
+		y0, y1 := math.Min(lo.Y, hi.Y), math.Max(lo.Y, hi.Y)
+		return p.Y >= y0-eps && p.Y <= y1+eps
+	}
+	if math.Abs(p.Y-s.A.Y) > eps {
+		return false
+	}
+	x0, x1 := math.Min(lo.X, hi.X), math.Max(lo.X, hi.X)
+	return p.X >= x0-eps && p.X <= x1+eps
+}
+
+// checkConnectivity is an LVS-lite pass: for every capacitor, all its
+// unit cells and its terminal must form one electrical net through
+// abutments, branches, trunks, bridges and vias.
+func checkConnectivity(l *route.Layout, res *Result) {
+	for bit := 0; bit <= l.M.Bits; bit++ {
+		uf := newUnionFind()
+		q := func(p geom.Pt, layer int) string {
+			// Points on a cell of this bit merge across layers.
+			for _, c := range l.M.CellsOf(bit) {
+				cc := l.CellCenter(c)
+				if math.Abs(cc.X-p.X) < 1e-6 && math.Abs(cc.Y-p.Y) < 1e-6 {
+					return fmt.Sprintf("cell:%d,%d", c.Row, c.Col)
+				}
+			}
+			return fmt.Sprintf("L%d:%.3f,%.3f", layer, p.X, p.Y)
+		}
+		for _, w := range l.Wires {
+			if w.Bit != bit {
+				continue
+			}
+			uf.union(q(w.Seg.A, w.Layer), q(w.Seg.B, w.Layer))
+		}
+		for _, v := range l.Vias {
+			if v.Bit != bit || v.Input {
+				continue
+			}
+			uf.union(q(v.At, v.LayerA), q(v.At, v.LayerB))
+		}
+		cells := l.M.CellsOf(bit)
+		if len(cells) == 0 {
+			res.add("connectivity", "bit %d has no unit cells", bit)
+			continue
+		}
+		root := uf.find(fmt.Sprintf("cell:%d,%d", cells[0].Row, cells[0].Col))
+		for _, c := range cells[1:] {
+			if uf.find(fmt.Sprintf("cell:%d,%d", c.Row, c.Col)) != root {
+				res.add("connectivity", "bit %d: cell %v disconnected from net", bit, c)
+			}
+		}
+		// The terminal (input via location) must be on the net too.
+		for _, v := range l.Vias {
+			if v.Bit == bit && v.Input {
+				if uf.find(q(v.At, v.LayerA)) != root {
+					res.add("connectivity", "bit %d: input terminal disconnected", bit)
+				}
+			}
+		}
+	}
+}
+
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind() *unionFind { return &unionFind{parent: map[string]string{}} }
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	r := u.find(p)
+	u.parent[x] = r
+	return r
+}
+
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}

@@ -1,0 +1,218 @@
+package drc
+
+import (
+	"strings"
+	"testing"
+
+	"ccdac/internal/geom"
+	"ccdac/internal/place"
+	"ccdac/internal/route"
+	"ccdac/internal/tech"
+)
+
+func layoutFor(t *testing.T, bits int, style place.Style, par []int) *route.Layout {
+	t.Helper()
+	var m, err = place.NewSpiral(bits)
+	switch style {
+	case place.Chessboard:
+		m, err = place.NewChessboard(bits)
+	case place.BlockChessboard:
+		m, err = place.NewBlockChessboard(bits, place.BCParams{CoreBits: 4, BlockCells: 2})
+	case place.Annealed:
+		m, err = place.NewAnnealed(bits, place.AnnealConfig{Seed: 1, Moves: 3000})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := route.Route(m, tech.FinFET12(), par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestRouterOutputIsClean is the central DRC regression: every style,
+// with and without parallel wires, must produce a violation-free
+// layout.
+func TestRouterOutputIsClean(t *testing.T) {
+	styles := []place.Style{place.Spiral, place.Chessboard, place.BlockChessboard, place.Annealed}
+	for _, style := range styles {
+		for _, bits := range []int{6, 8} {
+			l := layoutFor(t, bits, style, nil)
+			res := Check(l)
+			if !res.Clean() {
+				for _, v := range res.Violations[:min(5, len(res.Violations))] {
+					t.Errorf("%v %d-bit: %v", style, bits, v)
+				}
+				t.Fatalf("%v %d-bit: %d violations", style, bits, len(res.Violations))
+			}
+		}
+	}
+}
+
+func TestParallelRoutedLayoutClean(t *testing.T) {
+	par := []int{1, 1, 1, 1, 1, 2, 2}
+	l := layoutFor(t, 6, place.Spiral, par)
+	if res := Check(l); !res.Clean() {
+		t.Fatalf("parallel-routed layout dirty: %v", res.Violations[0])
+	}
+}
+
+func TestOddBitLayoutsClean(t *testing.T) {
+	for _, style := range []place.Style{place.Spiral, place.Chessboard, place.BlockChessboard} {
+		l := layoutFor(t, 7, style, nil)
+		if res := Check(l); !res.Clean() {
+			t.Fatalf("%v 7-bit dirty: %v", style, res.Violations[0])
+		}
+	}
+}
+
+func TestDetectsReservedDirectionViolation(t *testing.T) {
+	l := layoutFor(t, 6, place.Spiral, nil)
+	// Inject a vertical wire on a horizontal layer.
+	l.Wires = append(l.Wires, route.Wire{
+		Seg:   geom.Seg{A: geom.Pt{X: 1, Y: 1}, B: geom.Pt{X: 1, Y: 3}},
+		Layer: l.Tech.HorizontalLayer(), Par: 1, Bit: 0, Kind: route.KindBranch,
+	})
+	res := Check(l)
+	if res.Clean() {
+		t.Fatal("direction violation not detected")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Rule == "reserved-direction" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wrong rule fired: %v", res.Violations)
+	}
+}
+
+func TestDetectsSpacingViolation(t *testing.T) {
+	l := layoutFor(t, 6, place.Spiral, nil)
+	// Duplicate an existing channel trunk 10 nm away under another bit.
+	var trunk route.Wire
+	for _, w := range l.Wires {
+		if w.Kind == route.KindTrunk && w.Seg.Len() > 0.5 {
+			trunk = w
+			break
+		}
+	}
+	if trunk.Seg.Len() == 0 {
+		t.Fatal("no trunk found to duplicate")
+	}
+	bad := trunk
+	bad.Bit = (trunk.Bit + 1) % 7
+	bad.Seg.A.X += 0.010
+	bad.Seg.B.X += 0.010
+	l.Wires = append(l.Wires, bad)
+	res := Check(l)
+	found := false
+	for _, v := range res.Violations {
+		if v.Rule == "spacing" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("spacing violation not detected: %v", res.Violations)
+	}
+}
+
+func TestDetectsPlateOverlap(t *testing.T) {
+	l := layoutFor(t, 6, place.Spiral, nil)
+	// Lay a bottom-plate wire directly on a horizontal top-plate link
+	// (column-interior wires are exempt, cross-column links are not).
+	var top route.Wire
+	for _, w := range l.Wires {
+		if w.Bit == route.TopPlateBit && w.Seg.Len() > 1 && w.Seg.Dir() == geom.Horizontal {
+			top = w
+			break
+		}
+	}
+	bad := top
+	bad.Bit = 4
+	bad.Kind = route.KindTrunk
+	l.Wires = append(l.Wires, bad)
+	res := Check(l)
+	found := false
+	for _, v := range res.Violations {
+		if v.Rule == "plate-overlap" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("plate overlap not detected: %v", res.Violations)
+	}
+}
+
+func TestDetectsOutOfBounds(t *testing.T) {
+	l := layoutFor(t, 6, place.Spiral, nil)
+	l.Wires = append(l.Wires, route.Wire{
+		Seg:   geom.Seg{A: geom.Pt{X: -5, Y: 1}, B: geom.Pt{X: -1, Y: 1}},
+		Layer: 0, Par: 1, Bit: 0, Kind: route.KindBranch,
+	})
+	res := Check(l)
+	found := false
+	for _, v := range res.Violations {
+		if v.Rule == "bounds" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("bounds violation not detected")
+	}
+}
+
+func TestDetectsDisconnectedNet(t *testing.T) {
+	l := layoutFor(t, 6, place.Spiral, nil)
+	// Remove every wire of bit 3: its cells lose the route to the terminal.
+	kept := l.Wires[:0]
+	for _, w := range l.Wires {
+		if w.Bit != 3 {
+			kept = append(kept, w)
+		}
+	}
+	l.Wires = kept
+	res := Check(l)
+	found := false
+	for _, v := range res.Violations {
+		if v.Rule == "connectivity" && strings.Contains(v.Detail, "bit 3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("disconnection not detected: %v", res.Violations)
+	}
+}
+
+func TestDetectsFloatingVia(t *testing.T) {
+	l := layoutFor(t, 6, place.Spiral, nil)
+	l.Vias = append(l.Vias, route.Via{
+		At: geom.Pt{X: 3.33, Y: 3.33}, LayerA: 0, LayerB: 1, Par: 1, Bit: 5,
+	})
+	res := Check(l)
+	found := false
+	for _, v := range res.Violations {
+		if v.Rule == "via-landing" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("floating via not detected")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Rule: "spacing", Detail: "too close"}
+	if v.String() != "spacing: too close" {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

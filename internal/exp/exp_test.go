@@ -1,0 +1,243 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// The unit tests exercise the harness at 6 bits (plus 7 for the
+// odd-bit rules) to stay fast; the full 6-10 bit sweep runs in
+// cmd/tables and the benchmark suite.
+
+func TestAvailable(t *testing.T) {
+	if Available(MethodLin, 7) || Available(MethodLin, 9) {
+		t.Error("[1] must be unavailable at odd bit counts")
+	}
+	if !Available(MethodLin, 8) || !Available(MethodBurcea, 7) || !Available(MethodSpiral, 9) {
+		t.Error("availability misreported")
+	}
+}
+
+func TestRunCaches(t *testing.T) {
+	h := NewHarness()
+	a, err := h.Run(MethodSpiral, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Run(MethodSpiral, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("harness did not cache the result")
+	}
+	if _, err := h.Run(MethodLin, 7); err == nil {
+		t.Error("unavailable combination must error")
+	}
+	if _, err := h.Run(Method("bogus"), 6); err == nil {
+		t.Error("unknown method must error")
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	h := NewHarness()
+	h.AnnealMoves = 2000
+	rows, err := h.TableI([]int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 methods", len(rows))
+	}
+	byMethod := map[Method]TableIRow{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+		if !r.Available {
+			t.Errorf("%s unavailable at 6 bits", r.Method)
+		}
+	}
+	s, bc, cb := byMethod[MethodSpiral], byMethod[MethodBC], byMethod[MethodBurcea]
+	// Paper's Table I orderings.
+	if !(s.NV < bc.NV || s.NV < cb.NV) {
+		t.Errorf("spiral via count %d not smallest (BC %d, CB %d)", s.NV, bc.NV, cb.NV)
+	}
+	if !(s.CWirefF < cb.CWirefF) {
+		t.Errorf("spiral C_wire %g not below chessboard %g", s.CWirefF, cb.CWirefF)
+	}
+	if !(s.CBBfF < cb.CBBfF) {
+		t.Errorf("spiral C_BB %g not below chessboard %g", s.CBBfF, cb.CBBfF)
+	}
+	if !(s.RTotalkOhm < cb.RTotalkOhm) {
+		t.Errorf("spiral R_total %g not below chessboard %g", s.RTotalkOhm, cb.RTotalkOhm)
+	}
+	// Parallel routing on S: its critical-bit via resistance is tiny.
+	if s.RVkOhm >= cb.RVkOhm {
+		t.Errorf("spiral R_V %g not below chessboard %g", s.RVkOhm, cb.RVkOhm)
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	h := NewHarness()
+	h.AnnealMoves = 2000
+	rows, err := h.TableII([]int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMethod := map[Method]TableIIRow{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+	}
+	s, bc, cb := byMethod[MethodSpiral], byMethod[MethodBC], byMethod[MethodBurcea]
+	if !(s.F3dBMHz > bc.F3dBMHz && bc.F3dBMHz > cb.F3dBMHz) {
+		t.Errorf("f3dB ordering violated: S=%.1f BC=%.1f CB=%.1f",
+			s.F3dBMHz, bc.F3dBMHz, cb.F3dBMHz)
+	}
+	for _, r := range rows {
+		if !r.Available {
+			continue
+		}
+		if r.DNL > 0.5 || r.INL > 0.5 {
+			t.Errorf("%s INL/DNL out of the paper's 0.5 LSB bound: %+v", r.Method, r)
+		}
+		if r.AreaUm2 <= 0 {
+			t.Errorf("%s degenerate area", r.Method)
+		}
+	}
+}
+
+func TestTableIIOddBitDashes(t *testing.T) {
+	h := NewHarness()
+	rows, err := h.TableII([]int{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Method == MethodLin && r.Available {
+			t.Error("[1] must be dashed at 7 bits")
+		}
+	}
+	txt := FormatTableII(rows)
+	if !strings.Contains(txt, "-") {
+		t.Error("formatted table missing dash for [1]")
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	h := NewHarness()
+	rows, err := h.TableIII([]int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].SpiralSec <= 0 || rows[0].BCSec <= 0 {
+		t.Fatalf("bad runtime rows: %+v", rows)
+	}
+	if rows[0].SpiralSec > 2 || rows[0].BCSec > 30 {
+		t.Errorf("constructive runtimes implausibly large: %+v", rows[0])
+	}
+	txt := FormatTableIII(rows)
+	if !strings.Contains(txt, "Spiral") || !strings.Contains(txt, "BC") {
+		t.Error("formatted Table III incomplete")
+	}
+}
+
+func TestFig6aShape(t *testing.T) {
+	h := NewHarness()
+	series, err := h.Fig6a([]int{6}, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 {
+		t.Fatalf("series = %d", len(series))
+	}
+	f := series[0].Factors
+	if f[0] != 1 {
+		t.Errorf("k=1 factor = %g, want 1", f[0])
+	}
+	// Paper: p=2 gain between 2x (wire-dominated) and 4x
+	// (via-dominated); allow the capacitance penalty to pull it a bit
+	// below 2.
+	if f[1] < 1.3 || f[1] > 4.2 {
+		t.Errorf("k=2 factor = %g outside plausible band", f[1])
+	}
+	if f[2] <= f[1] {
+		t.Errorf("k=4 factor %g not above k=2 %g", f[2], f[1])
+	}
+	// Diminishing returns: factor grows sublinearly in k.
+	if f[2] >= 2*f[1] {
+		t.Errorf("no diminishing returns: k=2 %g, k=4 %g", f[1], f[2])
+	}
+}
+
+func TestFig6bShape(t *testing.T) {
+	h := NewHarness()
+	series, err := h.Fig6b(6, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := map[Method][]float64{}
+	for _, s := range series {
+		norm[s.Method] = s.Normalized
+	}
+	// S at k=1 is the normalization point.
+	if got := norm[MethodSpiral][0]; got != 1 {
+		t.Errorf("S(k=1) normalized = %g, want 1", got)
+	}
+	// Other methods sit below the spiral baseline.
+	for _, m := range []Method{MethodBurcea, MethodBC, MethodLin} {
+		if len(norm[m]) == 0 {
+			t.Fatalf("missing series for %s", m)
+		}
+		if norm[m][0] >= 1 {
+			t.Errorf("%s(k=1) = %g, want < 1 (below spiral)", m, norm[m][0])
+		}
+	}
+	// All methods improve with parallel wires.
+	for m, f := range norm {
+		if f[1] <= f[0] {
+			t.Errorf("%s did not improve with parallel wires: %v", m, f)
+		}
+	}
+	txt := FormatFig6b(6, series)
+	if !strings.Contains(txt, "k=2") {
+		t.Error("formatted Fig 6(b) incomplete")
+	}
+}
+
+func TestFormatTableIGolden(t *testing.T) {
+	rows := []TableIRow{
+		{Bits: 6, Method: MethodLin, Available: false},
+		{Bits: 6, Method: MethodSpiral, Available: true,
+			CTSfF: 0.03, CWirefF: 0.9, CBBfF: 0.5, NV: 43, LUm: 77,
+			RVkOhm: 0.002, RTotalkOhm: 0.03},
+	}
+	txt := FormatTableI(rows)
+	if !strings.Contains(txt, "(43, 77)") {
+		t.Errorf("missing (NV, L) cell:\n%s", txt)
+	}
+	if !strings.Contains(txt, "(0.002, 0.030)") {
+		t.Errorf("missing (RV, Rtot) cell:\n%s", txt)
+	}
+	if !strings.Contains(txt, " - ") && !strings.Contains(txt, "-") {
+		t.Error("missing dash for unavailable method")
+	}
+}
+
+func TestPrefetchFillsCache(t *testing.T) {
+	h := NewHarness()
+	h.AnnealMoves = 1500
+	if err := h.Prefetch([]int{6}); err != nil {
+		t.Fatal(err)
+	}
+	// Table builders must now hit the cache: same pointers come back.
+	a, err := h.Run(MethodSpiral, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Run(MethodSpiral, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("prefetch did not populate the cache")
+	}
+}

@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTableI renders Table I rows in the paper's layout: one line per
+// bit count, method-major column groups.
+func FormatTableI(rows []TableIRow) string {
+	var b strings.Builder
+	b.WriteString("TABLE I: CC array: Electrical metrics (Cu = 5 fF)\n")
+	fmt.Fprintf(&b, "%-5s %-4s %10s %12s %10s %16s %20s\n",
+		"#bits", "mthd", "sumCTS fF", "sumCwire fF", "sumCBB fF", "(NV, L um)", "(RV, Rtot) kOhm")
+	cur := -1
+	for _, r := range rows {
+		if r.Bits != cur {
+			if cur != -1 {
+				b.WriteString("\n")
+			}
+			cur = r.Bits
+		}
+		if !r.Available {
+			fmt.Fprintf(&b, "%-5d %-4s %10s %12s %10s %16s %20s\n",
+				r.Bits, r.Method, "-", "-", "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%-5d %-4s %10.3f %12.1f %10.1f %16s %20s\n",
+			r.Bits, r.Method, r.CTSfF, r.CWirefF, r.CBBfF,
+			fmt.Sprintf("(%d, %.0f)", r.NV, r.LUm),
+			fmt.Sprintf("(%.3f, %.3f)", r.RVkOhm, r.RTotalkOhm))
+	}
+	return b.String()
+}
+
+// FormatTableII renders Table II rows.
+func FormatTableII(rows []TableIIRow) string {
+	var b strings.Builder
+	b.WriteString("TABLE II: CC array: Performance metrics (Cu = 5 fF)\n")
+	fmt.Fprintf(&b, "%-5s %-4s %12s %22s %12s\n",
+		"#bits", "mthd", "Area um^2", "{|DNL|, |INL|} LSB", "f3dB MHz")
+	cur := -1
+	for _, r := range rows {
+		if r.Bits != cur {
+			if cur != -1 {
+				b.WriteString("\n")
+			}
+			cur = r.Bits
+		}
+		if !r.Available {
+			fmt.Fprintf(&b, "%-5d %-4s %12s %22s %12s\n", r.Bits, r.Method, "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%-5d %-4s %12.0f %22s %12.1f\n",
+			r.Bits, r.Method, r.AreaUm2,
+			fmt.Sprintf("{%.3f, %.3f}", r.DNL, r.INL), r.F3dBMHz)
+	}
+	return b.String()
+}
+
+// FormatTableIII renders Table III rows.
+func FormatTableIII(rows []TableIIIRow) string {
+	var b strings.Builder
+	b.WriteString("TABLE III: Runtimes for the proposed CC layout algorithms\n")
+	fmt.Fprintf(&b, "%-7s", "#bits")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %9d", r.Bits)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-7s", "Spiral")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %8.4fs", r.SpiralSec)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-7s", "BC")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %8.4fs", r.BCSec)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// FormatFig6a renders the Fig. 6(a) improvement-factor series.
+func FormatFig6a(series []Fig6aSeries) string {
+	var b strings.Builder
+	b.WriteString("Fig 6(a): f3dB improvement factor vs parallel wires (spiral)\n")
+	if len(series) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-6s", "#bits")
+	for _, k := range series[0].Ks {
+		fmt.Fprintf(&b, " %7s", fmt.Sprintf("k=%d", k))
+	}
+	b.WriteString("\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-6d", s.Bits)
+		for _, f := range s.Factors {
+			fmt.Fprintf(&b, " %7.2f", f)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatFig6b renders the Fig. 6(b) normalized-frequency series.
+func FormatFig6b(bits int, series []Fig6bSeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 6(b): f3dB vs parallel wires at %d bits, normalized to S(k=1)\n", bits)
+	if len(series) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-6s", "mthd")
+	for _, k := range series[0].Ks {
+		fmt.Fprintf(&b, " %9s", fmt.Sprintf("k=%d", k))
+	}
+	b.WriteString("\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-6s", s.Method)
+		for _, f := range s.Normalized {
+			fmt.Fprintf(&b, " %9.4f", f)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

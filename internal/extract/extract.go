@@ -1,0 +1,252 @@
+// Package extract computes the electrical view of a routed
+// common-centroid layout: the parasitic summary metrics of the paper's
+// Table I (ΣC^TS, ΣC^wire, ΣC^BB, ΣN_V, ΣL, and per-critical-bit R_V /
+// R_total) and the per-bit RC networks whose Elmore delays set the 3dB
+// frequency (Sec. III-B).
+//
+// Modeling follows the paper's Sec. II-B: a wire segment of length l
+// has resistance r·l and ground capacitance c·l; two parallel segments
+// with overlap l_ov at spacing s couple through c_c(s)·l_ov. Vias have
+// a fixed per-cut resistance, reduced p^2-fold by parallel via arrays.
+package extract
+
+import (
+	"fmt"
+	"math"
+
+	"ccdac/internal/geom"
+	"ccdac/internal/rcnet"
+	"ccdac/internal/route"
+)
+
+// couplingReach is the largest wire spacing (in units of minimum
+// spacing) at which sidewall coupling is still extracted; beyond it the
+// 1/s fringe term is negligible.
+const couplingReach = 6.0
+
+// BitNet is the extracted bottom-plate charging network of one capacitor.
+type BitNet struct {
+	Bit int
+	// Net is the RC network; Root is the driver node (below the input
+	// connection via); CellNodes are the bottom-plate nodes of the
+	// bit's unit cells, carrying the C_u loads.
+	Net       *rcnet.Net
+	Root      int
+	CellNodes []int
+	// RWireOhm and RViaOhm total the wire and via resistances of the
+	// net (the R_total and R_V of Table I are these sums for the
+	// critical bit).
+	RWireOhm, RViaOhm float64
+	// CWirefF is the bit's routed bottom-plate wire capacitance.
+	CWirefF float64
+	// TauSec is the Elmore delay to the slowest unit cell.
+	TauSec float64
+}
+
+// Summary carries the Table I metrics plus the per-bit networks.
+type Summary struct {
+	// CTSfF is the total top-plate-to-substrate routing capacitance.
+	CTSfF float64
+	// CWirefF is the total bottom-plate wiring capacitance.
+	CWirefF float64
+	// CBBfF is the total bottom-plate-to-bottom-plate (inter-bit)
+	// coupling capacitance.
+	CBBfF float64
+	// ViaCuts is ΣN_V: total physical via cuts.
+	ViaCuts int
+	// WirelengthUm is ΣL: total routed wirelength.
+	WirelengthUm float64
+	// AreaUm2 is the routed array area.
+	AreaUm2 float64
+	// Bits holds the per-capacitor extracted networks, indexed by bit.
+	Bits []BitNet
+}
+
+// CriticalBit returns the capacitor with the largest Elmore delay; its
+// time constant limits the DAC clock (Sec. III-B).
+func (s *Summary) CriticalBit() int {
+	best, bestTau := 0, -1.0
+	for _, b := range s.Bits {
+		if b.TauSec > bestTau {
+			best, bestTau = b.Bit, b.TauSec
+		}
+	}
+	return best
+}
+
+// Tau returns the limiting (maximum) Elmore time constant in seconds.
+func (s *Summary) Tau() float64 { return s.Bits[s.CriticalBit()].TauSec }
+
+// Extract computes the full electrical view of a routed layout.
+func Extract(l *route.Layout) (*Summary, error) {
+	s := &Summary{
+		ViaCuts:      l.ViaCuts(),
+		WirelengthUm: l.TotalWirelength(),
+		AreaUm2:      l.Area(),
+	}
+	// Ground-capacitance sums and the coupling extraction.
+	wireCoupling := couple(l, s)
+	for _, w := range l.Wires {
+		if w.Bit == route.TopPlateBit {
+			s.CTSfF += l.Tech.TopPlateCfFPerUm * w.Seg.Len()
+			continue
+		}
+		s.CWirefF += l.Tech.WireC(w.Layer, effLen(l, w), w.Par)
+	}
+
+	s.Bits = make([]BitNet, l.M.Bits+1)
+	for bit := 0; bit <= l.M.Bits; bit++ {
+		bn, err := buildBitNet(l, bit, wireCoupling)
+		if err != nil {
+			return nil, fmt.Errorf("extract: bit %d: %w", bit, err)
+		}
+		s.Bits[bit] = *bn
+	}
+	return s, nil
+}
+
+// couple extracts pairwise sidewall coupling between bottom-plate wires
+// of different capacitors (the C^BB of Table I), returning each wire's
+// share of coupling capacitance (treated as grounded for delay).
+func couple(l *route.Layout, s *Summary) []float64 {
+	share := make([]float64, len(l.Wires))
+	for i := 0; i < len(l.Wires); i++ {
+		wi := l.Wires[i]
+		if wi.Bit == route.TopPlateBit {
+			continue
+		}
+		for j := i + 1; j < len(l.Wires); j++ {
+			wj := l.Wires[j]
+			if wj.Bit == route.TopPlateBit || wj.Bit == wi.Bit {
+				continue
+			}
+			if wi.Layer != wj.Layer {
+				continue
+			}
+			sep := wi.Seg.Separation(wj.Seg)
+			if sep == 0 || sep > couplingReach*l.Tech.SMinUm {
+				continue
+			}
+			ov := wi.Seg.OverlapLen(wj.Seg)
+			if ov <= 0 {
+				continue
+			}
+			c := l.Tech.CouplingfFPerUm(sep) * ov
+			s.CBBfF += c
+			share[i] += c / 2
+			share[j] += c / 2
+		}
+	}
+	return share
+}
+
+// effLen is the electrical length of a wire. Abutment connections
+// between adjacent unit capacitors join two wide multi-finger,
+// multi-layer MOM plates through a short jumper; their resistance and
+// capacitance follow the jumper length (Unit.AbutLen), not the drawn
+// center-to-center distance — this is why the paper's spiral placement
+// has near-zero intra-group routing resistance (Sec. IV-B1/V).
+func effLen(l *route.Layout, w route.Wire) float64 {
+	if w.Kind == route.KindAbut {
+		return math.Min(w.Seg.Len(), l.Tech.Unit.AbutLen)
+	}
+	return w.Seg.Len()
+}
+
+// nodeKey quantizes a point to 1 nm so float arithmetic cannot split
+// electrically-identical junctions into distinct nodes.
+type nodeKey struct {
+	layer int // -1 for cell plate nodes (all layers tied at the cell)
+	x, y  int64
+}
+
+func quant(v float64) int64 { return int64(math.Round(v * 1000)) }
+
+// buildBitNet assembles the RC charging network of one capacitor from
+// the routed wires and vias and runs the Elmore analysis.
+func buildBitNet(l *route.Layout, bit int, wireCoupling []float64) (*BitNet, error) {
+	bn := &BitNet{Bit: bit}
+	net := rcnet.New()
+	bn.Net = net
+	nodes := map[nodeKey]int{}
+
+	// Bottom plates are reachable on every layer at the cell, so any
+	// wire endpoint landing on a cell center of this bit merges into
+	// the cell's single plate node.
+	cellAt := map[[2]int64]int{}
+	for _, c := range l.M.CellsOf(bit) {
+		pt := l.CellCenter(c)
+		id := net.AddNode(fmt.Sprintf("cell:%d,%d", c.Row, c.Col))
+		net.AddC(id, l.Tech.Unit.CfF)
+		cellAt[[2]int64{quant(pt.X), quant(pt.Y)}] = id
+		bn.CellNodes = append(bn.CellNodes, id)
+	}
+	nodeOf := func(p geom.Pt, layer int) int {
+		if id, ok := cellAt[[2]int64{quant(p.X), quant(p.Y)}]; ok {
+			return id
+		}
+		k := nodeKey{layer: layer, x: quant(p.X), y: quant(p.Y)}
+		if id, ok := nodes[k]; ok {
+			return id
+		}
+		id := net.AddNode(fmt.Sprintf("L%d:%.3f,%.3f", layer, p.X, p.Y))
+		nodes[k] = id
+		return id
+	}
+
+	for i, w := range l.Wires {
+		if w.Bit != bit {
+			continue
+		}
+		a := nodeOf(w.Seg.A, w.Layer)
+		b := nodeOf(w.Seg.B, w.Layer)
+		r := l.Tech.WireR(w.Layer, effLen(l, w), w.Par)
+		c := l.Tech.WireC(w.Layer, effLen(l, w), w.Par) + wireCoupling[i]
+		net.AddR(a, b, r)
+		net.AddC(a, c/2)
+		net.AddC(b, c/2)
+		bn.RWireOhm += r
+		bn.CWirefF += c
+	}
+	// The driver (switch) sits behind the input connection; its
+	// on-resistance does not scale with parallel routing, bounding the
+	// Fig. 6(a) gains.
+	root := net.AddNode("source")
+	driver := net.AddNode("driver")
+	net.AddR(root, driver, l.Tech.SwitchROhm)
+	bn.Root = root
+	for _, v := range l.Vias {
+		if v.Bit != bit {
+			continue
+		}
+		r := l.Tech.ViaR(v.Par)
+		bn.RViaOhm += r
+		if v.Input {
+			net.AddR(driver, nodeOf(v.At, v.LayerA), r)
+			continue
+		}
+		net.AddR(nodeOf(v.At, v.LayerA), nodeOf(v.At, v.LayerB), r)
+	}
+	delays, err := bn.Net.Delay(root)
+	if err != nil {
+		return nil, err
+	}
+	bn.TauSec = rcnet.MaxDelay(delays, bn.CellNodes)
+	return bn, nil
+}
+
+// F3dB converts the limiting time constant of an N-bit DAC into the
+// paper's 3dB switching frequency (Eq. 16):
+// f_3dB = 1 / (2 (N+2) ln 2 · tau).
+func F3dB(bits int, tauSec float64) float64 {
+	if tauSec <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / (2 * float64(bits+2) * math.Ln2 * tauSec)
+}
+
+// SettlingTime returns t_settle = ln(2^(N+2))·tau (Eq. 15), the time to
+// charge within 1/4 LSB of the final value.
+func SettlingTime(bits int, tauSec float64) float64 {
+	return float64(bits+2) * math.Ln2 * tauSec
+}

@@ -1,0 +1,368 @@
+// Package gds writes and reads GDSII stream files, the interchange
+// format every layout tool consumes, so generated capacitor arrays can
+// leave this flow as real mask geometry. The writer emits a minimal
+// but standard-conforming subset (HEADER/BGNLIB/LIBNAME/UNITS, one or
+// more structures of BOUNDARY and PATH elements); the reader parses
+// the same subset back, enabling round-trip tests and downstream
+// inspection.
+//
+// GDSII encodes all numbers big-endian; coordinates are 4-byte
+// integers in database units, and UNITS carries two 8-byte excess-64
+// base-16 floating point "GDS reals" (implemented here from scratch).
+package gds
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Record types of the subset we emit.
+const (
+	rtHeader   = 0x00
+	rtBgnLib   = 0x01
+	rtLibName  = 0x02
+	rtUnits    = 0x03
+	rtEndLib   = 0x04
+	rtBgnStr   = 0x05
+	rtStrName  = 0x06
+	rtEndStr   = 0x07
+	rtBoundary = 0x08
+	rtPath     = 0x09
+	rtLayer    = 0x0d
+	rtDatatype = 0x0e
+	rtWidth    = 0x0f
+	rtXY       = 0x10
+	rtEndEl    = 0x11
+)
+
+// Data type codes.
+const (
+	dtNone   = 0x00
+	dtInt16  = 0x02
+	dtInt32  = 0x03
+	dtReal64 = 0x05
+	dtASCII  = 0x06
+)
+
+// XY is one vertex in database units.
+type XY struct {
+	X, Y int32
+}
+
+// Element is a drawable GDS element.
+type Element interface {
+	isElement()
+}
+
+// Boundary is a closed polygon (GDSII requires the first vertex
+// repeated at the end on stream; the struct holds it unclosed).
+type Boundary struct {
+	Layer    int16
+	Datatype int16
+	Points   []XY
+}
+
+func (Boundary) isElement() {}
+
+// Path is a wire centerline with a width.
+type Path struct {
+	Layer    int16
+	Datatype int16
+	WidthDBU int32
+	Points   []XY
+}
+
+func (Path) isElement() {}
+
+// Structure is one GDS cell definition.
+type Structure struct {
+	Name     string
+	Elements []Element
+}
+
+// Library is a GDS library: a set of structures sharing units.
+type Library struct {
+	Name string
+	// UserUnitsPerDBU is the UNITS first real: user units per database
+	// unit (e.g. 0.001 when 1 dbu = 1 nm and user unit = 1 um).
+	UserUnitsPerDBU float64
+	// MetersPerDBU is the UNITS second real (1e-9 for 1 nm dbu).
+	MetersPerDBU float64
+	Structures   []*Structure
+}
+
+// NewLibrary returns a library with 1 nm database units and micron
+// user units.
+func NewLibrary(name string) *Library {
+	return &Library{Name: name, UserUnitsPerDBU: 1e-3, MetersPerDBU: 1e-9}
+}
+
+// gdsReal converts a float64 to the 8-byte GDSII excess-64 base-16
+// representation.
+func gdsReal(f float64) [8]byte {
+	var out [8]byte
+	if f == 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		return out
+	}
+	sign := byte(0)
+	if f < 0 {
+		sign = 0x80
+		f = -f
+	}
+	// Normalize mantissa into [1/16, 1) with exponent base 16.
+	exp := 0
+	for f >= 1 {
+		f /= 16
+		exp++
+	}
+	for f < 1.0/16 {
+		f *= 16
+		exp--
+	}
+	mant := uint64(f * math.Pow(2, 56))
+	if mant >= 1<<56 { // rounding overflow
+		mant >>= 4
+		exp++
+	}
+	out[0] = sign | byte(exp+64)
+	for i := 0; i < 7; i++ {
+		out[7-i] = byte(mant >> (8 * i))
+	}
+	return out
+}
+
+// gdsRealToFloat converts the 8-byte GDSII real back to float64.
+func gdsRealToFloat(b [8]byte) float64 {
+	sign := 1.0
+	if b[0]&0x80 != 0 {
+		sign = -1
+	}
+	exp := int(b[0]&0x7f) - 64
+	mant := uint64(0)
+	for i := 1; i < 8; i++ {
+		mant = mant<<8 | uint64(b[i])
+	}
+	return sign * float64(mant) / math.Pow(2, 56) * math.Pow(16, float64(exp))
+}
+
+type recordWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (rw *recordWriter) record(rectype, datatype byte, payload []byte) {
+	if rw.err != nil {
+		return
+	}
+	n := len(payload) + 4
+	if n%2 != 0 {
+		rw.err = fmt.Errorf("gds: odd record length %d", n)
+		return
+	}
+	hdr := []byte{byte(n >> 8), byte(n), rectype, datatype}
+	if _, err := rw.w.Write(hdr); err != nil {
+		rw.err = err
+		return
+	}
+	if len(payload) > 0 {
+		if _, err := rw.w.Write(payload); err != nil {
+			rw.err = err
+		}
+	}
+}
+
+func asciiPayload(s string) []byte {
+	b := []byte(s)
+	if len(b)%2 != 0 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func int16Payload(vs ...int16) []byte {
+	b := make([]byte, 2*len(vs))
+	for i, v := range vs {
+		binary.BigEndian.PutUint16(b[2*i:], uint16(v))
+	}
+	return b
+}
+
+func int32Payload(vs ...int32) []byte {
+	b := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		binary.BigEndian.PutUint32(b[4*i:], uint32(v))
+	}
+	return b
+}
+
+func xyPayload(pts []XY, closeLoop bool) []byte {
+	n := len(pts)
+	if closeLoop {
+		n++
+	}
+	b := make([]byte, 8*n)
+	for i, p := range pts {
+		binary.BigEndian.PutUint32(b[8*i:], uint32(p.X))
+		binary.BigEndian.PutUint32(b[8*i+4:], uint32(p.Y))
+	}
+	if closeLoop {
+		binary.BigEndian.PutUint32(b[8*len(pts):], uint32(pts[0].X))
+		binary.BigEndian.PutUint32(b[8*len(pts)+4:], uint32(pts[0].Y))
+	}
+	return b
+}
+
+// Encode writes the library as a GDSII stream.
+func (l *Library) Encode(w io.Writer) error {
+	rw := &recordWriter{w: w}
+	rw.record(rtHeader, dtInt16, int16Payload(600)) // stream version 6
+	// BGNLIB: 12 int16 timestamps (fixed for reproducible output).
+	ts := make([]int16, 12)
+	rw.record(rtBgnLib, dtInt16, int16Payload(ts...))
+	rw.record(rtLibName, dtASCII, asciiPayload(l.Name))
+	units := append([]byte{}, func() []byte {
+		a := gdsReal(l.UserUnitsPerDBU)
+		b := gdsReal(l.MetersPerDBU)
+		return append(a[:], b[:]...)
+	}()...)
+	rw.record(rtUnits, dtReal64, units)
+	for _, s := range l.Structures {
+		rw.record(rtBgnStr, dtInt16, int16Payload(ts...))
+		rw.record(rtStrName, dtASCII, asciiPayload(s.Name))
+		for _, e := range s.Elements {
+			switch el := e.(type) {
+			case Boundary:
+				if len(el.Points) < 3 {
+					return fmt.Errorf("gds: boundary needs >= 3 points, got %d", len(el.Points))
+				}
+				rw.record(rtBoundary, dtNone, nil)
+				rw.record(rtLayer, dtInt16, int16Payload(el.Layer))
+				rw.record(rtDatatype, dtInt16, int16Payload(el.Datatype))
+				rw.record(rtXY, dtInt32, xyPayload(el.Points, true))
+				rw.record(rtEndEl, dtNone, nil)
+			case Path:
+				if len(el.Points) < 2 {
+					return fmt.Errorf("gds: path needs >= 2 points, got %d", len(el.Points))
+				}
+				rw.record(rtPath, dtNone, nil)
+				rw.record(rtLayer, dtInt16, int16Payload(el.Layer))
+				rw.record(rtDatatype, dtInt16, int16Payload(el.Datatype))
+				rw.record(rtWidth, dtInt32, int32Payload(el.WidthDBU))
+				rw.record(rtXY, dtInt32, xyPayload(el.Points, false))
+				rw.record(rtEndEl, dtNone, nil)
+			default:
+				return fmt.Errorf("gds: unknown element type %T", e)
+			}
+		}
+		rw.record(rtEndStr, dtNone, nil)
+	}
+	rw.record(rtEndLib, dtNone, nil)
+	return rw.err
+}
+
+// Decode parses a GDSII stream of the subset Encode produces.
+func Decode(r io.Reader) (*Library, error) {
+	lib := &Library{}
+	var cur *Structure
+	var curEl Element
+	var pendingLayer, pendingDT int16
+	var pendingWidth int32
+	inPath, inBoundary := false, false
+
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("gds: stream ends without ENDLIB")
+			}
+			return nil, err
+		}
+		n := int(binary.BigEndian.Uint16(hdr[:2]))
+		if n < 4 {
+			return nil, fmt.Errorf("gds: record length %d too small", n)
+		}
+		payload := make([]byte, n-4)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, err
+		}
+		switch hdr[2] {
+		case rtHeader, rtBgnLib, rtBgnStr:
+			// timestamps/version ignored
+		case rtLibName:
+			lib.Name = trimASCII(payload)
+		case rtUnits:
+			if len(payload) != 16 {
+				return nil, fmt.Errorf("gds: UNITS payload %d bytes", len(payload))
+			}
+			var a, b [8]byte
+			copy(a[:], payload[:8])
+			copy(b[:], payload[8:])
+			lib.UserUnitsPerDBU = gdsRealToFloat(a)
+			lib.MetersPerDBU = gdsRealToFloat(b)
+		case rtStrName:
+			cur = &Structure{Name: trimASCII(payload)}
+			lib.Structures = append(lib.Structures, cur)
+		case rtBoundary:
+			inBoundary, curEl = true, nil
+		case rtPath:
+			inPath, curEl = true, nil
+			pendingWidth = 0
+		case rtLayer:
+			if len(payload) < 2 {
+				return nil, fmt.Errorf("gds: LAYER payload %d bytes", len(payload))
+			}
+			pendingLayer = int16(binary.BigEndian.Uint16(payload))
+		case rtDatatype:
+			if len(payload) < 2 {
+				return nil, fmt.Errorf("gds: DATATYPE payload %d bytes", len(payload))
+			}
+			pendingDT = int16(binary.BigEndian.Uint16(payload))
+		case rtWidth:
+			if len(payload) < 4 {
+				return nil, fmt.Errorf("gds: WIDTH payload %d bytes", len(payload))
+			}
+			pendingWidth = int32(binary.BigEndian.Uint32(payload))
+		case rtXY:
+			if len(payload) == 0 || len(payload)%8 != 0 {
+				return nil, fmt.Errorf("gds: XY payload %d bytes not a multiple of 8", len(payload))
+			}
+			pts := make([]XY, len(payload)/8)
+			for i := range pts {
+				pts[i].X = int32(binary.BigEndian.Uint32(payload[8*i:]))
+				pts[i].Y = int32(binary.BigEndian.Uint32(payload[8*i+4:]))
+			}
+			switch {
+			case inBoundary:
+				if len(pts) >= 2 && pts[0] == pts[len(pts)-1] {
+					pts = pts[:len(pts)-1] // unclose
+				}
+				curEl = Boundary{Layer: pendingLayer, Datatype: pendingDT, Points: pts}
+			case inPath:
+				curEl = Path{Layer: pendingLayer, Datatype: pendingDT, WidthDBU: pendingWidth, Points: pts}
+			default:
+				return nil, fmt.Errorf("gds: XY outside element")
+			}
+		case rtEndEl:
+			if cur == nil || curEl == nil {
+				return nil, fmt.Errorf("gds: ENDEL outside structure/element")
+			}
+			cur.Elements = append(cur.Elements, curEl)
+			inPath, inBoundary, curEl = false, false, nil
+		case rtEndStr:
+			cur = nil
+		case rtEndLib:
+			return lib, nil
+		default:
+			return nil, fmt.Errorf("gds: unsupported record type 0x%02x", hdr[2])
+		}
+	}
+}
+
+func trimASCII(b []byte) string {
+	for len(b) > 0 && b[len(b)-1] == 0 {
+		b = b[:len(b)-1]
+	}
+	return string(b)
+}

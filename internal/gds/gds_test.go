@@ -1,0 +1,296 @@
+package gds
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ccdac/internal/place"
+	"ccdac/internal/route"
+	"ccdac/internal/tech"
+)
+
+func TestGDSRealKnownValues(t *testing.T) {
+	// 1.0 in GDS real: exponent 65 (16^1 * 1/16), mantissa 0x10000000000000.
+	b := gdsReal(1.0)
+	if b[0] != 0x41 || b[1] != 0x10 {
+		t.Errorf("gdsReal(1.0) = % x", b)
+	}
+	// 1e-9 (meters per dbu): round-trip accuracy matters more than bytes.
+	for _, v := range []float64{1e-9, 1e-3, 0.5, 2, 1024, 3.14159e-6} {
+		got := gdsRealToFloat(gdsReal(v))
+		if math.Abs(got-v)/v > 1e-12 {
+			t.Errorf("round trip %g -> %g", v, got)
+		}
+	}
+	// Sign.
+	if got := gdsRealToFloat(gdsReal(-42.5)); got != -42.5 {
+		t.Errorf("negative round trip: %g", got)
+	}
+	// Zero encodes as all-zero bytes.
+	if gdsReal(0) != [8]byte{} {
+		t.Error("zero must encode as zeros")
+	}
+	if gdsRealToFloat([8]byte{}) != 0 {
+		t.Error("zero bytes must decode to 0")
+	}
+}
+
+func TestGDSRealRoundTripProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		v := raw
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		// GDS reals cover roughly 16^-64..16^63; clamp the magnitude.
+		if v != 0 && (math.Abs(v) < 1e-70 || math.Abs(v) > 1e70) {
+			return true
+		}
+		got := gdsRealToFloat(gdsReal(v))
+		if v == 0 {
+			return got == 0
+		}
+		return math.Abs(got-v)/math.Abs(v) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sampleLibrary() *Library {
+	lib := NewLibrary("testlib")
+	lib.Structures = append(lib.Structures, &Structure{
+		Name: "top",
+		Elements: []Element{
+			Boundary{Layer: 10, Datatype: 3, Points: []XY{{0, 0}, {100, 0}, {100, 100}, {0, 100}}},
+			Path{Layer: 1, Datatype: 2, WidthDBU: 32, Points: []XY{{50, 50}, {50, 500}, {200, 500}}},
+		},
+	})
+	return lib
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	lib := sampleLibrary()
+	var buf bytes.Buffer
+	if err := lib.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "testlib" {
+		t.Errorf("library name %q", got.Name)
+	}
+	if math.Abs(got.UserUnitsPerDBU-1e-3) > 1e-15 || math.Abs(got.MetersPerDBU-1e-9) > 1e-21 {
+		t.Errorf("units %g %g", got.UserUnitsPerDBU, got.MetersPerDBU)
+	}
+	if len(got.Structures) != 1 || got.Structures[0].Name != "top" {
+		t.Fatalf("structures: %+v", got.Structures)
+	}
+	els := got.Structures[0].Elements
+	if len(els) != 2 {
+		t.Fatalf("elements = %d", len(els))
+	}
+	b, ok := els[0].(Boundary)
+	if !ok || b.Layer != 10 || b.Datatype != 3 || len(b.Points) != 4 {
+		t.Errorf("boundary mismatch: %+v", els[0])
+	}
+	p, ok := els[1].(Path)
+	if !ok || p.Layer != 1 || p.WidthDBU != 32 || len(p.Points) != 3 {
+		t.Errorf("path mismatch: %+v", els[1])
+	}
+}
+
+func TestEncodeRejectsDegenerateElements(t *testing.T) {
+	lib := NewLibrary("x")
+	lib.Structures = []*Structure{{
+		Name:     "s",
+		Elements: []Element{Boundary{Layer: 1, Points: []XY{{0, 0}, {1, 1}}}},
+	}}
+	if err := lib.Encode(&bytes.Buffer{}); err == nil {
+		t.Error("2-point boundary must be rejected")
+	}
+	lib.Structures[0].Elements = []Element{Path{Layer: 1, Points: []XY{{0, 0}}}}
+	if err := lib.Encode(&bytes.Buffer{}); err == nil {
+		t.Error("1-point path must be rejected")
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	lib := sampleLibrary()
+	var buf bytes.Buffer
+	if err := lib.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Decode(bytes.NewReader(raw[:len(raw)-6])); err == nil {
+		t.Error("truncated stream must be rejected")
+	}
+	if _, err := Decode(bytes.NewReader(raw[:10])); err == nil {
+		t.Error("header-only stream must be rejected")
+	}
+}
+
+func TestFromLayoutRoundTrip(t *testing.T) {
+	m, err := place.NewSpiral(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := route.Route(m, tech.FinFET12(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := FromLayout(l, "spiral6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lib.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := got.Structures[0]
+
+	// 64 unit cells on the device layer.
+	cells, paths, vias := 0, 0, 0
+	for _, e := range s.Elements {
+		switch el := e.(type) {
+		case Boundary:
+			if el.Layer == LayerDevice {
+				cells++
+			}
+			if el.Layer >= LayerViaBase {
+				vias++
+			}
+		case Path:
+			paths++
+		}
+	}
+	if cells != 64 {
+		t.Errorf("device boundaries = %d, want 64", cells)
+	}
+	if vias != len(l.Vias) {
+		t.Errorf("via cuts = %d, want %d", vias, len(l.Vias))
+	}
+	wantPaths := 0
+	for _, w := range l.Wires {
+		if w.Seg.Len() > 0 {
+			wantPaths++
+		}
+	}
+	if paths != wantPaths {
+		t.Errorf("paths = %d, want %d", paths, wantPaths)
+	}
+}
+
+func TestFromLayoutDatatypesIdentifyBits(t *testing.T) {
+	m, err := place.NewSpiral(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := route.Route(m, tech.FinFET12(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := FromLayout(l, "spiral6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int16]int{}
+	for _, e := range lib.Structures[0].Elements {
+		if b, ok := e.(Boundary); ok && b.Layer == LayerDevice {
+			counts[b.Datatype]++
+		}
+	}
+	// Datatype k+1 holds capacitor C_k: C_6 has 32 cells.
+	if counts[7] != 32 {
+		t.Errorf("C_6 cells = %d, want 32", counts[7])
+	}
+	if counts[1] != 1 || counts[2] != 1 {
+		t.Errorf("C_0/C_1 cells = %d/%d, want 1/1", counts[1], counts[2])
+	}
+}
+
+func TestFromLayoutCoordinatesNonNegative(t *testing.T) {
+	m, err := place.NewChessboard(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := route.Route(m, tech.FinFET12(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := FromLayout(l, "cb6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range lib.Structures[0].Elements {
+		var pts []XY
+		switch el := e.(type) {
+		case Boundary:
+			pts = el.Points
+		case Path:
+			pts = el.Points
+		}
+		for _, p := range pts {
+			if p.X < -1 || p.Y < -1 {
+				t.Fatalf("negative coordinate %v", p)
+			}
+		}
+	}
+}
+
+func TestASCIIPayloadPadding(t *testing.T) {
+	if got := asciiPayload("abc"); len(got) != 4 || got[3] != 0 {
+		t.Errorf("odd-length name not padded: %v", got)
+	}
+	if got := asciiPayload("abcd"); len(got) != 4 {
+		t.Errorf("even-length name padded: %v", got)
+	}
+	if trimASCII([]byte{'a', 'b', 0}) != "ab" {
+		t.Error("trailing NUL not trimmed")
+	}
+}
+
+func TestDecodeNeverPanicsOnCorruption(t *testing.T) {
+	// Flip bytes at every position of a valid stream: Decode must
+	// either succeed or return an error — never panic or hang.
+	lib := sampleLibrary()
+	var buf bytes.Buffer
+	if err := lib.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for pos := 0; pos < len(clean); pos++ {
+		for _, flip := range []byte{0xff, 0x01, 0x80} {
+			corrupt := append([]byte(nil), clean...)
+			corrupt[pos] ^= flip
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic at pos %d flip %#x: %v", pos, flip, r)
+					}
+				}()
+				_, _ = Decode(bytes.NewReader(corrupt))
+			}()
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		{},
+		{0x00},
+		{0x00, 0x02, 0x00, 0x02}, // record shorter than header
+		bytes.Repeat([]byte{0xaa}, 64),
+	} {
+		if _, err := Decode(bytes.NewReader(data)); err == nil {
+			t.Errorf("garbage %x decoded without error", data)
+		}
+	}
+}

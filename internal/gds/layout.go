@@ -1,0 +1,105 @@
+package gds
+
+import (
+	"fmt"
+	"math"
+
+	"ccdac/internal/geom"
+	"ccdac/internal/route"
+)
+
+// Layer numbering for exported layouts: unit-capacitor outlines on the
+// device layer, metals on 1..len(Layers), vias on 51+lower-layer, and
+// per-capacitor identification via the datatype field.
+const (
+	LayerDevice  = 10
+	LayerViaBase = 50
+)
+
+// FromLayout converts a routed common-centroid layout into a GDS
+// library with one structure. Unit cells become BOUNDARY outlines on
+// LayerDevice (datatype = capacitor index + 1, dummies 0); wires become
+// PATHs on their metal layer (layer index + 1); vias become small
+// BOUNDARY squares on LayerViaBase + lower layer.
+func FromLayout(l *route.Layout, name string) (*Library, error) {
+	lib := NewLibrary(name)
+	s := &Structure{Name: name}
+	lib.Structures = append(lib.Structures, s)
+	dbu := func(um float64) int32 {
+		v := math.Round(um * 1000) // 1 dbu = 1 nm
+		if v > math.MaxInt32 || v < math.MinInt32 {
+			return 0
+		}
+		return int32(v)
+	}
+
+	// Unit capacitor outlines.
+	halfW, halfH := l.Tech.Unit.W/2, l.Tech.Unit.H/2
+	for r := 0; r < l.M.Rows; r++ {
+		for c := 0; c < l.M.Cols; c++ {
+			cell := geom.Cell{Row: r, Col: c}
+			bit := l.M.At(cell)
+			p := l.CellCenter(cell)
+			dt := int16(0) // dummy
+			if bit >= 0 {
+				dt = int16(bit + 1)
+			}
+			s.Elements = append(s.Elements, Boundary{
+				Layer:    LayerDevice,
+				Datatype: dt,
+				Points: []XY{
+					{dbu(p.X - halfW), dbu(p.Y - halfH)},
+					{dbu(p.X + halfW), dbu(p.Y - halfH)},
+					{dbu(p.X + halfW), dbu(p.Y + halfH)},
+					{dbu(p.X - halfW), dbu(p.Y + halfH)},
+				},
+			})
+		}
+	}
+
+	// Wires as paths; parallel bundles export with p-track width.
+	for _, w := range l.Wires {
+		if w.Seg.Len() == 0 {
+			continue
+		}
+		pitch := l.Tech.Layers[w.Layer].Pitch
+		width := pitch / 2 * float64(w.Par)
+		dt := int16(0)
+		if w.Bit >= 0 {
+			dt = int16(w.Bit + 1)
+		}
+		s.Elements = append(s.Elements, Path{
+			Layer:    int16(w.Layer + 1),
+			Datatype: dt,
+			WidthDBU: dbu(width),
+			Points:   []XY{{dbu(w.Seg.A.X), dbu(w.Seg.A.Y)}, {dbu(w.Seg.B.X), dbu(w.Seg.B.Y)}},
+		})
+	}
+
+	// Vias as cut squares on LayerViaBase + min(layerA, layerB).
+	for _, v := range l.Vias {
+		lo := v.LayerA
+		if !v.Input && v.LayerB < lo {
+			lo = v.LayerB
+		}
+		cut := l.Tech.SMinUm / 2
+		dt := int16(0)
+		if v.Bit >= 0 {
+			dt = int16(v.Bit + 1)
+		}
+		s.Elements = append(s.Elements, Boundary{
+			Layer:    int16(LayerViaBase + lo),
+			Datatype: dt,
+			Points: []XY{
+				{dbu(v.At.X - cut), dbu(v.At.Y - cut)},
+				{dbu(v.At.X + cut), dbu(v.At.Y - cut)},
+				{dbu(v.At.X + cut), dbu(v.At.Y + cut)},
+				{dbu(v.At.X - cut), dbu(v.At.Y + cut)},
+			},
+		})
+	}
+	if len(s.Elements) == 0 {
+		return nil, fmt.Errorf("gds: layout produced no elements")
+	}
+	return lib, nil
+}

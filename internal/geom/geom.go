@@ -1,0 +1,205 @@
+// Package geom provides the small geometric vocabulary shared by the
+// common-centroid placement and routing engines: integer grid cells,
+// micron-denominated points and rectangles, and Manhattan wire segments
+// on reserved-direction metal layers.
+//
+// Two coordinate systems coexist:
+//
+//   - Grid coordinates (Cell): integer (Row, Col) indices into the
+//     common-centroid matrix. Row 0 is the bottom row of the array,
+//     adjacent to the switch/driver cluster.
+//   - Physical coordinates (Pt): microns, x to the right, y upward,
+//     with the origin at the lower-left corner of the placed array.
+//
+// The conversion between the two is owned by the router (it depends on
+// channel widths), not by this package.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cell is a position in the common-centroid matrix: integer row and
+// column indices. Row 0 is the bottom row (closest to the drivers).
+type Cell struct {
+	Row, Col int
+}
+
+// Add returns the cell offset by (dr, dc).
+func (c Cell) Add(dr, dc int) Cell { return Cell{c.Row + dr, c.Col + dc} }
+
+// Reflect returns the point reflection of c through the center of an
+// rows×cols array: (i, j) -> (rows-1-i, cols-1-j). This is the symmetry
+// operation that preserves the common-centroid property.
+func (c Cell) Reflect(rows, cols int) Cell {
+	return Cell{rows - 1 - c.Row, cols - 1 - c.Col}
+}
+
+// In reports whether c lies inside an rows×cols array.
+func (c Cell) In(rows, cols int) bool {
+	return c.Row >= 0 && c.Row < rows && c.Col >= 0 && c.Col < cols
+}
+
+// Manhattan returns the L1 grid distance between two cells.
+func (c Cell) Manhattan(o Cell) int {
+	return absInt(c.Row-o.Row) + absInt(c.Col-o.Col)
+}
+
+// Euclid returns the Euclidean grid distance between two cells.
+func (c Cell) Euclid(o Cell) float64 {
+	dr := float64(c.Row - o.Row)
+	dc := float64(c.Col - o.Col)
+	return math.Hypot(dr, dc)
+}
+
+func (c Cell) String() string { return fmt.Sprintf("(%d,%d)", c.Row, c.Col) }
+
+// Neighbors4 returns the up/down/left/right neighbors of c that lie
+// inside an rows×cols array, in deterministic order (N, S, W, E as
+// row/col deltas (+1,0), (-1,0), (0,-1), (0,+1)).
+func (c Cell) Neighbors4(rows, cols int) []Cell {
+	deltas := [4][2]int{{1, 0}, {-1, 0}, {0, -1}, {0, 1}}
+	out := make([]Cell, 0, 4)
+	for _, d := range deltas {
+		n := c.Add(d[0], d[1])
+		if n.In(rows, cols) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Pt is a physical point in microns.
+type Pt struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance in microns.
+func (p Pt) Dist(o Pt) float64 { return math.Hypot(p.X-o.X, p.Y-o.Y) }
+
+// ManhattanDist returns the L1 distance in microns.
+func (p Pt) ManhattanDist(o Pt) float64 {
+	return math.Abs(p.X-o.X) + math.Abs(p.Y-o.Y)
+}
+
+func (p Pt) String() string { return fmt.Sprintf("(%.3f,%.3f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle in microns. Lo is the lower-left
+// corner, Hi the upper-right. A Rect with Hi < Lo in either axis is
+// considered empty.
+type Rect struct {
+	Lo, Hi Pt
+}
+
+// RectOf returns the rectangle spanning the two corner points in any order.
+func RectOf(a, b Pt) Rect {
+	return Rect{
+		Lo: Pt{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Hi: Pt{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// W returns the rectangle width in microns (0 if empty).
+func (r Rect) W() float64 { return math.Max(0, r.Hi.X-r.Lo.X) }
+
+// H returns the rectangle height in microns (0 if empty).
+func (r Rect) H() float64 { return math.Max(0, r.Hi.Y-r.Lo.Y) }
+
+// Area returns the rectangle area in square microns.
+func (r Rect) Area() float64 { return r.W() * r.H() }
+
+// Center returns the rectangle center point.
+func (r Rect) Center() Pt { return Pt{(r.Lo.X + r.Hi.X) / 2, (r.Lo.Y + r.Hi.Y) / 2} }
+
+// Union returns the bounding rectangle of r and o.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		Lo: Pt{math.Min(r.Lo.X, o.Lo.X), math.Min(r.Lo.Y, o.Lo.Y)},
+		Hi: Pt{math.Max(r.Hi.X, o.Hi.X), math.Max(r.Hi.Y, o.Hi.Y)},
+	}
+}
+
+// Contains reports whether p lies inside or on the boundary of r.
+func (r Rect) Contains(p Pt) bool {
+	return p.X >= r.Lo.X && p.X <= r.Hi.X && p.Y >= r.Lo.Y && p.Y <= r.Hi.Y
+}
+
+// Dir is a routing direction on a reserved-direction metal layer.
+type Dir int
+
+const (
+	// Horizontal wires run along x (constant y).
+	Horizontal Dir = iota
+	// Vertical wires run along y (constant x).
+	Vertical
+)
+
+func (d Dir) String() string {
+	if d == Horizontal {
+		return "horizontal"
+	}
+	return "vertical"
+}
+
+// Seg is a Manhattan wire segment in microns. A and B must share either
+// X (vertical segment) or Y (horizontal segment); a zero-length segment
+// is permitted (used for via landing pads).
+type Seg struct {
+	A, B Pt
+}
+
+// Len returns the segment length in microns.
+func (s Seg) Len() float64 { return s.A.ManhattanDist(s.B) }
+
+// Dir returns the direction of the segment. Zero-length segments report
+// Horizontal.
+func (s Seg) Dir() Dir {
+	if s.A.X == s.B.X && s.A.Y != s.B.Y {
+		return Vertical
+	}
+	return Horizontal
+}
+
+// IsManhattan reports whether the segment is axis-aligned.
+func (s Seg) IsManhattan() bool { return s.A.X == s.B.X || s.A.Y == s.B.Y }
+
+// OverlapLen returns the length over which two parallel segments run
+// side by side (the projection overlap on their common axis). Segments
+// with different directions, or non-Manhattan segments, overlap 0.
+// This is the l_overlap of the coupling-capacitance model c_c(s)·l_overlap
+// (paper Sec. II-B).
+func (s Seg) OverlapLen(o Seg) float64 {
+	if !s.IsManhattan() || !o.IsManhattan() || s.Dir() != o.Dir() {
+		return 0
+	}
+	var aLo, aHi, bLo, bHi float64
+	if s.Dir() == Vertical {
+		aLo, aHi = math.Min(s.A.Y, s.B.Y), math.Max(s.A.Y, s.B.Y)
+		bLo, bHi = math.Min(o.A.Y, o.B.Y), math.Max(o.A.Y, o.B.Y)
+	} else {
+		aLo, aHi = math.Min(s.A.X, s.B.X), math.Max(s.A.X, s.B.X)
+		bLo, bHi = math.Min(o.A.X, o.B.X), math.Max(o.A.X, o.B.X)
+	}
+	return math.Max(0, math.Min(aHi, bHi)-math.Max(aLo, bLo))
+}
+
+// Separation returns the perpendicular distance between two parallel
+// Manhattan segments (the coupling spacing s in c_c(s)). It returns
+// +Inf for non-parallel segments.
+func (s Seg) Separation(o Seg) float64 {
+	if !s.IsManhattan() || !o.IsManhattan() || s.Dir() != o.Dir() {
+		return math.Inf(1)
+	}
+	if s.Dir() == Vertical {
+		return math.Abs(s.A.X - o.A.X)
+	}
+	return math.Abs(s.A.Y - o.A.Y)
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

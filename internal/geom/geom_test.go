@@ -1,0 +1,206 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCellReflect(t *testing.T) {
+	tests := []struct {
+		c          Cell
+		rows, cols int
+		want       Cell
+	}{
+		{Cell{0, 0}, 8, 8, Cell{7, 7}},
+		{Cell{3, 4}, 8, 8, Cell{4, 3}},
+		{Cell{7, 7}, 8, 8, Cell{0, 0}},
+		{Cell{0, 0}, 23, 23, Cell{22, 22}},
+		{Cell{11, 11}, 23, 23, Cell{11, 11}}, // exact center of odd array
+	}
+	for _, tt := range tests {
+		if got := tt.c.Reflect(tt.rows, tt.cols); got != tt.want {
+			t.Errorf("Reflect%v in %dx%d = %v, want %v", tt.c, tt.rows, tt.cols, got, tt.want)
+		}
+	}
+}
+
+func TestCellReflectInvolution(t *testing.T) {
+	f := func(row, col uint8, rowsRaw, colsRaw uint8) bool {
+		rows := int(rowsRaw%30) + 1
+		cols := int(colsRaw%30) + 1
+		c := Cell{int(row) % rows, int(col) % cols}
+		return c.Reflect(rows, cols).Reflect(rows, cols) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellReflectStaysInside(t *testing.T) {
+	f := func(row, col uint8, rowsRaw, colsRaw uint8) bool {
+		rows := int(rowsRaw%30) + 1
+		cols := int(colsRaw%30) + 1
+		c := Cell{int(row) % rows, int(col) % cols}
+		return c.Reflect(rows, cols).In(rows, cols)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellIn(t *testing.T) {
+	if !(Cell{0, 0}).In(1, 1) {
+		t.Error("origin should be inside 1x1")
+	}
+	if (Cell{1, 0}).In(1, 1) {
+		t.Error("(1,0) should be outside 1x1")
+	}
+	if (Cell{-1, 0}).In(4, 4) {
+		t.Error("negative row should be outside")
+	}
+	if (Cell{0, 4}).In(4, 4) {
+		t.Error("col == cols should be outside")
+	}
+}
+
+func TestCellManhattanAndEuclid(t *testing.T) {
+	a, b := Cell{0, 0}, Cell{3, 4}
+	if got := a.Manhattan(b); got != 7 {
+		t.Errorf("Manhattan = %d, want 7", got)
+	}
+	if got := a.Euclid(b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Euclid = %g, want 5", got)
+	}
+	if a.Manhattan(b) != b.Manhattan(a) {
+		t.Error("Manhattan distance must be symmetric")
+	}
+}
+
+func TestNeighbors4(t *testing.T) {
+	// Corner cell has 2 neighbors.
+	if got := (Cell{0, 0}).Neighbors4(4, 4); len(got) != 2 {
+		t.Errorf("corner neighbors = %d, want 2", len(got))
+	}
+	// Edge cell has 3.
+	if got := (Cell{0, 1}).Neighbors4(4, 4); len(got) != 3 {
+		t.Errorf("edge neighbors = %d, want 3", len(got))
+	}
+	// Interior cell has 4.
+	if got := (Cell{1, 1}).Neighbors4(4, 4); len(got) != 4 {
+		t.Errorf("interior neighbors = %d, want 4", len(got))
+	}
+	// All neighbors are at Manhattan distance 1.
+	for _, n := range (Cell{2, 2}).Neighbors4(5, 5) {
+		if (Cell{2, 2}).Manhattan(n) != 1 {
+			t.Errorf("neighbor %v not at distance 1", n)
+		}
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := RectOf(Pt{3, 4}, Pt{1, 2})
+	if r.Lo != (Pt{1, 2}) || r.Hi != (Pt{3, 4}) {
+		t.Fatalf("RectOf did not normalize corners: %+v", r)
+	}
+	if got := r.W(); got != 2 {
+		t.Errorf("W = %g, want 2", got)
+	}
+	if got := r.H(); got != 2 {
+		t.Errorf("H = %g, want 2", got)
+	}
+	if got := r.Area(); got != 4 {
+		t.Errorf("Area = %g, want 4", got)
+	}
+	if got := r.Center(); got != (Pt{2, 3}) {
+		t.Errorf("Center = %v, want (2,3)", got)
+	}
+	if !r.Contains(Pt{2, 3}) || !r.Contains(Pt{1, 2}) {
+		t.Error("Contains should include interior and boundary")
+	}
+	if r.Contains(Pt{0, 0}) {
+		t.Error("Contains should exclude outside points")
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := RectOf(Pt{0, 0}, Pt{1, 1})
+	b := RectOf(Pt{2, 2}, Pt{3, 3})
+	u := a.Union(b)
+	if u.Lo != (Pt{0, 0}) || u.Hi != (Pt{3, 3}) {
+		t.Errorf("Union = %+v", u)
+	}
+}
+
+func TestSegDirAndLen(t *testing.T) {
+	h := Seg{Pt{0, 0}, Pt{5, 0}}
+	v := Seg{Pt{1, 1}, Pt{1, 4}}
+	z := Seg{Pt{2, 2}, Pt{2, 2}}
+	if h.Dir() != Horizontal || v.Dir() != Vertical || z.Dir() != Horizontal {
+		t.Error("segment direction misclassified")
+	}
+	if h.Len() != 5 || v.Len() != 3 || z.Len() != 0 {
+		t.Error("segment length wrong")
+	}
+	if !h.IsManhattan() || !v.IsManhattan() {
+		t.Error("axis-aligned segments must be Manhattan")
+	}
+	if (Seg{Pt{0, 0}, Pt{1, 1}}).IsManhattan() {
+		t.Error("diagonal segment must not be Manhattan")
+	}
+}
+
+func TestSegOverlapLen(t *testing.T) {
+	a := Seg{Pt{0, 0}, Pt{0, 10}}
+	b := Seg{Pt{1, 5}, Pt{1, 20}}
+	if got := a.OverlapLen(b); got != 5 {
+		t.Errorf("overlap = %g, want 5", got)
+	}
+	if got := b.OverlapLen(a); got != 5 {
+		t.Errorf("overlap must be symmetric, got %g", got)
+	}
+	c := Seg{Pt{1, 11}, Pt{1, 20}}
+	if got := a.OverlapLen(c); got != 0 {
+		t.Errorf("disjoint spans overlap = %g, want 0", got)
+	}
+	// Perpendicular segments never couple.
+	d := Seg{Pt{0, 0}, Pt{10, 0}}
+	if got := a.OverlapLen(d); got != 0 {
+		t.Errorf("perpendicular overlap = %g, want 0", got)
+	}
+}
+
+func TestSegSeparation(t *testing.T) {
+	a := Seg{Pt{0, 0}, Pt{0, 10}}
+	b := Seg{Pt{0.064, 2}, Pt{0.064, 8}}
+	if got := a.Separation(b); math.Abs(got-0.064) > 1e-12 {
+		t.Errorf("separation = %g, want 0.064", got)
+	}
+	d := Seg{Pt{0, 0}, Pt{10, 0}}
+	if got := a.Separation(d); !math.IsInf(got, 1) {
+		t.Errorf("perpendicular separation = %g, want +Inf", got)
+	}
+}
+
+func TestPtDistances(t *testing.T) {
+	a, b := Pt{0, 0}, Pt{3, 4}
+	if got := a.Dist(b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Dist = %g, want 5", got)
+	}
+	if got := a.ManhattanDist(b); math.Abs(got-7) > 1e-12 {
+		t.Errorf("ManhattanDist = %g, want 7", got)
+	}
+}
+
+func TestOverlapLenProperty(t *testing.T) {
+	// Overlap is symmetric and never exceeds either segment's length.
+	f := func(y0, y1, y2, y3 int8) bool {
+		a := Seg{Pt{0, float64(y0)}, Pt{0, float64(y1)}}
+		b := Seg{Pt{1, float64(y2)}, Pt{1, float64(y3)}}
+		ov := a.OverlapLen(b)
+		return ov == b.OverlapLen(a) && ov <= a.Len()+1e-12 && ov <= b.Len()+1e-12 && ov >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+package groups
+
+import (
+	"testing"
+
+	"ccdac/internal/ccmatrix"
+	"ccdac/internal/geom"
+	"ccdac/internal/place"
+)
+
+func TestFindOnSpiral(t *testing.T) {
+	m, err := place.NewSpiral(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := Find(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 7 {
+		t.Fatalf("capacitor lists = %d, want 7", len(gs))
+	}
+	counts := ccmatrix.UnitCounts(6)
+	for k, list := range gs {
+		total := 0
+		for _, g := range list {
+			total += g.Size()
+			if g.Bit != k {
+				t.Errorf("C_%d group carries bit %d", k, g.Bit)
+			}
+			// Tree invariant: |edges| = |cells| - 1.
+			if len(g.Edges) != g.Size()-1 {
+				t.Errorf("C_%d group: %d edges for %d cells", k, len(g.Edges), g.Size())
+			}
+		}
+		if total != counts[k] {
+			t.Errorf("C_%d groups cover %d cells, want %d", k, total, counts[k])
+		}
+	}
+	// Spiral builds few, large groups: far fewer groups than cells.
+	if n := TotalGroups(gs); n > 20 {
+		t.Errorf("spiral 6-bit produced %d groups, expected few", n)
+	}
+}
+
+func TestFindOnChessboard(t *testing.T) {
+	// Chessboard: (nearly) every cell is its own group (paper:
+	// "Chessboard placements have no bottom-plate connected capacitor
+	// groups").
+	m, err := place.NewChessboard(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := Find(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singles := 0
+	total := 0
+	for _, list := range gs {
+		for _, g := range list {
+			total++
+			if g.Size() == 1 {
+				singles++
+			}
+		}
+	}
+	if total < 60 {
+		t.Errorf("chessboard 6-bit: only %d groups; want close to 64", total)
+	}
+	if singles < total-4 {
+		t.Errorf("chessboard groups: %d singles of %d", singles, total)
+	}
+}
+
+func TestFindEdgesAreAdjacent(t *testing.T) {
+	m, err := place.NewBlockChessboard(8, place.BCParams{CoreBits: 4, BlockCells: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := Find(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, list := range gs {
+		for _, g := range list {
+			for _, e := range g.Edges {
+				if e.A.Manhattan(e.B) != 1 {
+					t.Fatalf("branch edge %v-%v not 4-adjacent", e.A, e.B)
+				}
+				if m.At(e.A) != g.Bit || m.At(e.B) != g.Bit {
+					t.Fatalf("branch edge %v-%v leaves capacitor C_%d", e.A, e.B, g.Bit)
+				}
+			}
+		}
+	}
+}
+
+func TestFindRejectsIncompletePlacement(t *testing.T) {
+	m := ccmatrix.New(4, 4, 4, 1)
+	if _, err := Find(m); err == nil {
+		t.Fatal("unvalidated placement must be rejected")
+	}
+}
+
+func TestDummyCellsFormNoGroups(t *testing.T) {
+	m, err := place.NewSpiral(7) // 12x11 with 4 dummies
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := Find(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellsInGroups := 0
+	for _, list := range gs {
+		for _, g := range list {
+			cellsInGroups += g.Size()
+		}
+	}
+	if cellsInGroups != ccmatrix.TotalUnits(7) {
+		t.Errorf("groups cover %d cells, want %d (dummies excluded)",
+			cellsInGroups, ccmatrix.TotalUnits(7))
+	}
+}
+
+func buildGroup(cells ...geom.Cell) *Group {
+	return &Group{Bit: 2, Cells: cells}
+}
+
+func TestSpansAndBottom(t *testing.T) {
+	g := buildGroup(geom.Cell{Row: 3, Col: 2}, geom.Cell{Row: 1, Col: 4}, geom.Cell{Row: 1, Col: 3})
+	if lo, hi := g.ColSpan(); lo != 2 || hi != 4 {
+		t.Errorf("ColSpan = [%d,%d], want [2,4]", lo, hi)
+	}
+	if lo, hi := g.RowSpan(); lo != 1 || hi != 3 {
+		t.Errorf("RowSpan = [%d,%d], want [1,3]", lo, hi)
+	}
+	if g.TouchesBottom() {
+		t.Error("group without row-0 cells reports TouchesBottom")
+	}
+	if got := g.BottomCell(); got != (geom.Cell{Row: 1, Col: 3}) {
+		t.Errorf("BottomCell = %v, want (1,3)", got)
+	}
+	g2 := buildGroup(geom.Cell{Row: 0, Col: 7})
+	if !g2.TouchesBottom() {
+		t.Error("row-0 group must report TouchesBottom")
+	}
+}
+
+func TestCellsInCol(t *testing.T) {
+	g := buildGroup(
+		geom.Cell{Row: 5, Col: 2},
+		geom.Cell{Row: 1, Col: 2},
+		geom.Cell{Row: 3, Col: 2},
+		geom.Cell{Row: 2, Col: 9},
+	)
+	got := g.CellsInCol(2)
+	if len(got) != 3 || got[0].Row != 1 || got[2].Row != 5 {
+		t.Errorf("CellsInCol = %v", got)
+	}
+	if len(g.CellsInCol(5)) != 0 {
+		t.Error("empty column must return no cells")
+	}
+}
+
+func TestClosestCellsTieBreaksTowardBottom(t *testing.T) {
+	// Two pairs at equal distance: (row 5) and (row 0); must pick row 0.
+	a := buildGroup(geom.Cell{Row: 5, Col: 0}, geom.Cell{Row: 0, Col: 0})
+	b := buildGroup(geom.Cell{Row: 5, Col: 2}, geom.Cell{Row: 0, Col: 2})
+	u, v := a.ClosestCells(b)
+	if u.Row != 0 || v.Row != 0 {
+		t.Errorf("tie-break chose (%v,%v), want the bottom pair", u, v)
+	}
+}
+
+func TestClosestCellsMinimizesDistance(t *testing.T) {
+	a := buildGroup(geom.Cell{Row: 9, Col: 0}, geom.Cell{Row: 4, Col: 4})
+	b := buildGroup(geom.Cell{Row: 4, Col: 5}, geom.Cell{Row: 0, Col: 9})
+	u, v := a.ClosestCells(b)
+	if u != (geom.Cell{Row: 4, Col: 4}) || v != (geom.Cell{Row: 4, Col: 5}) {
+		t.Errorf("ClosestCells = (%v,%v)", u, v)
+	}
+}
+
+func TestGroupsDeterministic(t *testing.T) {
+	m, err := place.NewSpiral(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Find(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Find(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TotalGroups(a) != TotalGroups(b) {
+		t.Fatal("group formation not deterministic")
+	}
+	for k := range a {
+		for i := range a[k] {
+			if a[k][i].Cells[0] != b[k][i].Cells[0] || a[k][i].Size() != b[k][i].Size() {
+				t.Fatalf("C_%d group %d differs between runs", k, i)
+			}
+		}
+	}
+}

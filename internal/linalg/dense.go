@@ -1,0 +1,178 @@
+// Package linalg provides the small numerical kernels the flow needs:
+// dense LU factorization with partial pivoting, dense Cholesky (for
+// sampling correlated mismatch in the Monte-Carlo extension), and a
+// sparse symmetric-positive-definite matrix with a Jacobi-preconditioned
+// conjugate-gradient solver (for first-moment analysis of RC networks
+// that are meshes rather than trees).
+//
+// The evaluation environment has no external numeric libraries, so
+// these are implemented from scratch on float64 slices.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dense is a dense row-major n×n matrix.
+type Dense struct {
+	N    int
+	Data []float64 // row-major, len N*N
+}
+
+// NewDense returns a zero n×n matrix.
+func NewDense(n int) *Dense {
+	return &Dense{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Add increments element (i, j) by v.
+func (m *Dense) Add(i, j int, v float64) { m.Data[i*m.N+j] += v }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec computes y = M·x.
+func (m *Dense) MulVec(x []float64) []float64 {
+	y := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		row := m.Data[i*m.N : (i+1)*m.N]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U.
+type LU struct {
+	n    int
+	lu   []float64 // packed L (unit diagonal, below) and U (on/above)
+	piv  []int
+	sign int
+}
+
+// LUFactor factors a into an LU decomposition with partial pivoting.
+// It returns an error if the matrix is singular to working precision.
+func LUFactor(a *Dense) (*LU, error) {
+	n := a.N
+	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	copy(f.lu, a.Data)
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot: find the largest |entry| in column k at/below row k.
+		p, maxAbs := k, math.Abs(f.lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(f.lu[i*n+k]); v > maxAbs {
+				p, maxAbs = i, v
+			}
+		}
+		if maxAbs == 0 {
+			return nil, fmt.Errorf("linalg: singular matrix at pivot %d", k)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				f.lu[p*n+j], f.lu[k*n+j] = f.lu[k*n+j], f.lu[p*n+j]
+			}
+			f.piv[p], f.piv[k] = f.piv[k], f.piv[p]
+			f.sign = -f.sign
+		}
+		pivot := f.lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := f.lu[i*n+k] / pivot
+			f.lu[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				f.lu[i*n+j] -= l * f.lu[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b for x using the factorization.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), f.n)
+	}
+	n := f.n
+	x := make([]float64, n)
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// Cholesky computes the lower-triangular factor L with A = L·Lᵀ for a
+// symmetric positive-definite matrix. Used to sample correlated
+// Gaussian mismatch vectors in the Monte-Carlo extension.
+// It returns an error if A is not (numerically) positive definite.
+func Cholesky(a *Dense) (*Dense, error) {
+	n := a.N
+	l := NewDense(n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("linalg: matrix not positive definite at column %d (pivot %g)", j, d)
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, nil
+}
+
+// ErrNotConverged is returned by iterative solvers that exhaust their
+// iteration budget before reaching the requested tolerance.
+var ErrNotConverged = errors.New("linalg: iterative solver did not converge")

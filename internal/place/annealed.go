@@ -1,0 +1,244 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ccdac/internal/ccmatrix"
+	"ccdac/internal/geom"
+)
+
+// AnnealConfig parameterizes the simulated-annealing baseline that
+// stands in for the stochastic common-centroid generator of Lin et
+// al. [1] (see DESIGN.md, substitutions). The cost balances matching
+// quality (dispersion) against estimated routing parasitics
+// (per-capacitor bounding-box wirelength), the two objectives [1]
+// optimizes.
+type AnnealConfig struct {
+	// Seed makes the run deterministic.
+	Seed int64
+	// Moves is the number of proposed symmetric-pair swaps; 0 selects
+	// a size-scaled default.
+	Moves int
+	// WDispersion weighs (negative) mean dispersion in the cost.
+	WDispersion float64
+	// WWirelength weighs the routing-parasitic proxy: the (negative)
+	// fraction of same-capacitor neighbor adjacencies, which tracks
+	// connected-group fragmentation and hence trunk/via counts.
+	WWirelength float64
+	// TStart and TEnd bound the geometric cooling schedule.
+	TStart, TEnd float64
+}
+
+// DefaultAnnealConfig returns the configuration used by the harness.
+// The weights place the baseline where [1] sits in the paper's tables:
+// better dispersion (INL/DNL) than the spiral, but less fragmentation
+// — and therefore lower routing resistance — than the pure chessboard.
+func DefaultAnnealConfig() AnnealConfig {
+	return AnnealConfig{
+		Seed:        1,
+		WDispersion: 1.0,
+		WWirelength: 2.0,
+		TStart:      0.30,
+		TEnd:        0.001,
+	}
+}
+
+// annealState carries the incrementally-maintained cost terms: for
+// each capacitor its dispersion contribution and bounding-box
+// wirelength, so a swap only recomputes the (at most four) capacitors
+// it touches.
+type annealState struct {
+	m      *ccmatrix.Matrix
+	arrGyr float64   // radius of gyration^2 of the full array
+	gyr    []float64 // per-cap mean squared distance from center
+	adj    []float64 // per-cap same-bit 4-neighbor pair count
+	counts []int
+}
+
+func newAnnealState(m *ccmatrix.Matrix) *annealState {
+	s := &annealState{
+		m:      m,
+		gyr:    make([]float64, m.Bits+1),
+		adj:    make([]float64, m.Bits+1),
+		counts: make([]int, m.Bits+1),
+	}
+	cr, cc := m.Center()
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			dr, dc := float64(r)-cr, float64(c)-cc
+			s.arrGyr += dr*dr + dc*dc
+		}
+	}
+	s.arrGyr /= float64(m.Rows * m.Cols)
+	for k := 0; k <= m.Bits; k++ {
+		s.recompute(k)
+	}
+	return s
+}
+
+// recompute rescans capacitor k's cells and refreshes its cost terms.
+func (s *annealState) recompute(k int) {
+	cells := s.m.CellsOf(k)
+	s.counts[k] = len(cells)
+	if len(cells) == 0 {
+		s.gyr[k], s.adj[k] = 0, 0
+		return
+	}
+	cr, cc := s.m.Center()
+	sum := 0.0
+	adj := 0
+	for _, c := range cells {
+		dr, dc := float64(c.Row)-cr, float64(c.Col)-cc
+		sum += dr*dr + dc*dc
+		// Count east and north same-bit neighbors so each adjacent
+		// pair counts once; both endpoints carry bit k, so the count
+		// partitions cleanly per capacitor.
+		if e := c.Add(0, 1); e.In(s.m.Rows, s.m.Cols) && s.m.At(e) == k {
+			adj++
+		}
+		if nn := c.Add(1, 0); nn.In(s.m.Rows, s.m.Cols) && s.m.At(nn) == k {
+			adj++
+		}
+	}
+	s.gyr[k] = sum / float64(len(cells))
+	s.adj[k] = float64(adj)
+}
+
+// cost evaluates the current placement from the cached per-cap terms.
+func (s *annealState) cost(wD, wW float64) float64 {
+	dispSum, dispW := 0.0, 0.0
+	adjSum := 0.0
+	for k := 0; k <= s.m.Bits; k++ {
+		if s.counts[k] == 0 {
+			continue
+		}
+		if k >= 2 {
+			n := float64(s.counts[k])
+			dispSum += n * math.Sqrt(s.gyr[k]/s.arrGyr)
+			dispW += n
+		}
+		adjSum += s.adj[k]
+	}
+	disp := 0.0
+	if dispW > 0 {
+		disp = dispSum / dispW
+	}
+	// adjSum maxes out near 2*cells (a fully clustered placement).
+	adjFrac := adjSum / (2 * float64(s.m.Rows*s.m.Cols))
+	return -wD*disp - wW*adjFrac
+}
+
+// NewAnnealed builds the [1]-style baseline placement by annealing
+// symmetric-pair swaps from a spiral seed. Like the paper (Table I
+// note 2: "7-bit, 9-bit DACs not reported in [1]"), only even bit
+// counts are supported — the method needs the dummy-free square array.
+func NewAnnealed(bits int, cfg AnnealConfig) (*ccmatrix.Matrix, error) {
+	if err := checkBits(bits); err != nil {
+		return nil, err
+	}
+	if bits%2 != 0 {
+		return nil, fmt.Errorf("place: annealed baseline supports even bit counts only (got %d); the paper's [1] reports none for odd N", bits)
+	}
+	m, err := NewSpiral(bits)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.WDispersion == 0 && cfg.WWirelength == 0 {
+		def := DefaultAnnealConfig()
+		cfg.WDispersion, cfg.WWirelength = def.WDispersion, def.WWirelength
+	}
+	if cfg.TStart <= 0 {
+		cfg.TStart = 0.30
+	}
+	if cfg.TEnd <= 0 || cfg.TEnd >= cfg.TStart {
+		cfg.TEnd = cfg.TStart / 300
+	}
+	moves := cfg.Moves
+	if moves <= 0 {
+		moves = 150 * m.Rows * m.Cols
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	st := newAnnealState(m)
+	cur := st.cost(cfg.WDispersion, cfg.WWirelength)
+	alpha := math.Pow(cfg.TEnd/cfg.TStart, 1/float64(moves))
+	temp := cfg.TStart
+	pair := func(v int) int { // capacitor whose cells mirror v's under reflection
+		switch v {
+		case 0:
+			return 1
+		case 1:
+			return 0
+		default:
+			return v
+		}
+	}
+	for i := 0; i < moves; i++ {
+		temp *= alpha
+		a := geom.Cell{Row: rng.Intn(m.Rows), Col: rng.Intn(m.Cols)}
+		b := geom.Cell{Row: rng.Intn(m.Rows), Col: rng.Intn(m.Cols)}
+		if a == b || m.At(a) == m.At(b) {
+			continue
+		}
+		ra, rb := a.Reflect(m.Rows, m.Cols), b.Reflect(m.Rows, m.Cols)
+		// Swapping a cell with (the mirror image of) its own partner
+		// cell would break the pairing bookkeeping; skip those moves.
+		if a == rb || b == ra {
+			continue
+		}
+		va, vb := m.At(a), m.At(b)
+		affected := uniqueBits(va, vb, pair(va), pair(vb))
+		saved := make(map[int][3]float64, len(affected))
+		for _, k := range affected {
+			saved[k] = [3]float64{st.gyr[k], st.adj[k], float64(st.counts[k])}
+		}
+		m.SwapCells(a, b)
+		m.SwapCells(ra, rb)
+		for _, k := range affected {
+			st.recompute(k)
+		}
+		next := st.cost(cfg.WDispersion, cfg.WWirelength)
+		if next <= cur || rng.Float64() < math.Exp(-(next-cur)/temp) {
+			cur = next
+			continue
+		}
+		m.SwapCells(a, b)
+		m.SwapCells(ra, rb)
+		for _, k := range affected {
+			v := saved[k]
+			st.gyr[k], st.adj[k], st.counts[k] = v[0], v[1], int(v[2])
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("place: annealed %d-bit: %w", bits, err)
+	}
+	if !m.IsSymmetric() {
+		return nil, fmt.Errorf("place: annealed %d-bit: symmetry lost during annealing", bits)
+	}
+	return m, nil
+}
+
+// uniqueBits returns the distinct non-negative capacitor indices among
+// the arguments (dummy cells are never swapped in even-N arrays, but
+// negative markers are filtered defensively).
+func uniqueBits(vals ...int) []int {
+	out := vals[:0]
+	for _, v := range vals {
+		if v < 0 {
+			continue
+		}
+		dup := false
+		for _, u := range out {
+			if u == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
+}

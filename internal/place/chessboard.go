@@ -1,0 +1,206 @@
+package place
+
+import (
+	"fmt"
+	"sort"
+
+	"ccdac/internal/ccmatrix"
+	"ccdac/internal/geom"
+)
+
+// NewChessboard builds the maximum-dispersion chessboard placement of
+// Burcea et al. [7]: the MSB capacitor occupies the "black squares"
+// (i+j odd) of the array; the remaining cells form a rotated sublattice
+// on which the next capacitor is again placed in chessboard fashion,
+// and so on recursively down to C_1 and C_0.
+//
+// Following the paper's Table I note, [7] doubles the number of unit
+// capacitors for odd N, so a 7-bit array reuses the 16x16 grid of the
+// 8-bit array with every capacitor built from twice the unit cells
+// (the returned matrix has Scale == 2).
+func NewChessboard(bits int) (*ccmatrix.Matrix, error) {
+	if err := checkBits(bits); err != nil {
+		return nil, err
+	}
+	scale := 1
+	if bits%2 == 1 {
+		scale = 2
+	}
+	side := 1 << ((bits + bits%2) / 2) // 2^(N/2), or 2^((N+1)/2) when doubled
+	m := ccmatrix.New(side, side, bits, scale)
+
+	// Lattice points carry the original cell plus transformed (u, v)
+	// coordinates used for the recursive parity split.
+	type pt struct {
+		cell geom.Cell
+		u, v int
+	}
+	cur := make([]pt, 0, side*side)
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			cur = append(cur, pt{cell: geom.Cell{Row: r, Col: c}, u: r, v: c})
+		}
+	}
+	counts := ccmatrix.UnitCounts(bits)
+	for k := bits; k >= 0; k-- {
+		want := scale * counts[k]
+		if k == 0 {
+			// Everything that remains is C_0.
+			if len(cur) != want {
+				return nil, fmt.Errorf("place: chessboard %d-bit: %d cells left for C_0, want %d", bits, len(cur), want)
+			}
+			for _, p := range cur {
+				m.Set(p.cell, 0)
+			}
+			break
+		}
+		var take, keep []pt
+		for _, p := range cur {
+			if ((p.u+p.v)%2+2)%2 == 1 { // odd sum; v may be negative after the rotation
+				take = append(take, p)
+			} else {
+				keep = append(keep, p)
+			}
+		}
+		if len(take) != want {
+			// The parity split halves every lattice this recursion
+			// produces for power-of-two squares; guard the invariant.
+			return nil, fmt.Errorf("place: chessboard %d-bit: parity split for C_%d gave %d cells, want %d", bits, k, len(take), want)
+		}
+		for _, p := range take {
+			m.Set(p.cell, k)
+		}
+		// Rotate-and-scale the even-sum sublattice: (u', v') =
+		// ((u+v)/2, (u-v)/2) maps it back to a unit-spaced lattice.
+		for i := range keep {
+			u, v := keep[i].u, keep[i].v
+			keep[i].u, keep[i].v = (u+v)/2, (u-v)/2
+		}
+		cur = keep
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("place: chessboard %d-bit: %w", bits, err)
+	}
+	return m, nil
+}
+
+// pairDemand describes how many unit cells a capacitor still needs
+// during symmetric-pair assignment.
+type pairDemand struct {
+	bit   int // capacitor index, or ccmatrix.Dummy
+	need  int // remaining unit cells
+	total int // original demand, for largest-remaining-fraction scheduling
+}
+
+// assignSymmetricPairs deals the given cells to the demands in
+// symmetric (cell, reflection) pairs, walking cells in the given order
+// and choosing at each step the demand with the largest remaining
+// fraction of its total (a smooth weighted round-robin, which
+// interleaves capacitors chessboard-fashion). Self-reflective cells
+// (the exact center of an odd-odd array) are given to the first demand
+// with an odd remaining need.
+//
+// The cells slice must be closed under reflection within the matrix.
+func assignSymmetricPairs(m *ccmatrix.Matrix, cells []geom.Cell, demands []pairDemand) error {
+	need := 0
+	for _, d := range demands {
+		need += d.need
+	}
+	if need != len(cells) {
+		return fmt.Errorf("place: pair assignment: %d cells for %d demanded units", len(cells), need)
+	}
+	// Self-reflective center first.
+	for _, c := range cells {
+		if c.Reflect(m.Rows, m.Cols) != c {
+			continue
+		}
+		placed := false
+		for i := range demands {
+			if demands[i].need%2 == 1 {
+				m.Set(c, demands[i].bit)
+				demands[i].need--
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return fmt.Errorf("place: pair assignment: self-reflective cell %v but all demands even", c)
+		}
+	}
+	pick := func() int {
+		best, bestFrac := -1, -1.0
+		for i, d := range demands {
+			if d.need < 2 {
+				continue
+			}
+			frac := float64(d.need) / float64(d.total)
+			if frac > bestFrac {
+				best, bestFrac = i, frac
+			}
+		}
+		return best
+	}
+	for _, c := range cells {
+		if !m.IsEmpty(c) {
+			continue
+		}
+		r := c.Reflect(m.Rows, m.Cols)
+		if r == c || !m.IsEmpty(r) {
+			continue
+		}
+		i := pick()
+		if i >= 0 {
+			m.Set(c, demands[i].bit)
+			m.Set(r, demands[i].bit)
+			demands[i].need -= 2
+			continue
+		}
+		// Two single-unit demands left (C_1 and C_0): they share one
+		// reflected pair, sitting diagonally opposite like the paper's
+		// spiral center placement.
+		first, second := -1, -1
+		for j := range demands {
+			if demands[j].need == 1 {
+				if first < 0 {
+					first = j
+				} else if second < 0 {
+					second = j
+				}
+			}
+		}
+		if first < 0 || second < 0 {
+			return fmt.Errorf("place: pair assignment: spare cell %v with no remaining demand", c)
+		}
+		m.Set(c, demands[first].bit)
+		m.Set(r, demands[second].bit)
+		demands[first].need--
+		demands[second].need--
+	}
+	for _, d := range demands {
+		if d.need != 0 {
+			return fmt.Errorf("place: pair assignment: C_%d left with %d unplaced units", d.bit, d.need)
+		}
+	}
+	return nil
+}
+
+// interleavedOrder returns the cells sorted for dispersion-friendly
+// dealing: alternating (row+col) parity classes, serpentine within a
+// class, so consecutive deals land far apart.
+func interleavedOrder(cells []geom.Cell) []geom.Cell {
+	out := append([]geom.Cell(nil), cells...)
+	sort.Slice(out, func(a, b int) bool {
+		pa, pb := (out[a].Row+out[a].Col)%2, (out[b].Row+out[b].Col)%2
+		if pa != pb {
+			return pa > pb // odd-parity (black squares) first
+		}
+		if out[a].Row != out[b].Row {
+			return out[a].Row < out[b].Row
+		}
+		if out[a].Row%2 == 0 {
+			return out[a].Col < out[b].Col
+		}
+		return out[a].Col > out[b].Col
+	})
+	return out
+}

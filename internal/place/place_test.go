@@ -1,0 +1,426 @@
+package place
+
+import (
+	"testing"
+
+	"ccdac/internal/ccmatrix"
+	"ccdac/internal/geom"
+)
+
+func TestArraySize(t *testing.T) {
+	tests := []struct {
+		bits, rows, cols, dummies int
+	}{
+		{6, 8, 8, 0},
+		{7, 12, 11, 4},
+		{8, 16, 16, 0},
+		{9, 23, 23, 17},
+		{10, 32, 32, 0},
+	}
+	for _, tt := range tests {
+		r, c, d := ArraySize(tt.bits)
+		if r != tt.rows || c != tt.cols || d != tt.dummies {
+			t.Errorf("ArraySize(%d) = (%d,%d,%d), want (%d,%d,%d)",
+				tt.bits, r, c, d, tt.rows, tt.cols, tt.dummies)
+		}
+	}
+}
+
+func TestArraySizeInvariant(t *testing.T) {
+	// r*s always covers 2^N, and dummies = r*s - 2^N (Eq. 17).
+	for bits := MinBits; bits <= MaxBits; bits++ {
+		r, c, d := ArraySize(bits)
+		if r*c < ccmatrix.TotalUnits(bits) {
+			t.Errorf("bits=%d: %dx%d cannot hold %d units", bits, r, c, ccmatrix.TotalUnits(bits))
+		}
+		if d != r*c-ccmatrix.TotalUnits(bits) {
+			t.Errorf("bits=%d: dummy count inconsistent", bits)
+		}
+		if d >= r { // dummies must stay a small fraction
+			t.Errorf("bits=%d: %d dummies for %d rows looks wrong", bits, d, r)
+		}
+	}
+}
+
+func TestSpiralOrderCoversGrid(t *testing.T) {
+	for _, dims := range [][2]int{{8, 8}, {12, 11}, {23, 23}, {1, 5}, {5, 1}, {2, 2}} {
+		rows, cols := dims[0], dims[1]
+		order := spiralOrder(rows, cols)
+		if len(order) != rows*cols {
+			t.Fatalf("%dx%d: spiral emitted %d cells", rows, cols, len(order))
+		}
+		seen := map[geom.Cell]bool{}
+		for _, c := range order {
+			if !c.In(rows, cols) {
+				t.Fatalf("%dx%d: spiral emitted out-of-grid cell %v", rows, cols, c)
+			}
+			if seen[c] {
+				t.Fatalf("%dx%d: spiral repeated cell %v", rows, cols, c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestSpiralOrderStartsAtCenter(t *testing.T) {
+	order := spiralOrder(8, 8)
+	if order[0] != (geom.Cell{Row: 4, Col: 4}) {
+		t.Errorf("spiral starts at %v", order[0])
+	}
+	// Later cells are on average farther from the center.
+	early, late := 0.0, 0.0
+	for i, c := range order {
+		d := c.Euclid(geom.Cell{Row: 4, Col: 4})
+		if i < 16 {
+			early += d
+		} else if i >= 48 {
+			late += d
+		}
+	}
+	if early/16 >= late/16 {
+		t.Error("spiral order does not move outward")
+	}
+}
+
+func checkPlacement(t *testing.T, m *ccmatrix.Matrix, bits int) {
+	t.Helper()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("placement invalid: %v", err)
+	}
+	if !m.IsSymmetric() {
+		t.Fatal("placement not common-centroid symmetric")
+	}
+	// Every multi-unit capacitor's centroid is exactly at the array
+	// center (half-cell slack for parity effects in dummy-padded arrays).
+	if off := m.MaxCentroidOffset(2); off > 1e-9 {
+		t.Errorf("max centroid offset = %g, want 0", off)
+	}
+}
+
+func TestSpiralPlacementAllBits(t *testing.T) {
+	for bits := MinBits; bits <= 10; bits++ {
+		m, err := NewSpiral(bits)
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		checkPlacement(t, m, bits)
+		if m.Scale != 1 {
+			t.Errorf("bits=%d: spiral must not scale units", bits)
+		}
+	}
+}
+
+func TestSpiralC0C1NearCenter(t *testing.T) {
+	m, err := NewSpiral(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := m.CellsOf(0)
+	c1 := m.CellsOf(1)
+	if len(c0) != 1 || len(c1) != 1 {
+		t.Fatal("C_0/C_1 must be single units")
+	}
+	// Diagonally opposite around the center of the 8x8 array.
+	if c0[0].Reflect(8, 8) != c1[0] {
+		t.Errorf("C_0 %v and C_1 %v are not reflections", c0[0], c1[0])
+	}
+	cr, cc := m.Center()
+	if c0[0].Euclid(geom.Cell{Row: int(cr), Col: int(cc)}) > 2 {
+		t.Errorf("C_0 at %v too far from center", c0[0])
+	}
+}
+
+func TestSpiralHighAdjacency(t *testing.T) {
+	// The point of the spiral: many same-bit neighbor pairs.
+	s, _ := NewSpiral(6)
+	cb, err := NewChessboard(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AdjacencySameBit() <= 3*cb.AdjacencySameBit() {
+		t.Errorf("spiral adjacency %d not >> chessboard %d",
+			s.AdjacencySameBit(), cb.AdjacencySameBit())
+	}
+}
+
+func TestSpiralDummiesOnPeriphery(t *testing.T) {
+	m, err := NewSpiral(7) // 12x11 with 4 dummies
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range m.CellsOf(ccmatrix.Dummy) {
+		onEdge := c.Row == 0 || c.Row == m.Rows-1 || c.Col == 0 || c.Col == m.Cols-1
+		if !onEdge {
+			t.Errorf("dummy at %v is not on the array periphery", c)
+		}
+	}
+}
+
+func TestChessboardPlacementEvenBits(t *testing.T) {
+	for _, bits := range []int{4, 6, 8, 10} {
+		m, err := NewChessboard(bits)
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		if m.Scale != 1 {
+			t.Errorf("bits=%d: even-N chessboard must not double units", bits)
+		}
+		_, dummies, _ := m.Counts()
+		if dummies != 0 {
+			t.Errorf("bits=%d: chessboard has %d dummies, want 0", bits, dummies)
+		}
+	}
+}
+
+func TestChessboardDoublesOddBits(t *testing.T) {
+	// Paper Table I note 1: [7] doubles units for odd N, reusing the
+	// next even array.
+	for _, bits := range []int{7, 9} {
+		m, err := NewChessboard(bits)
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		if m.Scale != 2 {
+			t.Fatalf("bits=%d: Scale = %d, want 2", bits, m.Scale)
+		}
+		even, err := NewChessboard(bits + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Rows != even.Rows || m.Cols != even.Cols {
+			t.Errorf("bits=%d grid %dx%d, want same as %d-bit (%dx%d)",
+				bits, m.Rows, m.Cols, bits+1, even.Rows, even.Cols)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestChessboardMSBOnBlackSquares(t *testing.T) {
+	m, err := NewChessboard(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range m.CellsOf(6) {
+		if (c.Row+c.Col)%2 != 1 {
+			t.Fatalf("C_6 cell %v not on a black square", c)
+		}
+	}
+	if len(m.CellsOf(6)) != 32 {
+		t.Fatalf("C_6 has %d cells, want 32", len(m.CellsOf(6)))
+	}
+}
+
+func TestChessboardZeroAdjacency(t *testing.T) {
+	// Chessboard placements have no bottom-plate connected groups
+	// larger than one cell (paper Sec. IV-B2) for the big capacitors.
+	m, err := NewChessboard(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := m.AdjacencySameBit()
+	// The recursion leaves only the final few cells possibly adjacent.
+	if adj > 4 {
+		t.Errorf("chessboard adjacency = %d, want near zero", adj)
+	}
+}
+
+func TestChessboardHighDispersion(t *testing.T) {
+	cb, _ := NewChessboard(8)
+	sp, _ := NewSpiral(8)
+	if cb.MeanDispersion() <= sp.MeanDispersion() {
+		t.Errorf("chessboard dispersion %g not above spiral %g",
+			cb.MeanDispersion(), sp.MeanDispersion())
+	}
+}
+
+func TestBlockChessboardAllBits(t *testing.T) {
+	for bits := 5; bits <= 10; bits++ {
+		for _, p := range DefaultBCParams(bits) {
+			m, err := NewBlockChessboard(bits, p)
+			if err != nil {
+				t.Fatalf("bits=%d %+v: %v", bits, p, err)
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatalf("bits=%d %+v: %v", bits, p, err)
+			}
+			// The blocked corridor capacitors are mirrored pair-by-pair:
+			// their cell sets must be closed under point reflection and
+			// exactly centered. The chessboard core trades exact
+			// symmetry for dispersion (as in [7]); its centroids may be
+			// off by up to one cell pitch.
+			for k := p.CoreBits + 1; k <= bits; k++ {
+				cells := map[geom.Cell]bool{}
+				for _, c := range m.CellsOf(k) {
+					cells[c] = true
+				}
+				for c := range cells {
+					if !cells[c.Reflect(m.Rows, m.Cols)] {
+						t.Fatalf("bits=%d %+v: corridor C_%d cell %v lacks its mirror", bits, p, k, c)
+					}
+				}
+				if off := m.CentroidOffset(k); off > 1e-9 {
+					t.Fatalf("bits=%d %+v: corridor C_%d centroid offset %g", bits, p, k, off)
+				}
+			}
+			// Core capacitors: the chessboard recursion leaves its
+			// smallest capacitors somewhat off-center (as in [7]); the
+			// error must still be bounded by a few cell pitches.
+			for k := 2; k <= p.CoreBits; k++ {
+				if off := m.CentroidOffset(k); off > 3.0 {
+					t.Fatalf("bits=%d %+v: core C_%d centroid offset %g > 3 pitches", bits, p, k, off)
+				}
+			}
+		}
+	}
+}
+
+func TestBlockChessboardCoreHoldsLSBs(t *testing.T) {
+	m, err := NewBlockChessboard(6, BCParams{CoreBits: 4, BlockCells: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C_0..C_4 confined to the centered 4x4 core of the 8x8 array.
+	for k := 0; k <= 4; k++ {
+		for _, c := range m.CellsOf(k) {
+			if c.Row < 2 || c.Row > 5 || c.Col < 2 || c.Col > 5 {
+				t.Errorf("C_%d cell %v outside the 4x4 core", k, c)
+			}
+		}
+	}
+	// C_5, C_6 confined to the corridor.
+	for k := 5; k <= 6; k++ {
+		for _, c := range m.CellsOf(k) {
+			if c.Row >= 2 && c.Row <= 5 && c.Col >= 2 && c.Col <= 5 {
+				t.Errorf("C_%d cell %v inside the core", k, c)
+			}
+		}
+	}
+}
+
+func TestBlockChessboardGranularityTradesAdjacency(t *testing.T) {
+	coarse, err := NewBlockChessboard(8, BCParams{CoreBits: 4, BlockCells: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := NewBlockChessboard(8, BCParams{CoreBits: 4, BlockCells: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.AdjacencySameBit() <= fine.AdjacencySameBit() {
+		t.Errorf("coarse blocks adjacency %d not above fine %d",
+			coarse.AdjacencySameBit(), fine.AdjacencySameBit())
+	}
+	if coarse.MeanDispersion() > fine.MeanDispersion()+0.05 {
+		t.Errorf("coarse dispersion %g unexpectedly above fine %g",
+			coarse.MeanDispersion(), fine.MeanDispersion())
+	}
+}
+
+func TestBlockChessboardRejectsBadParams(t *testing.T) {
+	for _, p := range []BCParams{
+		{CoreBits: 3, BlockCells: 2}, // odd core
+		{CoreBits: 0, BlockCells: 2},
+		{CoreBits: 6, BlockCells: 2}, // == bits for 6-bit? no: bits-1=5, 6 > 5
+		{CoreBits: 4, BlockCells: 0},
+	} {
+		if _, err := NewBlockChessboard(6, p); err == nil {
+			t.Errorf("params %+v must be rejected", p)
+		}
+	}
+}
+
+func TestBlockChessboardSitsBetween(t *testing.T) {
+	// BC dispersion between spiral and chessboard; same for adjacency.
+	sp, _ := NewSpiral(8)
+	cb, _ := NewChessboard(8)
+	bc, err := NewBlockChessboard(8, BCParams{CoreBits: 4, BlockCells: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bc.MeanDispersion() > sp.MeanDispersion() && bc.MeanDispersion() < cb.MeanDispersion()) {
+		t.Errorf("dispersion ordering violated: sp=%g bc=%g cb=%g",
+			sp.MeanDispersion(), bc.MeanDispersion(), cb.MeanDispersion())
+	}
+	if !(bc.AdjacencySameBit() < sp.AdjacencySameBit() && bc.AdjacencySameBit() > cb.AdjacencySameBit()) {
+		t.Errorf("adjacency ordering violated: sp=%d bc=%d cb=%d",
+			sp.AdjacencySameBit(), bc.AdjacencySameBit(), cb.AdjacencySameBit())
+	}
+}
+
+func TestAnnealedEvenBits(t *testing.T) {
+	for _, bits := range []int{4, 6, 8} {
+		m, err := NewAnnealed(bits, AnnealConfig{Seed: 1, Moves: 4000})
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		if !m.IsSymmetric() {
+			t.Fatalf("bits=%d: symmetry lost", bits)
+		}
+	}
+}
+
+func TestAnnealedRejectsOddBits(t *testing.T) {
+	if _, err := NewAnnealed(7, AnnealConfig{Seed: 1, Moves: 10}); err == nil {
+		t.Fatal("odd bits must be rejected, as in the paper's [1] columns")
+	}
+}
+
+func TestAnnealedImprovesDispersionOverSpiral(t *testing.T) {
+	sp, _ := NewSpiral(6)
+	an, err := NewAnnealed(6, AnnealConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.MeanDispersion() <= sp.MeanDispersion() {
+		t.Errorf("annealed dispersion %g did not improve on spiral seed %g",
+			an.MeanDispersion(), sp.MeanDispersion())
+	}
+}
+
+func TestAnnealedDeterministic(t *testing.T) {
+	a, err := NewAnnealed(6, AnnealConfig{Seed: 42, Moves: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewAnnealed(6, AnnealConfig{Seed: 42, Moves: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed must reproduce the same placement")
+	}
+}
+
+func TestBitsRangeChecks(t *testing.T) {
+	if _, err := NewSpiral(1); err == nil {
+		t.Error("bits below MinBits must be rejected")
+	}
+	if _, err := NewSpiral(13); err == nil {
+		t.Error("bits above MaxBits must be rejected")
+	}
+	if _, err := NewChessboard(1); err == nil {
+		t.Error("chessboard bits below MinBits must be rejected")
+	}
+}
+
+func TestStyleString(t *testing.T) {
+	for s, want := range map[Style]string{
+		Spiral:          "spiral",
+		Chessboard:      "chessboard",
+		BlockChessboard: "block-chessboard",
+		Annealed:        "annealed",
+		Style(99):       "style(99)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("Style(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}

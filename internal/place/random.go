@@ -1,0 +1,48 @@
+package place
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccdac/internal/ccmatrix"
+	"ccdac/internal/geom"
+)
+
+// NewRandomSymmetric builds a valid common-centroid placement with the
+// unit cells of each capacitor scattered uniformly at random (in
+// mirrored pairs). It is not a good layout — it serves as a naive
+// baseline for comparisons and as a fuzzing source for property tests
+// of the router, extractor and DRC, which must handle any valid
+// placement.
+func NewRandomSymmetric(bits int, seed int64) (*ccmatrix.Matrix, error) {
+	if err := checkBits(bits); err != nil {
+		return nil, err
+	}
+	rows, cols, dummies := ArraySize(bits)
+	m := ccmatrix.New(rows, cols, bits, 1)
+	rng := rand.New(rand.NewSource(seed))
+
+	cells := make([]geom.Cell, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			cells = append(cells, geom.Cell{Row: r, Col: c})
+		}
+	}
+	rng.Shuffle(len(cells), func(i, j int) { cells[i], cells[j] = cells[j], cells[i] })
+
+	counts := ccmatrix.UnitCounts(bits)
+	demands := make([]pairDemand, 0, bits+2)
+	if dummies > 0 {
+		demands = append(demands, pairDemand{bit: ccmatrix.Dummy, need: dummies, total: dummies})
+	}
+	for k := bits; k >= 0; k-- {
+		demands = append(demands, pairDemand{bit: k, need: counts[k], total: counts[k]})
+	}
+	if err := assignSymmetricPairs(m, cells, demands); err != nil {
+		return nil, fmt.Errorf("place: random symmetric: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("place: random symmetric: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,62 @@
+package place
+
+import (
+	"testing"
+)
+
+func TestRandomSymmetricValidAllBits(t *testing.T) {
+	for bits := MinBits; bits <= 10; bits++ {
+		for seed := int64(1); seed <= 3; seed++ {
+			m, err := NewRandomSymmetric(bits, seed)
+			if err != nil {
+				t.Fatalf("bits=%d seed=%d: %v", bits, seed, err)
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatalf("bits=%d seed=%d: %v", bits, seed, err)
+			}
+			if !m.IsSymmetric() {
+				t.Fatalf("bits=%d seed=%d: not symmetric", bits, seed)
+			}
+		}
+	}
+}
+
+func TestRandomSymmetricDiffersAcrossSeeds(t *testing.T) {
+	a, err := NewRandomSymmetric(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRandomSymmetric(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Error("different seeds produced identical placements")
+	}
+	c, err := NewRandomSymmetric(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != c.String() {
+		t.Error("same seed must reproduce the placement")
+	}
+}
+
+func TestRandomSymmetricDispersionBetweenExtremes(t *testing.T) {
+	// A random scatter disperses more than the spiral's rings but has
+	// no reason to beat the chessboard.
+	rnd, err := NewRandomSymmetric(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := NewSpiral(8)
+	cb, _ := NewChessboard(8)
+	if rnd.MeanDispersion() <= sp.MeanDispersion() {
+		t.Errorf("random dispersion %g not above spiral %g",
+			rnd.MeanDispersion(), sp.MeanDispersion())
+	}
+	if rnd.MeanDispersion() > cb.MeanDispersion()*1.05 {
+		t.Errorf("random dispersion %g implausibly above chessboard %g",
+			rnd.MeanDispersion(), cb.MeanDispersion())
+	}
+}

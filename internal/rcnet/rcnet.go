@@ -1,0 +1,428 @@
+// Package rcnet models the RC interconnect networks created by
+// bottom-plate routing and computes their Elmore (first-moment) delays,
+// which the paper uses as the time constant tau in the 3dB-frequency
+// model (Sec. III-B, Eq. 16).
+//
+// Two analyses are provided:
+//
+//   - ElmoreTree: the classical O(n) path-resistance formulation, valid
+//     when the resistive network is a tree rooted at the driver.
+//   - FirstMoment: the general formulation valid for arbitrary
+//     connected RC networks (meshes arise when parallel wires are
+//     cross-strapped): with the driver node grounded, solve
+//     G·tau = C·1, where G is the reduced nodal conductance matrix and
+//     C the nodal capacitance vector. On a tree both analyses agree
+//     exactly, which the tests exploit.
+package rcnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ccdac/internal/linalg"
+)
+
+// Net is an RC network under construction. Node 0 does not exist until
+// added; callers name nodes for debuggability.
+type Net struct {
+	names []string
+	// resistors, as adjacency: for each node, list of (other, conductance).
+	res []resistor
+	// capFF[i] is the grounded capacitance at node i in fF.
+	capFF []float64
+}
+
+type resistor struct {
+	a, b int
+	ohm  float64
+}
+
+// New returns an empty network.
+func New() *Net { return &Net{} }
+
+// AddNode adds a named node and returns its index.
+func (n *Net) AddNode(name string) int {
+	n.names = append(n.names, name)
+	n.capFF = append(n.capFF, 0)
+	return len(n.names) - 1
+}
+
+// NumNodes returns the number of nodes.
+func (n *Net) NumNodes() int { return len(n.names) }
+
+// NodeName returns the name of node i.
+func (n *Net) NodeName(i int) string { return n.names[i] }
+
+// AddR connects nodes a and b with a resistor of the given ohms.
+// Zero-ohm resistors are permitted (ideal shorts used for via-free
+// junctions) and handled by node merging during analysis.
+func (n *Net) AddR(a, b int, ohm float64) {
+	if a < 0 || a >= len(n.names) || b < 0 || b >= len(n.names) {
+		panic(fmt.Sprintf("rcnet: resistor endpoints (%d,%d) out of range n=%d", a, b, len(n.names)))
+	}
+	if ohm < 0 {
+		panic(fmt.Sprintf("rcnet: negative resistance %g", ohm))
+	}
+	n.res = append(n.res, resistor{a, b, ohm})
+}
+
+// AddC adds grounded capacitance (fF) at node a. Multiple additions accumulate.
+func (n *Net) AddC(a int, fF float64) {
+	if fF < 0 {
+		panic(fmt.Sprintf("rcnet: negative capacitance %g", fF))
+	}
+	n.capFF[a] += fF
+}
+
+// CapAt returns the accumulated grounded capacitance at node a in fF.
+func (n *Net) CapAt(a int) float64 { return n.capFF[a] }
+
+// TotalCapFF returns the total capacitance of the network in fF.
+func (n *Net) TotalCapFF() float64 {
+	s := 0.0
+	for _, c := range n.capFF {
+		s += c
+	}
+	return s
+}
+
+// Resistor is one resistive element, exposed for netlist export and
+// transient simulation.
+type Resistor struct {
+	A, B int
+	Ohm  float64
+}
+
+// Resistors returns the network's resistive elements in insertion order.
+func (n *Net) Resistors() []Resistor {
+	out := make([]Resistor, len(n.res))
+	for i, r := range n.res {
+		out[i] = Resistor{A: r.a, B: r.b, Ohm: r.ohm}
+	}
+	return out
+}
+
+// Caps returns a copy of the per-node grounded capacitances in fF.
+func (n *Net) Caps() []float64 {
+	out := make([]float64, len(n.capFF))
+	copy(out, n.capFF)
+	return out
+}
+
+// ErrNotTree is returned by ElmoreTree when the resistive graph has a
+// cycle or a node unreachable from the root.
+var ErrNotTree = errors.New("rcnet: network is not a tree rooted at the driver")
+
+// merged computes a union-find over zero-ohm resistors so both analyses
+// treat ideal shorts as single electrical nodes. It returns the
+// representative for each node and the per-representative capacitance.
+func (n *Net) merged() (rep []int, capOf []float64) {
+	parent := make([]int, len(n.names))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, r := range n.res {
+		if r.ohm == 0 {
+			ra, rb := find(r.a), find(r.b)
+			if ra != rb {
+				parent[ra] = rb
+			}
+		}
+	}
+	rep = make([]int, len(n.names))
+	capOf = make([]float64, len(n.names))
+	for i := range rep {
+		rep[i] = find(i)
+	}
+	for i, c := range n.capFF {
+		capOf[rep[i]] += c
+	}
+	return rep, capOf
+}
+
+// ElmoreTree computes the Elmore delay in seconds from the driver node
+// (root) to every node, assuming the nonzero-resistance graph is a
+// tree. Capacitances are interpreted in fF, resistances in ohms.
+// It returns ErrNotTree for meshes or disconnected networks.
+func (n *Net) ElmoreTree(root int) ([]float64, error) {
+	rep, capOf := n.merged()
+	r := rep[root]
+
+	adj := make(map[int][]resistor)
+	edges := 0
+	nodes := map[int]bool{r: true}
+	for i := range n.names {
+		nodes[rep[i]] = true
+	}
+	for _, e := range n.res {
+		if e.ohm == 0 {
+			continue
+		}
+		a, b := rep[e.a], rep[e.b]
+		if a == b {
+			// Resistor shorted by a parallel zero-ohm path: harmless for
+			// delay, skip.
+			continue
+		}
+		adj[a] = append(adj[a], resistor{a, b, e.ohm})
+		adj[b] = append(adj[b], resistor{b, a, e.ohm})
+		edges++
+	}
+	if edges != len(nodes)-1 {
+		return nil, ErrNotTree
+	}
+
+	// DFS from root: accumulate downstream capacitance, then delays.
+	parentOf := make(map[int]int, len(nodes))
+	parentR := make(map[int]float64, len(nodes))
+	order := make([]int, 0, len(nodes))
+	visited := map[int]bool{r: true}
+	stack := []int{r}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, u)
+		for _, e := range adj[u] {
+			if !visited[e.b] {
+				visited[e.b] = true
+				parentOf[e.b] = u
+				parentR[e.b] = e.ohm
+				stack = append(stack, e.b)
+			}
+		}
+	}
+	if len(order) != len(nodes) {
+		return nil, ErrNotTree
+	}
+	// Downstream capacitance: reverse DFS order.
+	down := make(map[int]float64, len(nodes))
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		down[u] += capOf[u]
+		if u != r {
+			down[parentOf[u]] += down[u]
+		}
+	}
+	// Delay: forward order. delay(child) = delay(parent) + R_edge * down(child).
+	delay := make(map[int]float64, len(nodes))
+	for _, u := range order {
+		if u == r {
+			delay[u] = 0
+			continue
+		}
+		delay[u] = delay[parentOf[u]] + parentR[u]*down[u]*1e-15 // ohm*fF -> seconds
+	}
+	out := make([]float64, len(n.names))
+	for i := range out {
+		out[i] = delay[rep[i]]
+	}
+	return out, nil
+}
+
+// FirstMoment computes the first moment of the impulse response at
+// every node (the generalized Elmore delay, in seconds) for an
+// arbitrary connected RC network driven at root, by solving
+// G·tau = C·1 with the root grounded, using preconditioned CG.
+func (n *Net) FirstMoment(root int) ([]float64, error) {
+	rep, capOf := n.merged()
+	r := rep[root]
+
+	// Compact representative indices, excluding the root.
+	idx := map[int]int{}
+	for i := range n.names {
+		u := rep[i]
+		if u == r {
+			continue
+		}
+		if _, ok := idx[u]; !ok {
+			idx[u] = len(idx)
+		}
+	}
+	m := len(idx)
+	if m == 0 {
+		return make([]float64, len(n.names)), nil
+	}
+	g := linalg.NewSparse(m)
+	connected := make([]bool, m)
+	for _, e := range n.res {
+		if e.ohm == 0 {
+			continue
+		}
+		a, b := rep[e.a], rep[e.b]
+		if a == b {
+			continue
+		}
+		cond := 1 / e.ohm
+		ia, aIn := idx[a]
+		ib, bIn := idx[b]
+		switch {
+		case aIn && bIn:
+			g.AddSym(ia, ib, -cond)
+			g.Add(ia, ia, cond)
+			g.Add(ib, ib, cond)
+			connected[ia], connected[ib] = true, true
+		case aIn:
+			g.Add(ia, ia, cond)
+			connected[ia] = true
+		case bIn:
+			g.Add(ib, ib, cond)
+			connected[ib] = true
+		}
+	}
+	for i, ok := range connected {
+		if !ok {
+			return nil, fmt.Errorf("rcnet: node group %d unreachable from driver", i)
+		}
+	}
+	rhs := make([]float64, m)
+	for u, i := range idx {
+		rhs[i] = capOf[u] * 1e-15 // fF -> F; tau in seconds
+	}
+	tau, err := g.SolveCG(rhs, 1e-12, 40*m)
+	if err != nil {
+		return nil, fmt.Errorf("rcnet: moment solve: %w", err)
+	}
+	out := make([]float64, len(n.names))
+	for i := range out {
+		u := rep[i]
+		if u == r {
+			out[i] = 0
+			continue
+		}
+		out[i] = tau[idx[u]]
+	}
+	return out, nil
+}
+
+// Moments computes the first and second moments of each node's step
+// response for an arbitrary connected RC network driven at root:
+// m1 = G⁻¹·C·1 (the generalized Elmore delay, seconds) and
+// m2 = G⁻¹·C·m1 (seconds²). The per-node dominant-pole estimate
+// m2/m1 (the AWE single-pole fit) satisfies m1/2 ≤ m2/m1 ≤ τ_max for
+// RC trees — the lower bound from the nonnegative impulse response
+// (E[t²] ≥ E[t]²), the upper from m2 = Σaτ² ≤ τ_max·m1 — and is exact
+// for a single pole.
+func (n *Net) Moments(root int) (m1, m2 []float64, err error) {
+	m1, err = n.FirstMoment(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, capOf := n.merged()
+	r := rep[root]
+	idx := map[int]int{}
+	for i := range n.names {
+		u := rep[i]
+		if u == r {
+			continue
+		}
+		if _, ok := idx[u]; !ok {
+			idx[u] = len(idx)
+		}
+	}
+	mm := len(idx)
+	if mm == 0 {
+		return m1, make([]float64, len(n.names)), nil
+	}
+	g := linalg.NewSparse(mm)
+	for _, e := range n.res {
+		if e.ohm == 0 {
+			continue
+		}
+		a, b := rep[e.a], rep[e.b]
+		if a == b {
+			continue
+		}
+		cond := 1 / e.ohm
+		ia, aIn := idx[a]
+		ib, bIn := idx[b]
+		switch {
+		case aIn && bIn:
+			g.AddSym(ia, ib, -cond)
+			g.Add(ia, ia, cond)
+			g.Add(ib, ib, cond)
+		case aIn:
+			g.Add(ia, ia, cond)
+		case bIn:
+			g.Add(ib, ib, cond)
+		}
+	}
+	// C·m1 with per-representative capacitance; every original node
+	// mapped to a representative shares its m1, so one stamp per
+	// representative suffices.
+	m1rep := make(map[int]float64, mm)
+	for orig := range n.names {
+		u := rep[orig]
+		if u != r {
+			m1rep[u] = m1[orig]
+		}
+	}
+	rhs := make([]float64, mm)
+	for u, i := range idx {
+		rhs[i] = capOf[u] * 1e-15 * m1rep[u]
+	}
+	sol, err := g.SolveCG(rhs, 1e-12, 40*mm)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rcnet: second moment solve: %w", err)
+	}
+	m2 = make([]float64, len(n.names))
+	for i := range m2 {
+		u := rep[i]
+		if u == r {
+			continue
+		}
+		m2[i] = sol[idx[u]]
+	}
+	return m1, m2, nil
+}
+
+// DominantTau returns the per-node dominant-pole time-constant
+// estimate m2/m1 in seconds (zero where m1 is zero).
+func (n *Net) DominantTau(root int) ([]float64, error) {
+	m1, m2, err := n.Moments(root)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(m1))
+	for i := range m1 {
+		if m1[i] > 0 {
+			out[i] = m2[i] / m1[i]
+		}
+	}
+	return out, nil
+}
+
+// MaxDelay returns the maximum delay over the given node set from the
+// per-node delay slice. Nodes outside the slice range are ignored.
+func MaxDelay(delays []float64, nodes []int) float64 {
+	m := 0.0
+	for _, i := range nodes {
+		if i >= 0 && i < len(delays) {
+			m = math.Max(m, delays[i])
+		}
+	}
+	return m
+}
+
+// Delay computes the driving-point time constant of the network seen
+// from root: prefers the exact tree formulation and falls back to the
+// general first-moment solve for meshes. It returns the per-node delay
+// vector in seconds.
+func (n *Net) Delay(root int) ([]float64, error) {
+	d, err := n.ElmoreTree(root)
+	if err == nil {
+		return d, nil
+	}
+	if !errors.Is(err, ErrNotTree) {
+		return nil, err
+	}
+	return n.FirstMoment(root)
+}

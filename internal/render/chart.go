@@ -1,0 +1,129 @@
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one polyline of a line chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// ChartOptions configures LineChart.
+type ChartOptions struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogY plots the y axis in log10 (values must be positive).
+	LogY bool
+	// W, H are the SVG dimensions (0 selects 560x360).
+	W, H int
+}
+
+// LineChart renders series as a simple self-contained SVG line chart
+// with axes, ticks and a legend — used for the paper's Fig. 6 plots.
+func LineChart(series []Series, opt ChartOptions) string {
+	w, h := opt.W, opt.H
+	if w == 0 {
+		w = 560
+	}
+	if h == 0 {
+		h = 360
+	}
+	const ml, mr, mt, mb = 64.0, 16.0, 36.0, 48.0
+	pw, ph := float64(w)-ml-mr, float64(h)-mt-mb
+
+	// Data ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	yv := func(v float64) float64 {
+		if opt.LogY {
+			return math.Log10(math.Max(v, 1e-300))
+		}
+		return v
+	}
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, yv(s.Y[i]))
+			maxY = math.Max(maxY, yv(s.Y[i]))
+		}
+	}
+	if minX > maxX || minY > maxY {
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	toX := func(x float64) float64 { return ml + (x-minX)/(maxX-minX)*pw }
+	toY := func(y float64) float64 { return mt + ph - (yv(y)-minY)/(maxY-minY)*ph }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<text x="%g" y="20" font-size="13">%s</text>`+"\n", ml, escape(opt.Title))
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`+"\n", ml, mt+ph, ml+pw, mt+ph)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`+"\n", ml, mt, ml, mt+ph)
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		ml+pw/2, float64(h)-10, escape(opt.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%g" font-size="11" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+		mt+ph/2, mt+ph/2, escape(opt.YLabel))
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		px := toX(fx)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`+"\n", px, mt+ph, px, mt+ph+4)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px, mt+ph+16, fmtTick(fx))
+		fyLog := minY + (maxY-minY)*float64(i)/4
+		fy := fyLog
+		if opt.LogY {
+			fy = math.Pow(10, fyLog)
+		}
+		py := mt + ph - (fyLog-minY)/(maxY-minY)*ph
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`+"\n", ml-4, py, ml, py)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10" text-anchor="end">%s</text>`+"\n",
+			ml-7, py+3, fmtTick(fy))
+	}
+	// Series.
+	for si, s := range series {
+		color := CapColor(si)
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", toX(s.X[i]), toY(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="2.4" fill="%s"/>`+"\n", toX(s.X[i]), toY(s.Y[i]), color)
+		}
+		// Legend.
+		lx, ly := ml+pw-110, mt+12+float64(si)*16
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly-4, lx+18, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11">%s</text>`+"\n", lx+24, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 10000 || (av < 0.01 && av > 0):
+		return fmt.Sprintf("%.1e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

@@ -1,0 +1,141 @@
+// Package render draws placements and routed layouts as ASCII art and
+// SVG, reproducing the visual artifacts of the paper's Figs. 2-5
+// (placement styles, connected-group routing, block-chessboard
+// granularities, and routed chessboard-vs-spiral comparisons).
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ccdac/internal/ccmatrix"
+	"ccdac/internal/geom"
+	"ccdac/internal/route"
+)
+
+// palette assigns each capacitor a stable fill color (index modulo).
+var palette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+	"#86bcb6", "#d37295", "#fabfd2",
+}
+
+// CapColor returns the SVG fill color for capacitor bit (or dummies).
+func CapColor(bit int) string {
+	if bit < 0 {
+		return "#dddddd"
+	}
+	return palette[bit%len(palette)]
+}
+
+// ASCIIPlacement renders a placement as fixed-width text with the top
+// row first, hex capacitor indices, and 'd' for dummies — the textual
+// analogue of the paper's Fig. 2.
+func ASCIIPlacement(m *ccmatrix.Matrix) string {
+	return m.String()
+}
+
+// SVGPlacement renders a placement-only view (no routing): one square
+// per unit cell colored by capacitor, with index labels.
+func SVGPlacement(m *ccmatrix.Matrix, title string) string {
+	const cell = 28.0
+	const pad = 10.0
+	w := pad*2 + cell*float64(m.Cols)
+	h := pad*2 + cell*float64(m.Rows) + 18
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<text x="%.0f" y="14" font-family="sans-serif" font-size="12">%s</text>`+"\n", pad, escape(title))
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			bit := m.At(geom.Cell{Row: r, Col: c})
+			// Row 0 is the bottom row: flip y for screen coordinates.
+			x := pad + cell*float64(c)
+			y := 18 + pad + cell*float64(m.Rows-1-r)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#333" stroke-width="0.5"/>`+"\n",
+				x, y, cell, cell, CapColor(bit))
+			label := "d"
+			if bit >= 0 {
+				label = fmt.Sprintf("%d", bit)
+			}
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+				x+cell/2, y+cell/2+3, label)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// SVGLayout renders a routed layout: unit cells colored by capacitor,
+// bottom-plate wires in black (width scaled by parallel count),
+// top-plate wires in red, and vias as dots — the analogue of the
+// paper's Figs. 3 and 5.
+func SVGLayout(l *route.Layout, title string) string {
+	scale := 18.0 / l.Tech.Unit.W // pixels per micron
+	pad := 12.0
+	w := pad*2 + l.Width*scale
+	h := pad*2 + l.Height*scale + 18
+	toX := func(x float64) float64 { return pad + x*scale }
+	toY := func(y float64) float64 { return 18 + pad + (l.Height-y)*scale }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<text x="%.0f" y="14" font-family="sans-serif" font-size="12">%s</text>`+"\n", pad, escape(title))
+
+	// Unit cells.
+	halfW := l.Tech.Unit.W / 2 * scale
+	halfH := l.Tech.Unit.H / 2 * scale
+	for r := 0; r < l.M.Rows; r++ {
+		for c := 0; c < l.M.Cols; c++ {
+			cell := geom.Cell{Row: r, Col: c}
+			bit := l.M.At(cell)
+			p := l.CellCenter(cell)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.75" stroke="#444" stroke-width="0.4"/>`+"\n",
+				toX(p.X)-halfW, toY(p.Y)-halfH, 2*halfW, 2*halfH, CapColor(bit))
+		}
+	}
+	// Bottom-plate wires (black) and top-plate wires (red).
+	for _, wire := range l.Wires {
+		color := "#111111"
+		width := 0.8 + 0.6*float64(wire.Par-1)
+		if wire.Bit == route.TopPlateBit {
+			color = "#cc2222"
+			width = 0.8
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+			toX(wire.Seg.A.X), toY(wire.Seg.A.Y), toX(wire.Seg.B.X), toY(wire.Seg.B.Y), color, width)
+	}
+	// Vias.
+	for _, v := range l.Vias {
+		fill := "#222222"
+		if v.Input {
+			fill = "#1166cc"
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n",
+			toX(v.At.X), toY(v.At.Y), 1.2+0.6*float64(v.Par-1), fill)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// GroupsSummary describes the connected capacitor groups of a layout
+// as text (the content of Fig. 3(a)'s shading).
+func GroupsSummary(l *route.Layout) string {
+	var b strings.Builder
+	for bit, list := range l.Groups {
+		sizes := make([]int, len(list))
+		for i, g := range list {
+			sizes[i] = g.Size()
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+		fmt.Fprintf(&b, "C_%d: %d group(s), sizes %v\n", bit, len(list), sizes)
+	}
+	return b.String()
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

@@ -1,0 +1,145 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"ccdac/internal/place"
+	"ccdac/internal/route"
+	"ccdac/internal/tech"
+)
+
+func TestCapColorStable(t *testing.T) {
+	if CapColor(-1) != "#dddddd" {
+		t.Error("dummy color wrong")
+	}
+	if CapColor(0) == CapColor(1) {
+		t.Error("adjacent capacitors share a color")
+	}
+	if CapColor(3) != CapColor(3) {
+		t.Error("color not stable")
+	}
+	// Modulo wrap must not panic for large indices.
+	_ = CapColor(999)
+}
+
+func TestSVGPlacementWellFormed(t *testing.T) {
+	m, err := place.NewSpiral(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := SVGPlacement(m, "spiral <6-bit> & test")
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// One rect per cell.
+	if got := strings.Count(svg, "<rect"); got != 64 {
+		t.Errorf("rects = %d, want 64", got)
+	}
+	// Title is escaped.
+	if strings.Contains(svg, "<6-bit>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "&lt;6-bit&gt; &amp; test") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestSVGLayoutWellFormed(t *testing.T) {
+	m, err := place.NewSpiral(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := route.Route(m, tech.FinFET12(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := SVGLayout(l, "routed")
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(svg, "<rect") != 64 {
+		t.Errorf("cell rects = %d, want 64", strings.Count(svg, "<rect"))
+	}
+	if strings.Count(svg, "<line") != len(l.Wires) {
+		t.Errorf("lines = %d, want %d wires", strings.Count(svg, "<line"), len(l.Wires))
+	}
+	if strings.Count(svg, "<circle") != len(l.Vias) {
+		t.Errorf("circles = %d, want %d vias", strings.Count(svg, "<circle"), len(l.Vias))
+	}
+	// Top-plate wires drawn in red.
+	if !strings.Contains(svg, "#cc2222") {
+		t.Error("no top-plate (red) wires rendered")
+	}
+}
+
+func TestASCIIPlacement(t *testing.T) {
+	m, err := place.NewChessboard(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := ASCIIPlacement(m)
+	lines := strings.Split(strings.TrimRight(txt, "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("rows = %d, want 8", len(lines))
+	}
+	// MSB on black squares: the 6 digit must appear 32 times.
+	if got := strings.Count(txt, "6"); got != 32 {
+		t.Errorf("MSB cells rendered %d times, want 32", got)
+	}
+}
+
+func TestGroupsSummary(t *testing.T) {
+	m, err := place.NewSpiral(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := route.Route(m, tech.FinFET12(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := GroupsSummary(l)
+	for bit := 0; bit <= 6; bit++ {
+		if !strings.Contains(s, "C_"+string(rune('0'+bit))+":") {
+			t.Errorf("summary missing C_%d", bit)
+		}
+	}
+}
+
+func TestLineChartBasics(t *testing.T) {
+	series := []Series{
+		{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}},
+		{Name: "b", X: []float64{1, 2, 3}, Y: []float64{2, 2, 2}},
+	}
+	svg := LineChart(series, ChartOptions{Title: "t <1>", XLabel: "x", YLabel: "y"})
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("polylines = %d, want 2", strings.Count(svg, "<polyline"))
+	}
+	// 3 markers per series + legend swatches.
+	if strings.Count(svg, "<circle") != 6 {
+		t.Errorf("markers = %d, want 6", strings.Count(svg, "<circle"))
+	}
+	if strings.Contains(svg, "t <1>") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestLineChartLogY(t *testing.T) {
+	series := []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{1, 1000}}}
+	svg := LineChart(series, ChartOptions{LogY: true})
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("log chart missing series")
+	}
+	// Degenerate/empty input must not panic and still emit a frame.
+	empty := LineChart(nil, ChartOptions{})
+	if !strings.HasPrefix(empty, "<svg") {
+		t.Fatal("empty chart not an SVG")
+	}
+	flat := LineChart([]Series{{Name: "f", X: []float64{1}, Y: []float64{5}}}, ChartOptions{})
+	if !strings.Contains(flat, "<circle") {
+		t.Fatal("single-point series lost")
+	}
+}

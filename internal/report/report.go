@@ -1,0 +1,168 @@
+// Package report renders a self-contained HTML design report for a
+// generated capacitor array: the routed layout and placement views
+// (inline SVG), the electrical and performance metrics of the paper's
+// Tables I/II, the per-bit extraction detail, the connected-group
+// inventory, and the DRC verdict — the artifact a designer would
+// attach to a review.
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"time"
+
+	"ccdac/internal/core"
+	"ccdac/internal/drc"
+	"ccdac/internal/extract"
+	"ccdac/internal/render"
+)
+
+// BitRow is the per-capacitor detail table row.
+type BitRow struct {
+	Bit      int
+	Cells    int
+	Groups   int
+	Parallel int
+	TauPS    string
+	RWireOhm string
+	RViaOhm  string
+	CWirefF  string
+}
+
+// Data is the template payload.
+type Data struct {
+	Title        string
+	GeneratedAt  string
+	Style        string
+	Bits         int
+	AreaUm2      string
+	F3dBMHz      string
+	CriticalBit  int
+	DNL, INL     string
+	CTSfF        string
+	CWirefF      string
+	CBBfF        string
+	ViaCuts      int
+	WirelengthUm string
+	PlaceMs      string
+	RouteMs      string
+	BitRows      []BitRow
+	DRCClean     bool
+	DRCList      []string
+	LayoutSVG    template.HTML
+	PlacementSVG template.HTML
+	GroupsText   string
+}
+
+const tmplText = `<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+body { font-family: sans-serif; margin: 2em; color: #222; max-width: 70em; }
+h1, h2 { color: #1a3c6e; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #bbb; padding: 0.3em 0.8em; text-align: right; }
+th { background: #eef2f8; }
+.ok { color: #0a7a2f; font-weight: bold; }
+.bad { color: #b01010; font-weight: bold; }
+pre { background: #f6f6f6; padding: 1em; overflow-x: auto; }
+.figs { display: flex; flex-wrap: wrap; gap: 2em; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+<p>{{.Bits}}-bit binary-weighted capacitor array, {{.Style}} placement.
+Generated {{.GeneratedAt}}.</p>
+
+<h2>Performance (Table II metrics)</h2>
+<table>
+<tr><th>Area (µm²)</th><th>f<sub>3dB</sub> (MHz)</th><th>critical bit</th>
+<th>|DNL| (LSB)</th><th>|INL| (LSB)</th><th>place+route (ms)</th></tr>
+<tr><td>{{.AreaUm2}}</td><td>{{.F3dBMHz}}</td><td>C<sub>{{.CriticalBit}}</sub></td>
+<td>{{.DNL}}</td><td>{{.INL}}</td><td>{{.PlaceMs}} + {{.RouteMs}}</td></tr>
+</table>
+
+<h2>Electrical (Table I metrics)</h2>
+<table>
+<tr><th>ΣC<sup>TS</sup> (fF)</th><th>ΣC<sup>wire</sup> (fF)</th><th>ΣC<sup>BB</sup> (fF)</th>
+<th>ΣN<sub>V</sub></th><th>ΣL (µm)</th></tr>
+<tr><td>{{.CTSfF}}</td><td>{{.CWirefF}}</td><td>{{.CBBfF}}</td>
+<td>{{.ViaCuts}}</td><td>{{.WirelengthUm}}</td></tr>
+</table>
+
+<h2>Design rules</h2>
+{{if .DRCClean}}<p class="ok">DRC clean.</p>{{else}}
+<p class="bad">{{len .DRCList}} DRC violations:</p>
+<ul>{{range .DRCList}}<li>{{.}}</li>{{end}}</ul>{{end}}
+
+<h2>Per-capacitor extraction</h2>
+<table>
+<tr><th>bit</th><th>cells</th><th>groups</th><th>parallel</th>
+<th>τ (ps)</th><th>ΣR<sub>wire</sub> (Ω)</th><th>ΣR<sub>via</sub> (Ω)</th><th>C<sub>wire</sub> (fF)</th></tr>
+{{range .BitRows}}<tr><td>C<sub>{{.Bit}}</sub></td><td>{{.Cells}}</td><td>{{.Groups}}</td>
+<td>{{.Parallel}}</td><td>{{.TauPS}}</td><td>{{.RWireOhm}}</td><td>{{.RViaOhm}}</td><td>{{.CWirefF}}</td></tr>
+{{end}}</table>
+
+<h2>Connected capacitor groups</h2>
+<pre>{{.GroupsText}}</pre>
+
+<h2>Views</h2>
+<div class="figs">
+<div>{{.PlacementSVG}}</div>
+<div>{{.LayoutSVG}}</div>
+</div>
+</body></html>
+`
+
+var tmpl = template.Must(template.New("report").Parse(tmplText))
+
+// Write renders the HTML report of a flow result.
+func Write(w io.Writer, r *core.Result) error {
+	title := fmt.Sprintf("ccdac report: %d-bit %s array", r.Placement.Bits, r.Config.Style)
+	d := Data{
+		Title:        title,
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		Style:        r.Config.Style.String(),
+		Bits:         r.Placement.Bits,
+		AreaUm2:      fmt.Sprintf("%.0f", r.Electrical.AreaUm2),
+		F3dBMHz:      fmt.Sprintf("%.1f", r.F3dBHz/1e6),
+		CriticalBit:  r.CriticalBit,
+		CTSfF:        fmt.Sprintf("%.3f", r.Electrical.CTSfF),
+		CWirefF:      fmt.Sprintf("%.1f", r.Electrical.CWirefF),
+		CBBfF:        fmt.Sprintf("%.1f", r.Electrical.CBBfF),
+		ViaCuts:      r.Electrical.ViaCuts,
+		WirelengthUm: fmt.Sprintf("%.0f", r.Electrical.WirelengthUm),
+		PlaceMs:      fmt.Sprintf("%.2f", r.PlaceTime.Seconds()*1000),
+		RouteMs:      fmt.Sprintf("%.2f", r.RouteTime.Seconds()*1000),
+		DNL:          "—",
+		INL:          "—",
+		GroupsText:   render.GroupsSummary(r.Layout),
+		PlacementSVG: template.HTML(render.SVGPlacement(r.Placement, "placement")),
+		LayoutSVG:    template.HTML(render.SVGLayout(r.Layout, "routed layout")),
+	}
+	if r.NL != nil {
+		d.DNL = fmt.Sprintf("%.4f", r.NL.MaxAbsDNL)
+		d.INL = fmt.Sprintf("%.4f", r.NL.MaxAbsINL)
+	}
+	for bit, bn := range r.Electrical.Bits {
+		d.BitRows = append(d.BitRows, bitRow(r, bit, bn))
+	}
+	chk := drc.Check(r.Layout)
+	d.DRCClean = chk.Clean()
+	for _, v := range chk.Violations {
+		d.DRCList = append(d.DRCList, v.String())
+	}
+	return tmpl.Execute(w, d)
+}
+
+func bitRow(r *core.Result, bit int, bn extract.BitNet) BitRow {
+	return BitRow{
+		Bit:      bit,
+		Cells:    len(bn.CellNodes),
+		Groups:   len(r.Layout.Groups[bit]),
+		Parallel: r.Par[bit],
+		TauPS:    fmt.Sprintf("%.2f", bn.TauSec*1e12),
+		RWireOhm: fmt.Sprintf("%.0f", bn.RWireOhm),
+		RViaOhm:  fmt.Sprintf("%.0f", bn.RViaOhm),
+		CWirefF:  fmt.Sprintf("%.2f", bn.CWirefF),
+	}
+}

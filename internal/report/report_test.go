@@ -1,0 +1,56 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"ccdac/internal/core"
+	"ccdac/internal/place"
+)
+
+func TestWriteReport(t *testing.T) {
+	r, err := core.Run(core.Config{Bits: 6, Style: place.Spiral, MaxParallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Write(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	html := b.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"6-bit spiral array",
+		"DRC clean",
+		"<svg",          // inline views
+		"C<sub>6</sub>", // per-bit rows
+		"Connected capacitor groups",
+		"f<sub>3dB</sub>",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Both views present.
+	if strings.Count(html, "<svg") != 2 {
+		t.Errorf("expected 2 inline SVGs, found %d", strings.Count(html, "<svg"))
+	}
+	// Metrics filled in (no placeholder dashes when NL ran).
+	if strings.Contains(html, "<td>—</td>") {
+		t.Error("NL metrics missing from report")
+	}
+}
+
+func TestWriteReportSkipNL(t *testing.T) {
+	r, err := core.Run(core.Config{Bits: 6, Style: place.Chessboard, SkipNL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Write(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "—") {
+		t.Error("skipped NL must render placeholders")
+	}
+}

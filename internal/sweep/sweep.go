@@ -1,0 +1,284 @@
+// Package sweep provides the sensitivity and ablation studies behind
+// the paper's design choices: how the placement-style conclusions
+// respond to via resistance, wire resistance, correlation length,
+// gradient magnitude and switch resistance; and how the block-
+// chessboard structure parameters (core size, block granularity) trade
+// 3dB frequency against INL/DNL (the space Fig. 4 samples and the
+// "best BC" selection searches).
+package sweep
+
+import (
+	"fmt"
+	"math"
+
+	"ccdac/internal/core"
+	"ccdac/internal/place"
+	"ccdac/internal/tech"
+)
+
+// Knob identifies a technology parameter scaled in a sensitivity sweep.
+type Knob string
+
+const (
+	// KnobViaR scales the per-cut via resistance — the FinFET effect
+	// the paper's via-avoiding placements target.
+	KnobViaR Knob = "via-r"
+	// KnobWireR scales every layer's wire resistance.
+	KnobWireR Knob = "wire-r"
+	// KnobCorrLen scales the mismatch correlation length L_c.
+	KnobCorrLen Knob = "corr-len"
+	// KnobGradient scales the oxide-gradient magnitude gamma.
+	KnobGradient Knob = "gradient"
+	// KnobSwitchR scales the driver/switch on-resistance.
+	KnobSwitchR Knob = "switch-r"
+	// KnobCoupling scales the sidewall coupling capacitance.
+	KnobCoupling Knob = "coupling"
+	// KnobUnitCap scales the unit capacitance C_u, with the cell
+	// outline scaling as sqrt(factor) (MOM density is fixed). The
+	// paper: "Increasing C_u can reduce these effects, at the cost of
+	// increased power. Moreover, as C_u increases, so does the array
+	// area, with larger routing parasitics."
+	KnobUnitCap Knob = "unit-cap"
+)
+
+// Knobs lists every supported sweep knob.
+func Knobs() []Knob {
+	return []Knob{KnobViaR, KnobWireR, KnobCorrLen, KnobGradient, KnobSwitchR, KnobCoupling, KnobUnitCap}
+}
+
+// ScaledTech returns a copy of base with one knob scaled by factor.
+func ScaledTech(base *tech.Technology, knob Knob, factor float64) (*tech.Technology, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("sweep: factor must be positive, got %g", factor)
+	}
+	t := *base // shallow copy; Layers slice cloned below
+	t.Layers = append([]tech.Layer(nil), base.Layers...)
+	switch knob {
+	case KnobViaR:
+		t.ViaROhm *= factor
+	case KnobWireR:
+		for i := range t.Layers {
+			t.Layers[i].ROhmPerUm *= factor
+		}
+	case KnobCorrLen:
+		t.Mis.LcUm *= factor
+	case KnobGradient:
+		t.Mis.GradientPPMPerUm *= factor
+	case KnobSwitchR:
+		t.SwitchROhm *= factor
+	case KnobCoupling:
+		t.CouplingC0fFPerUm *= factor
+	case KnobUnitCap:
+		t.Unit.CfF *= factor
+		side := math.Sqrt(factor)
+		t.Unit.W *= side
+		t.Unit.H *= side
+	default:
+		return nil, fmt.Errorf("sweep: unknown knob %q", knob)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("sweep: scaled technology invalid: %w", err)
+	}
+	return &t, nil
+}
+
+// Point is one sample of a sensitivity sweep.
+type Point struct {
+	Factor  float64
+	F3dBHz  float64
+	DNL     float64
+	INL     float64
+	ViaCuts int
+}
+
+// Sensitivity runs the flow at each scale factor of one knob and
+// collects the resulting metrics. The INL/DNL analysis is skipped for
+// purely electrical knobs unless withNL is set.
+func Sensitivity(cfg core.Config, knob Knob, factors []float64, withNL bool) ([]Point, error) {
+	base := cfg.Tech
+	if base == nil {
+		base = tech.FinFET12()
+	}
+	out := make([]Point, 0, len(factors))
+	for _, f := range factors {
+		t, err := ScaledTech(base, knob, f)
+		if err != nil {
+			return nil, err
+		}
+		c := cfg
+		c.Tech = t
+		c.SkipNL = !withNL
+		r, err := core.Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: factor %g: %w", f, err)
+		}
+		p := Point{Factor: f, F3dBHz: r.F3dBHz, ViaCuts: r.Electrical.ViaCuts}
+		if r.NL != nil {
+			p.DNL, p.INL = r.NL.MaxAbsDNL, r.NL.MaxAbsINL
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// BCPoint is one block-chessboard structure's full metric set.
+type BCPoint struct {
+	CoreBits   int
+	BlockCells int
+	F3dBHz     float64
+	DNL, INL   float64
+	AreaUm2    float64
+	ViaCuts    int
+}
+
+// BCAblation evaluates every feasible block-chessboard structure at
+// one bit count — the tradeoff space of Fig. 4 and the "best BC"
+// search.
+func BCAblation(bits, parallel int) ([]BCPoint, error) {
+	_, all, err := core.RunBestBC(core.Config{Bits: bits, MaxParallel: parallel})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BCPoint, len(all))
+	for i, r := range all {
+		out[i] = BCPoint{
+			CoreBits:   r.Config.BC.CoreBits,
+			BlockCells: r.Config.BC.BlockCells,
+			F3dBHz:     r.F3dBHz,
+			AreaUm2:    r.Electrical.AreaUm2,
+			ViaCuts:    r.Electrical.ViaCuts,
+		}
+		if r.NL != nil {
+			out[i].DNL, out[i].INL = r.NL.MaxAbsDNL, r.NL.MaxAbsINL
+		}
+	}
+	return out, nil
+}
+
+// ViaRStudy quantifies the paper's FinFET motivation at one bit count
+// and a set of via-resistance scale factors: the spiral-vs-chessboard
+// f3dB gap with and without parallel routing, and the parallel-routing
+// gain itself. As vias get more resistive, parallel routing (p² via
+// arrays) becomes more valuable, and the parallel-routed spiral keeps
+// its advantage where the single-wire flow loses it.
+type ViaRStudy struct {
+	Factors []float64
+	// GapParallel is f3dB(S, p=2)/f3dB([7]) per factor.
+	GapParallel []float64
+	// GapSingle is f3dB(S, p=1)/f3dB([7]) per factor.
+	GapSingle []float64
+	// ParallelGain is f3dB(S, p=2)/f3dB(S, p=1) per factor.
+	ParallelGain []float64
+}
+
+// SizeResult reports the outcome of unit-capacitor sizing.
+type SizeResult struct {
+	// Factor is the chosen C_u scale relative to the base technology.
+	Factor float64
+	// CuFF is the resulting unit capacitance.
+	CuFF float64
+	// INL and DNL are the worst-case nonlinearities at that size.
+	INL, DNL float64
+	// F3dBHz and AreaUm2 are the costs paid for the matching.
+	F3dBHz  float64
+	AreaUm2 float64
+}
+
+// SizeForSpec finds the smallest unit capacitor (by bisection over the
+// C_u scale factor, relative sigma falling as 1/sqrt(C_u)) whose
+// worst-case INL and DNL meet the spec — the unit-capacitor sizing
+// loop that Lin et al. [8] integrate with placement and routing. It
+// returns an error when even maxFactor cannot meet the spec.
+func SizeForSpec(cfg core.Config, specLSB, maxFactor float64) (*SizeResult, error) {
+	if specLSB <= 0 {
+		return nil, fmt.Errorf("sweep: spec must be positive")
+	}
+	if maxFactor < 1 {
+		maxFactor = 1
+	}
+	eval := func(f float64) (*SizeResult, error) {
+		pts, err := Sensitivity(cfg, KnobUnitCap, []float64{f}, true)
+		if err != nil {
+			return nil, err
+		}
+		base := cfg.Tech
+		if base == nil {
+			base = tech.FinFET12()
+		}
+		t, err := ScaledTech(base, KnobUnitCap, f)
+		if err != nil {
+			return nil, err
+		}
+		c := cfg
+		c.Tech = t
+		c.SkipNL = true
+		r, err := core.Run(c)
+		if err != nil {
+			return nil, err
+		}
+		return &SizeResult{
+			Factor: f, CuFF: t.Unit.CfF,
+			INL: pts[0].INL, DNL: pts[0].DNL,
+			F3dBHz: pts[0].F3dBHz, AreaUm2: r.Electrical.AreaUm2,
+		}, nil
+	}
+	meets := func(r *SizeResult) bool { return r.INL <= specLSB && r.DNL <= specLSB }
+
+	hiRes, err := eval(maxFactor)
+	if err != nil {
+		return nil, err
+	}
+	if !meets(hiRes) {
+		return nil, fmt.Errorf("sweep: spec %.4g LSB unreachable even at %gx C_u (INL %.4g, DNL %.4g)",
+			specLSB, maxFactor, hiRes.INL, hiRes.DNL)
+	}
+	loRes, err := eval(1)
+	if err != nil {
+		return nil, err
+	}
+	if meets(loRes) {
+		return loRes, nil
+	}
+	lo, hi := 1.0, maxFactor
+	best := hiRes
+	for i := 0; i < 12 && hi/lo > 1.05; i++ {
+		mid := math.Sqrt(lo * hi)
+		r, err := eval(mid)
+		if err != nil {
+			return nil, err
+		}
+		if meets(r) {
+			best, hi = r, mid
+		} else {
+			lo = mid
+		}
+	}
+	return best, nil
+}
+
+// StudyViaR runs the via-resistance study.
+func StudyViaR(bits int, factors []float64) (*ViaRStudy, error) {
+	s := &ViaRStudy{Factors: append([]float64(nil), factors...)}
+	for _, f := range factors {
+		t, err := ScaledTech(tech.FinFET12(), KnobViaR, f)
+		if err != nil {
+			return nil, err
+		}
+		sp2, err := core.Run(core.Config{Bits: bits, Style: place.Spiral, Tech: t, SkipNL: true, MaxParallel: 2})
+		if err != nil {
+			return nil, err
+		}
+		sp1, err := core.Run(core.Config{Bits: bits, Style: place.Spiral, Tech: t, SkipNL: true})
+		if err != nil {
+			return nil, err
+		}
+		cb, err := core.Run(core.Config{Bits: bits, Style: place.Chessboard, Tech: t, SkipNL: true})
+		if err != nil {
+			return nil, err
+		}
+		s.GapParallel = append(s.GapParallel, sp2.F3dBHz/cb.F3dBHz)
+		s.GapSingle = append(s.GapSingle, sp1.F3dBHz/cb.F3dBHz)
+		s.ParallelGain = append(s.ParallelGain, sp2.F3dBHz/sp1.F3dBHz)
+	}
+	return s, nil
+}

@@ -1,0 +1,187 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ccdac/internal/geom"
+)
+
+func TestFinFET12Validates(t *testing.T) {
+	if err := FinFET12().Validate(); err != nil {
+		t.Fatalf("default technology invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsNil(t *testing.T) {
+	var tt *Technology
+	if err := tt.Validate(); err == nil {
+		t.Fatal("nil technology must not validate")
+	}
+}
+
+func TestValidateRejectsBadLayerCount(t *testing.T) {
+	tt := FinFET12()
+	tt.Layers = tt.Layers[:1]
+	if err := tt.Validate(); err == nil {
+		t.Fatal("single-layer technology must not validate")
+	}
+}
+
+func TestValidateRejectsSameDirectionAdjacentLayers(t *testing.T) {
+	tt := FinFET12()
+	tt.Layers[1].Dir = geom.Horizontal // same as M1
+	if err := tt.Validate(); err == nil {
+		t.Fatal("adjacent same-direction layers must not validate")
+	}
+}
+
+func TestValidateRejectsSamePlateLayers(t *testing.T) {
+	tt := FinFET12()
+	tt.Unit.TopLayer = tt.Unit.BottomLayer
+	if err := tt.Validate(); err == nil {
+		t.Fatal("identical plate layers must not validate")
+	}
+}
+
+func TestValidateRejectsBadRho(t *testing.T) {
+	for _, rho := range []float64{0, 1, -0.5, 1.5} {
+		tt := FinFET12()
+		tt.Mis.RhoU = rho
+		if err := tt.Validate(); err == nil {
+			t.Errorf("rho_u = %g must not validate", rho)
+		}
+	}
+}
+
+func TestValidateRejectsNonPositiveVia(t *testing.T) {
+	tt := FinFET12()
+	tt.ViaROhm = 0
+	if err := tt.Validate(); err == nil {
+		t.Fatal("zero via resistance must not validate")
+	}
+}
+
+func TestCouplingFalloff(t *testing.T) {
+	tt := FinFET12()
+	atMin := tt.CouplingfFPerUm(tt.SMinUm)
+	if math.Abs(atMin-tt.CouplingC0fFPerUm) > 1e-15 {
+		t.Errorf("coupling at s_min = %g, want %g", atMin, tt.CouplingC0fFPerUm)
+	}
+	at2x := tt.CouplingfFPerUm(2 * tt.SMinUm)
+	if math.Abs(at2x-tt.CouplingC0fFPerUm/2) > 1e-15 {
+		t.Errorf("coupling at 2*s_min = %g, want %g", at2x, tt.CouplingC0fFPerUm/2)
+	}
+	// Non-positive spacing clamps to minimum spacing.
+	if got := tt.CouplingfFPerUm(0); got != atMin {
+		t.Errorf("coupling at s=0 = %g, want clamp to %g", got, atMin)
+	}
+}
+
+func TestSigmaUMatchesPaperModel(t *testing.T) {
+	tt := FinFET12()
+	// A_f^2 = 0.85% x 1 fF and C_u = 5 fF: relative sigma = 0.85%/sqrt(5).
+	wantRel := 0.0085 / math.Sqrt(5)
+	gotRel := tt.SigmaU() / tt.Unit.CfF
+	if math.Abs(gotRel-wantRel) > 1e-12 {
+		t.Errorf("relative sigma_u = %g, want %g", gotRel, wantRel)
+	}
+}
+
+func TestRhoProperties(t *testing.T) {
+	tt := FinFET12()
+	if got := tt.Rho(0); got != 1 {
+		t.Errorf("rho(0) = %g, want 1", got)
+	}
+	if got := tt.Rho(tt.Mis.LcUm); math.Abs(got-tt.Mis.RhoU) > 1e-12 {
+		t.Errorf("rho(Lc) = %g, want rho_u = %g", got, tt.Mis.RhoU)
+	}
+	// Monotone decreasing in distance.
+	f := func(a, b uint16) bool {
+		d1, d2 := float64(a), float64(b)
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return tt.Rho(d1) >= tt.Rho(d2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayerDirectionLookups(t *testing.T) {
+	tt := FinFET12()
+	h, v := tt.HorizontalLayer(), tt.VerticalLayer()
+	if h != 0 {
+		t.Errorf("horizontal layer = %d, want 0 (M1)", h)
+	}
+	if v != 1 {
+		t.Errorf("vertical layer = %d, want 1 (M2)", v)
+	}
+	if tt.Layers[h].Dir != geom.Horizontal || tt.Layers[v].Dir != geom.Vertical {
+		t.Error("direction lookup returned wrong layer")
+	}
+}
+
+func TestParallelWireScaling(t *testing.T) {
+	tt := FinFET12()
+	const length = 10.0
+	r1 := tt.WireR(0, length, 1)
+	r4 := tt.WireR(0, length, 4)
+	if math.Abs(r1/r4-4) > 1e-12 {
+		t.Errorf("4 parallel wires must quarter resistance: r1/r4 = %g", r1/r4)
+	}
+	c1 := tt.WireC(0, length, 1)
+	c4 := tt.WireC(0, length, 4)
+	if math.Abs(c4/c1-4) > 1e-12 {
+		t.Errorf("4 parallel wires must quadruple capacitance: c4/c1 = %g", c4/c1)
+	}
+	// Via arrays scale as p^2 (paper Sec. IV-B4).
+	if math.Abs(tt.ViaR(1)/tt.ViaR(2)-4) > 1e-12 {
+		t.Errorf("2 parallel wires must quarter via resistance")
+	}
+	// p < 1 clamps to 1.
+	if tt.WireR(0, length, 0) != r1 || tt.ViaR(0) != tt.ViaR(1) {
+		t.Error("non-positive p must clamp to 1")
+	}
+}
+
+func TestWireRCPositive(t *testing.T) {
+	tt := FinFET12()
+	f := func(lenRaw uint8, pRaw uint8) bool {
+		l := float64(lenRaw) * 0.1
+		p := int(pRaw%8) + 1
+		for li := range tt.Layers {
+			if tt.WireR(li, l, p) < 0 || tt.WireC(li, l, p) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBulk65Validates(t *testing.T) {
+	if err := Bulk65().Validate(); err != nil {
+		t.Fatalf("bulk technology invalid: %v", err)
+	}
+}
+
+func TestBulk65ContrastsWithFinFET(t *testing.T) {
+	fin, bulk := FinFET12(), Bulk65()
+	// The node contrast the paper builds on: FinFET wires and vias are
+	// far more resistive.
+	if fin.Layers[0].ROhmPerUm < 4*bulk.Layers[0].ROhmPerUm {
+		t.Error("FinFET M1 not much more resistive than bulk")
+	}
+	if fin.ViaROhm < 10*bulk.ViaROhm {
+		t.Error("FinFET vias not much more resistive than bulk")
+	}
+	// Bulk MOM caps are physically larger for the same capacitance.
+	if bulk.Unit.W <= fin.Unit.W {
+		t.Error("bulk unit cell not larger")
+	}
+}

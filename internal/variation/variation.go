@@ -1,0 +1,246 @@
+// Package variation implements the paper's process-variation models
+// (Sec. II-C): the deterministic linear oxide-gradient model (Eq. 3)
+// and the spatially-correlated random mismatch model (Eqs. 4-6), whose
+// per-capacitor covariance matrix drives the 3σ INL/DNL analysis, plus
+// a Cholesky-based correlated Monte-Carlo sampler as a cross-check
+// extension.
+package variation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ccdac/internal/ccmatrix"
+	"ccdac/internal/geom"
+	"ccdac/internal/linalg"
+	"ccdac/internal/tech"
+)
+
+// Positioner maps a placement cell to its physical center in microns;
+// the routed layout provides this (channel widths shift columns).
+type Positioner func(geom.Cell) geom.Pt
+
+// GridPositioner returns a plain-grid positioner with no routing
+// channels, useful for placement-only analyses and tests.
+func GridPositioner(t *tech.Technology) Positioner {
+	return func(c geom.Cell) geom.Pt {
+		return geom.Pt{
+			X: (float64(c.Col) + 0.5) * t.Unit.W,
+			Y: (float64(c.Row) + 0.5) * t.Unit.H,
+		}
+	}
+}
+
+// Analysis carries the variation view of one placement at one gradient
+// angle.
+type Analysis struct {
+	// Bits is the DAC resolution N; capacitors are C_0..C_N.
+	Bits int
+	// Counts[k] is the number of unit cells of C_k (including any
+	// chessboard doubling).
+	Counts []int
+	// CuFF is the unit capacitance in fF.
+	CuFF float64
+	// ThetaRad is the oxide-gradient angle used for CStar.
+	ThetaRad float64
+	// CStar[k] is C_k* of Eq. 3: the gradient-shifted capacitance in fF.
+	CStar []float64
+	// Cov is the (N+1)x(N+1) capacitor covariance matrix in fF^2:
+	// Cov[j][k] = sigma_u^2 * sum_{a in C_j, b in C_k} rho_ab, which
+	// reduces to Eq. 6's sigma_p^2, sigma_q^2 and Cov(p,q) entries.
+	Cov *linalg.Dense
+}
+
+// DCSys returns the systematic shift Delta C_k^sys = C_k* - n_k C_u
+// (Eq. 12) in fF.
+func (a *Analysis) DCSys(k int) float64 {
+	return a.CStar[k] - float64(a.Counts[k])*a.CuFF
+}
+
+// SigmaOn returns sigma of Delta C_ON(i) per Eq. 13 for the given
+// switch states D_1..D_N (D[k] indexes capacitor k; D[0] is ignored —
+// C_0 is always grounded).
+func (a *Analysis) SigmaOn(d []bool) float64 {
+	v := 0.0
+	for j := 1; j <= a.Bits; j++ {
+		if !d[j] {
+			continue
+		}
+		for k := 1; k <= a.Bits; k++ {
+			if d[k] {
+				v += a.Cov.At(j, k)
+			}
+		}
+	}
+	return math.Sqrt(math.Max(0, v))
+}
+
+// SigmaT returns sigma of Delta C_T per Eq. 14 (all capacitors,
+// including C_0).
+func (a *Analysis) SigmaT() float64 {
+	v := 0.0
+	for j := 0; j <= a.Bits; j++ {
+		for k := 0; k <= a.Bits; k++ {
+			v += a.Cov.At(j, k)
+		}
+	}
+	return math.Sqrt(math.Max(0, v))
+}
+
+// Analyze computes the variation view of a placement: the gradient
+// capacitor shifts at angle thetaRad, and the random-mismatch
+// covariance matrix (angle-independent).
+func Analyze(m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, thetaRad float64) (*Analysis, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("variation: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("variation: %w", err)
+	}
+	a := &Analysis{
+		Bits:     m.Bits,
+		CuFF:     t.Unit.CfF,
+		ThetaRad: thetaRad,
+		CStar:    make([]float64, m.Bits+1),
+		Counts:   make([]int, m.Bits+1),
+	}
+
+	cells := make([][]geom.Pt, m.Bits+1)
+	// The gradient is referenced to the centroid of the occupied array.
+	var cx, cy float64
+	total := 0
+	for k := 0; k <= m.Bits; k++ {
+		for _, c := range m.CellsOf(k) {
+			p := pos(c)
+			cells[k] = append(cells[k], p)
+			cx += p.X
+			cy += p.Y
+			total++
+		}
+		a.Counts[k] = len(cells[k])
+	}
+	cx /= float64(total)
+	cy /= float64(total)
+
+	// Eq. 3: C_k* = sum_j C_u * t0/t_j with
+	// t_j = t0 (1 + gamma (x cos th + y sin th) + q r^2), gamma in
+	// 1/um and q in 1/um^2 (the quadratic term is an extension; the
+	// paper's model is linear, q = 0).
+	gamma := t.Mis.GradientPPMPerUm * 1e-6
+	quad := t.Mis.QuadGradientPPMPerUm2 * 1e-6
+	cosT, sinT := math.Cos(thetaRad), math.Sin(thetaRad)
+	for k := 0; k <= m.Bits; k++ {
+		sum := 0.0
+		for _, p := range cells[k] {
+			dx, dy := p.X-cx, p.Y-cy
+			tRatio := 1 + gamma*(dx*cosT+dy*sinT) + quad*(dx*dx+dy*dy)
+			sum += t.Unit.CfF / tRatio
+		}
+		a.CStar[k] = sum
+	}
+
+	// Random mismatch: capacitor-level covariance from unit-cell
+	// correlations rho_ab = rho_u^(d/Lc) (Eqs. 4-6).
+	sigmaU2 := t.SigmaU() * t.SigmaU()
+	a.Cov = linalg.NewDense(m.Bits + 1)
+	for j := 0; j <= m.Bits; j++ {
+		for k := j; k <= m.Bits; k++ {
+			s := 0.0
+			for _, pa := range cells[j] {
+				for _, pb := range cells[k] {
+					s += t.Rho(pa.Dist(pb))
+				}
+			}
+			c := sigmaU2 * s
+			a.Cov.Set(j, k, c)
+			a.Cov.Set(k, j, c)
+		}
+	}
+	return a, nil
+}
+
+// SweepTheta analyzes the placement over nSteps gradient angles in
+// [0, pi) and returns one Analysis per angle. The covariance matrix is
+// computed once and shared (it is angle-independent).
+func SweepTheta(m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, nSteps int) ([]*Analysis, error) {
+	if nSteps < 1 {
+		return nil, fmt.Errorf("variation: need at least 1 sweep step, got %d", nSteps)
+	}
+	first, err := Analyze(m, pos, t, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Analysis, nSteps)
+	out[0] = first
+	for i := 1; i < nSteps; i++ {
+		theta := math.Pi * float64(i) / float64(nSteps)
+		a, err := Analyze(m, pos, t, theta)
+		if err != nil {
+			return nil, err
+		}
+		a.Cov = first.Cov // share the angle-independent covariance
+		out[i] = a
+	}
+	return out, nil
+}
+
+// MonteCarlo draws correlated random-mismatch samples at the unit-cell
+// level (covariance sigma_u^2 rho_u^(d/Lc), sampled via Cholesky) and
+// returns per-sample capacitor shifts DeltaC[sample][k] in fF, with the
+// systematic gradient shift of the supplied analysis added in. It
+// cross-checks the closed-form 3σ model.
+func MonteCarlo(m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, a *Analysis, samples int, seed int64) ([][]float64, error) {
+	if samples < 1 {
+		return nil, fmt.Errorf("variation: need at least 1 sample")
+	}
+	type unit struct {
+		bit int
+		p   geom.Pt
+	}
+	var units []unit
+	for k := 0; k <= m.Bits; k++ {
+		for _, c := range m.CellsOf(k) {
+			units = append(units, unit{bit: k, p: pos(c)})
+		}
+	}
+	n := len(units)
+	cov := linalg.NewDense(n)
+	sigmaU2 := t.SigmaU() * t.SigmaU()
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			c := sigmaU2 * t.Rho(units[i].p.Dist(units[j].p))
+			cov.Set(i, j, c)
+			cov.Set(j, i, c)
+		}
+		// Tiny jitter keeps the near-singular high-correlation matrix
+		// numerically positive definite.
+		cov.Add(i, i, sigmaU2*1e-9)
+	}
+	chol, err := linalg.Cholesky(cov)
+	if err != nil {
+		return nil, fmt.Errorf("variation: unit covariance: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, samples)
+	z := make([]float64, n)
+	for s := 0; s < samples; s++ {
+		for i := range z {
+			z[i] = rng.NormFloat64()
+		}
+		// delta = L z.
+		shifts := make([]float64, m.Bits+1)
+		for i := 0; i < n; i++ {
+			d := 0.0
+			for j := 0; j <= i; j++ {
+				d += chol.At(i, j) * z[j]
+			}
+			shifts[units[i].bit] += d
+		}
+		for k := 0; k <= m.Bits; k++ {
+			shifts[k] += a.DCSys(k)
+		}
+		out[s] = shifts
+	}
+	return out, nil
+}
