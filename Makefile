@@ -1,0 +1,30 @@
+# Tier-1 verification for the ccdac repo. `make check` is the gate a
+# change must pass; the individual targets exist for quick iteration.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race fuzz
+
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Fuzz the public API's never-panic contract (30s).
+fuzz:
+	$(GO) test -fuzz=FuzzGenerate -fuzztime=30s -run '^$$' .

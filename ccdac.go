@@ -23,7 +23,7 @@
 package ccdac
 
 import (
-	"fmt"
+	"context"
 
 	"ccdac/internal/core"
 	"ccdac/internal/place"
@@ -130,19 +130,40 @@ type Metrics struct {
 type Result struct {
 	Config  Config
 	Metrics Metrics
+	// Warnings records graceful degradations taken during generation
+	// (solver fallbacks, abandoned parallel-wire promotions, skipped
+	// best-BC candidates). Empty means the flow ran exactly as
+	// configured; see docs/ROBUSTNESS.md for the degradation ladder.
+	Warnings []string
 
 	res *core.Result
 }
 
 // Generate runs the full constructive flow for one configuration.
+//
+// Errors are always *PipelineError values matching one of the stage
+// sentinels (ErrConfig, ErrPlacement, ErrRouting, ErrExtraction,
+// ErrAnalysis) under errors.Is; internal invariant panics are
+// contained and reported the same way, never propagated.
 func Generate(cfg Config) (*Result, error) {
+	return GenerateContext(context.Background(), cfg)
+}
+
+// GenerateContext is Generate under a context: cancellation and
+// deadlines are honored at every stage boundary and between
+// parallel-wire promotion iterations. A canceled run returns a
+// *PipelineError whose cause matches ctx.Err() under errors.Is.
+func GenerateContext(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	ccfg, err := toCoreConfig(cfg)
 	if err != nil {
 		return nil, err
 	}
-	r, err := core.Run(ccfg)
+	r, err := core.RunContext(ctx, ccfg)
 	if err != nil {
-		return nil, err
+		return nil, wrapRunError(cfg, err)
 	}
 	return wrap(cfg, r), nil
 }
@@ -151,15 +172,27 @@ func Generate(cfg Config) (*Result, error) {
 // × block granularity) and returns the best structure by 3dB frequency
 // subject to the paper's 0.5 LSB INL/DNL bound — the "best BC result"
 // of Tables I and II — together with all swept candidates.
+//
+// A candidate that fails is skipped and recorded in the best result's
+// Warnings; the sweep itself fails only when every candidate does (or
+// the configuration is invalid).
 func GenerateBestBC(cfg Config) (*Result, []*Result, error) {
+	return GenerateBestBCContext(context.Background(), cfg)
+}
+
+// GenerateBestBCContext is GenerateBestBC under a context.
+func GenerateBestBCContext(ctx context.Context, cfg Config) (*Result, []*Result, error) {
 	cfg.Style = BlockChessboard
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
 	ccfg, err := toCoreConfig(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	best, all, err := core.RunBestBC(ccfg)
+	best, all, err := core.RunBestBCContext(ctx, ccfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, wrapRunError(cfg, err)
 	}
 	out := make([]*Result, len(all))
 	for i, r := range all {
@@ -209,7 +242,7 @@ func toCoreConfig(cfg Config) (core.Config, error) {
 	case "bulk65":
 		out.Tech = tech.Bulk65()
 	default:
-		return core.Config{}, fmt.Errorf("ccdac: unknown technology node %q", cfg.TechNode)
+		return core.Config{}, configErr(cfg, "TechNode", "unknown technology node %q", cfg.TechNode)
 	}
 	switch cfg.Style {
 	case Spiral, "":
@@ -232,7 +265,7 @@ func toCoreConfig(cfg Config) (core.Config, error) {
 			out.Anneal.Moves = cfg.AnnealMoves
 		}
 	default:
-		return core.Config{}, fmt.Errorf("ccdac: unknown style %q", cfg.Style)
+		return core.Config{}, configErr(cfg, "Style", "unknown placement style %q", cfg.Style)
 	}
 	return out, nil
 }
@@ -259,5 +292,10 @@ func wrap(cfg Config, r *core.Result) *Result {
 		m.MaxAbsDNL = r.NL.MaxAbsDNL
 		m.MaxAbsINL = r.NL.MaxAbsINL
 	}
-	return &Result{Config: cfg, Metrics: m, res: r}
+	return &Result{
+		Config:   cfg,
+		Metrics:  m,
+		Warnings: append([]string(nil), r.Warnings...),
+		res:      r,
+	}
 }

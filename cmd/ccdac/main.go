@@ -9,6 +9,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -51,8 +52,15 @@ func main() {
 		res, err = ccdac.Generate(cfg)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ccdac:", err)
+		// PipelineError values already carry the "ccdac:" prefix.
+		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, ccdac.ErrConfig) {
+			fmt.Fprintln(os.Stderr, "ccdac: run with -h for flag documentation")
+		}
 		os.Exit(1)
+	}
+	for _, w := range res.Warnings {
+		fmt.Fprintln(os.Stderr, "ccdac: warning:", w)
 	}
 
 	if *asJSON {

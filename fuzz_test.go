@@ -1,0 +1,77 @@
+package ccdac
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzGenerate asserts the robustness contract of the public API: for
+// ANY configuration, Generate returns either a typed *PipelineError
+// matching one of the stage sentinels or a valid result — and never
+// panics. Run longer with: go test -fuzz=FuzzGenerate -fuzztime=30s .
+func FuzzGenerate(f *testing.F) {
+	f.Add(8, 0, 0, 0, 2, 0, 4, "")
+	f.Add(6, 1, 0, 0, 0, 0, 8, "finfet12")
+	f.Add(6, 2, 4, 2, 2, 0, 2, "bulk65")
+	f.Add(6, 3, 0, 0, 0, 1000, 2, "")
+	f.Add(1, 0, 0, 0, 0, 0, 0, "")
+	f.Add(12, 2, 3, 65, -1, -1, -1, "gaas")
+	f.Add(7, 4, 0, 0, 9, 0, 361, "bogus")
+
+	styles := []Style{"", Spiral, Chessboard, BlockChessboard, Annealed, Style("hexagonal")}
+	sentinels := []error{ErrConfig, ErrPlacement, ErrRouting, ErrExtraction, ErrAnalysis}
+
+	f.Fuzz(func(t *testing.T, bits, styleIdx, coreBits, blockCells, maxPar, annealMoves, thetaSteps int, techNode string) {
+		if styleIdx < 0 {
+			styleIdx = -styleIdx
+		}
+		cfg := Config{
+			Bits:        bits,
+			Style:       styles[styleIdx%len(styles)],
+			CoreBits:    coreBits,
+			BlockCells:  blockCells,
+			MaxParallel: maxPar,
+			AnnealMoves: annealMoves,
+			ThetaSteps:  thetaSteps,
+			TechNode:    techNode,
+		}
+		// Keep each exec fast without hiding the validation paths: only
+		// clamp values that validation would accept anyway.
+		if cfg.AnnealMoves > 2000 && cfg.AnnealMoves <= MaxAnnealMoves {
+			cfg.AnnealMoves = 2000
+		}
+		if cfg.ThetaSteps > 4 && cfg.ThetaSteps <= MaxThetaSteps {
+			cfg.ThetaSteps = 4
+		}
+		if cfg.Bits > 7 {
+			cfg.SkipNonlinearity = true
+		}
+
+		r, err := Generate(cfg) // must not panic, whatever the input
+		if err != nil {
+			var pe *PipelineError
+			if !errors.As(err, &pe) {
+				t.Fatalf("untyped error from Generate(%+v): %T: %v", cfg, err, err)
+			}
+			n := 0
+			for _, s := range sentinels {
+				if errors.Is(err, s) {
+					n++
+				}
+			}
+			if n != 1 && pe.Stage != "internal" {
+				t.Fatalf("error matches %d sentinels, want exactly 1: %v", n, err)
+			}
+			return
+		}
+		if r == nil {
+			t.Fatalf("nil result and nil error for %+v", cfg)
+		}
+		if r.Metrics.F3dBHz <= 0 || r.Metrics.AreaUm2 <= 0 {
+			t.Fatalf("invalid metrics for %+v: %+v", cfg, r.Metrics)
+		}
+		if len(r.Metrics.ParallelWires) != cfg.Bits+1 {
+			t.Fatalf("ParallelWires length %d, want %d", len(r.Metrics.ParallelWires), cfg.Bits+1)
+		}
+	})
+}

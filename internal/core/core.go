@@ -4,16 +4,26 @@
 // analysis, including the iterative critical-bit parallel-wire
 // assignment of Sec. IV-B4 and the "best block chessboard" selection
 // used by the paper's tables.
+//
+// Robustness contract: every stage runs under panic containment, so an
+// internal invariant slip (an out-of-range matrix index, a negative
+// parasitic) surfaces as a *StageError instead of crashing the caller.
+// Recoverable failures degrade instead of aborting — see the Warnings
+// field of Result and docs/ROBUSTNESS.md.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"time"
 
 	"ccdac/internal/ccmatrix"
 	"ccdac/internal/dacmodel"
 	"ccdac/internal/extract"
+	"ccdac/internal/fault"
 	"ccdac/internal/place"
 	"ccdac/internal/route"
 	"ccdac/internal/tech"
@@ -46,6 +56,48 @@ type Config struct {
 	SkipNL bool
 }
 
+// StageError attributes a flow failure to the pipeline stage that
+// produced it. Stage is one of the fault-package stage names
+// (fault.StagePlace, fault.StageRoute, ...). It wraps the underlying
+// cause, so errors.Is/As reach through it; recovered panics carry the
+// panic value and stack in Err.
+type StageError struct {
+	Stage string
+	Err   error
+}
+
+func (e *StageError) Error() string { return fmt.Sprintf("core: %s stage: %v", e.Stage, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// runStage executes one pipeline stage with cancellation checking and
+// panic containment, attributing any failure to the stage name.
+func runStage(ctx context.Context, stage string, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &StageError{Stage: stage, Err: fmt.Errorf("recovered panic: %v\n%s", r, debug.Stack())}
+		}
+	}()
+	if cerr := ctx.Err(); cerr != nil {
+		return &StageError{Stage: stage, Err: cerr}
+	}
+	if serr := f(); serr != nil {
+		var se *StageError
+		if errors.As(serr, &se) {
+			return serr
+		}
+		return &StageError{Stage: stage, Err: serr}
+	}
+	return nil
+}
+
+// canceled reports whether err stems from context cancellation or
+// timeout — such failures must abort, never degrade.
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Result is a fully analyzed layout.
 type Result struct {
 	Config     Config
@@ -60,6 +112,11 @@ type Result struct {
 	CriticalBit int
 	// Par is the final per-bit parallel wire assignment.
 	Par []int
+	// Warnings records graceful degradations taken during the run:
+	// CG→dense solver fallbacks, abandoned parallel-wire promotions,
+	// and skipped best-BC candidates. An empty slice means the full
+	// flow ran as configured.
+	Warnings []string
 	// PlaceTime and RouteTime are the constructive-runtime components
 	// reported in Table III; AnalyzeTime covers extraction + NL.
 	PlaceTime, RouteTime, AnalyzeTime time.Duration
@@ -93,15 +150,38 @@ func Place(cfg Config) (*ccmatrix.Matrix, error) {
 
 // Run executes the full flow for one configuration.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the full flow under a context. Cancellation is
+// checked at every stage boundary and between parallel-wire promotion
+// iterations; a canceled run returns a *StageError wrapping ctx.Err().
+// No panic raised by an internal package escapes this function.
+func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Backstop for panics in the orchestration glue itself; per-stage
+	// panics are attributed by runStage before reaching this.
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &StageError{Stage: "internal", Err: fmt.Errorf("recovered panic: %v\n%s", r, debug.Stack())}
+		}
+	}()
 	t := cfg.Tech
 	if t == nil {
 		t = tech.FinFET12()
 	}
-	res := &Result{Config: cfg}
+	res = &Result{Config: cfg}
 
 	start := time.Now()
-	m, err := Place(cfg)
-	if err != nil {
+	var m *ccmatrix.Matrix
+	if err := runStage(ctx, fault.StagePlace, func() error {
+		var perr error
+		m, perr = Place(cfg)
+		return perr
+	}); err != nil {
 		return nil, err
 	}
 	res.PlaceTime = time.Since(start)
@@ -111,32 +191,75 @@ func Run(cfg Config) (*Result, error) {
 	// wires and re-route until the critical bit is already parallel
 	// (the paper: "when parallel routing is used on the MSB, the
 	// second-most MSB ... may become critical, and parallel routing is
-	// used there too").
+	// used there too"). A promotion that makes routing or extraction
+	// fail degrades instead of aborting: retry with fewer wires, and if
+	// even two wires fail, keep the last-good single-wire layout.
 	start = time.Now()
 	par := make([]int, m.Bits+1)
+	capOf := make([]int, m.Bits+1)
 	for i := range par {
 		par[i] = 1
+		capOf[i] = cfg.MaxParallel
+		if capOf[i] < 1 {
+			capOf[i] = 1
+		}
 	}
-	var l *route.Layout
-	var sum *extract.Summary
+	var l, lastL *route.Layout
+	var sum, lastSum *extract.Summary
+	var lastPar []int
+	promoted := -1
 	for iter := 0; ; iter++ {
-		l, err = route.Route(m, t, par)
-		if err != nil {
-			return nil, err
+		var stepL *route.Layout
+		var stepSum *extract.Summary
+		err := runStage(ctx, fault.StageRoute, func() error {
+			var rerr error
+			stepL, rerr = route.Route(m, t, par)
+			return rerr
+		})
+		if err == nil {
+			err = runStage(ctx, fault.StageExtract, func() error {
+				var xerr error
+				stepSum, xerr = extract.Extract(stepL)
+				return xerr
+			})
 		}
-		sum, err = extract.Extract(l)
 		if err != nil {
-			return nil, err
-		}
-		crit := sum.CriticalBit()
-		if cfg.MaxParallel <= 1 || par[crit] >= cfg.MaxParallel || iter > m.Bits+1 {
+			if canceled(err) || lastL == nil {
+				// Cancellation, or the base single-wire flow itself
+				// failed: nothing to degrade to.
+				return nil, err
+			}
+			if par[promoted] > 2 {
+				// Retry the failed promotion with fewer parallel wires.
+				par[promoted]--
+				capOf[promoted] = par[promoted]
+				res.Warnings = append(res.Warnings, fmt.Sprintf(
+					"core: %d-wire promotion of C_%d failed (%v); retrying with %d wires",
+					par[promoted]+1, promoted, err, par[promoted]))
+				continue
+			}
+			// Even the minimal promotion fails: keep the last-good layout.
+			capOf[promoted] = 1
+			l, sum = lastL, lastSum
+			par = lastPar
+			res.Warnings = append(res.Warnings, fmt.Sprintf(
+				"core: parallel promotion of C_%d failed (%v); keeping last-good layout", promoted, err))
 			break
 		}
-		par[crit] = cfg.MaxParallel
+		l, sum = stepL, stepSum
+		lastL, lastSum = stepL, stepSum
+		lastPar = append([]int(nil), par...)
+		crit := sum.CriticalBit()
+		if par[crit] >= capOf[crit] || iter > m.Bits+1 {
+			break
+		}
+		promoted = crit
+		par[crit] = capOf[crit]
 	}
 	res.RouteTime = time.Since(start)
 	res.Layout = l
 	res.Par = par
+	res.Warnings = append(res.Warnings, sum.Warnings...)
 
 	start = time.Now()
 	res.Electrical = sum
@@ -144,19 +267,27 @@ func Run(cfg Config) (*Result, error) {
 	res.F3dBHz = extract.F3dB(m.Bits, sum.Tau())
 
 	if !cfg.SkipNL {
-		steps := cfg.ThetaSteps
-		if steps <= 0 {
-			steps = 8
-		}
-		sweep, err := variation.SweepTheta(m, l.CellCenter, t, steps)
-		if err != nil {
+		if err := runStage(ctx, fault.StageAnalyze, func() error {
+			if ferr := fault.Check(fault.StageAnalyze); ferr != nil {
+				return ferr
+			}
+			steps := cfg.ThetaSteps
+			if steps <= 0 {
+				steps = 8
+			}
+			sweep, serr := variation.SweepTheta(m, l.CellCenter, t, steps)
+			if serr != nil {
+				return serr
+			}
+			nl, nerr := dacmodel.WorstOverTheta(sweep, dacmodel.Parasitics{CTSfF: sum.CTSfF}, t.VRef)
+			if nerr != nil {
+				return nerr
+			}
+			res.NL = nl
+			return nil
+		}); err != nil {
 			return nil, err
 		}
-		nl, err := dacmodel.WorstOverTheta(sweep, dacmodel.Parasitics{CTSfF: sum.CTSfF}, t.VRef)
-		if err != nil {
-			return nil, err
-		}
-		res.NL = nl
 	}
 	res.AnalyzeTime = time.Since(start)
 	return res, nil
@@ -168,19 +299,41 @@ func Run(cfg Config) (*Result, error) {
 // whose INL and DNL stay below 0.5 LSB (all of the paper's do); ties
 // break toward lower INL.
 func RunBestBC(cfg Config) (*Result, []*Result, error) {
+	return RunBestBCContext(context.Background(), cfg)
+}
+
+// RunBestBCContext is RunBestBC under a context. A candidate that
+// fails is skipped and recorded in the best result's Warnings rather
+// than aborting the sweep; the sweep errors only when every candidate
+// fails (with the last failure) or the context is canceled.
+func RunBestBCContext(ctx context.Context, cfg Config) (*Result, []*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg.Style = place.BlockChessboard
 	params := place.DefaultBCParams(cfg.Bits)
 	if len(params) == 0 {
-		return nil, nil, fmt.Errorf("core: no feasible BC structures for %d bits", cfg.Bits)
+		return nil, nil, &StageError{
+			Stage: fault.StagePlace,
+			Err:   fmt.Errorf("core: no feasible BC structures for %d bits", cfg.Bits),
+		}
 	}
 	var best *Result
+	var skipped []string
+	var lastErr error
 	all := make([]*Result, 0, len(params))
 	for _, p := range params {
 		c := cfg
 		c.BC = p
-		r, err := Run(c)
+		r, err := RunContext(ctx, c)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: BC %+v: %w", p, err)
+			if canceled(err) {
+				return nil, nil, err
+			}
+			lastErr = fmt.Errorf("core: BC %+v: %w", p, err)
+			skipped = append(skipped, fmt.Sprintf(
+				"core: BC candidate {core %d, block %d} skipped: %v", p.CoreBits, p.BlockCells, err))
+			continue
 		}
 		all = append(all, r)
 		if r.NL != nil && (r.NL.MaxAbsDNL > 0.5 || r.NL.MaxAbsINL > 0.5) {
@@ -189,6 +342,9 @@ func RunBestBC(cfg Config) (*Result, []*Result, error) {
 		if best == nil || better(r, best) {
 			best = r
 		}
+	}
+	if len(all) == 0 {
+		return nil, nil, lastErr
 	}
 	if best == nil {
 		// No candidate met the 0.5 LSB bound; fall back to the fastest.
@@ -199,6 +355,7 @@ func RunBestBC(cfg Config) (*Result, []*Result, error) {
 			}
 		}
 	}
+	best.Warnings = append(best.Warnings, skipped...)
 	return best, all, nil
 }
 

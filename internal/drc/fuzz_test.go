@@ -42,6 +42,50 @@ func TestPipelineOnRandomPlacements(t *testing.T) {
 	}
 }
 
+// TestPipelineOnRandomPlacementsParallel extends the random-placement
+// fuzz to parallel-wire routing: promoting the MSB (and the bit above
+// it) to multiple wires must still route, extract and pass DRC —
+// parallel trunks are the geometrically tightest layouts the router
+// emits.
+func TestPipelineOnRandomPlacementsParallel(t *testing.T) {
+	tch := tech.FinFET12()
+	for _, bits := range []int{5, 6, 7} {
+		for _, p := range []int{2, 3, 4} {
+			for seed := int64(1); seed <= 2; seed++ {
+				m, err := place.NewRandomSymmetric(bits, seed)
+				if err != nil {
+					t.Fatalf("bits=%d seed=%d: %v", bits, seed, err)
+				}
+				par := make([]int, bits+1)
+				for i := range par {
+					par[i] = 1
+				}
+				par[bits] = p
+				if bits >= 2 {
+					par[bits-1] = p
+				}
+				l, err := route.Route(m, tch, par)
+				if err != nil {
+					t.Fatalf("bits=%d p=%d seed=%d: route: %v", bits, p, seed, err)
+				}
+				sum, err := extract.Extract(l)
+				if err != nil {
+					t.Fatalf("bits=%d p=%d seed=%d: extract: %v", bits, p, seed, err)
+				}
+				for bit, bn := range sum.Bits {
+					if bn.TauSec <= 0 {
+						t.Fatalf("bits=%d p=%d seed=%d: bit %d tau %g", bits, p, seed, bit, bn.TauSec)
+					}
+				}
+				if res := Check(l); !res.Clean() {
+					t.Fatalf("bits=%d p=%d seed=%d: %d DRC violations, first: %v",
+						bits, p, seed, len(res.Violations), res.Violations[0])
+				}
+			}
+		}
+	}
+}
+
 // TestRandomPlacementIsWorstRouting documents why constructive
 // placement matters: a random CC placement routes with more vias than
 // the spiral and in the vicinity of the chessboard.

@@ -8,10 +8,15 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"time"
 
 	"ccdac/internal/core"
+	"ccdac/internal/fault"
 	"ccdac/internal/place"
 	"ccdac/internal/tech"
 )
@@ -50,6 +55,12 @@ type Harness struct {
 	AnnealMoves int
 	// Tech overrides the process technology (nil = tech.FinFET12).
 	Tech *tech.Technology
+	// Workers bounds Prefetch's concurrency (0 = GOMAXPROCS). One
+	// worker per job is never spawned: the pool is fixed-size.
+	Workers int
+	// JobTimeout bounds each Prefetch job's wall time (0 = none);
+	// a timed-out job reports a per-job error, siblings continue.
+	JobTimeout time.Duration
 
 	mu    sync.Mutex
 	cache map[string]*core.Result
@@ -73,6 +84,12 @@ func Available(m Method, bits int) bool {
 
 // Run returns the (cached) flow result for a method at a bit count.
 func (h *Harness) Run(m Method, bits int) (*core.Result, error) {
+	return h.RunContext(context.Background(), m, bits)
+}
+
+// RunContext is Run under a context: cancellation and deadlines abort
+// the flow at its next stage boundary.
+func (h *Harness) RunContext(ctx context.Context, m Method, bits int) (*core.Result, error) {
 	if !Available(m, bits) {
 		return nil, fmt.Errorf("exp: %s does not report %d-bit results", m, bits)
 	}
@@ -91,16 +108,16 @@ func (h *Harness) Run(m Method, bits int) (*core.Result, error) {
 		cfg := core.Config{Bits: bits, Style: place.Annealed, ThetaSteps: h.ThetaSteps, Tech: h.Tech}
 		cfg.Anneal = place.DefaultAnnealConfig()
 		cfg.Anneal.Moves = h.AnnealMoves
-		r, err = core.Run(cfg)
+		r, err = core.RunContext(ctx, cfg)
 	case MethodBurcea:
-		r, err = core.Run(core.Config{Bits: bits, Style: place.Chessboard, ThetaSteps: h.ThetaSteps, Tech: h.Tech})
+		r, err = core.RunContext(ctx, core.Config{Bits: bits, Style: place.Chessboard, ThetaSteps: h.ThetaSteps, Tech: h.Tech})
 	case MethodSpiral:
-		r, err = core.Run(core.Config{
+		r, err = core.RunContext(ctx, core.Config{
 			Bits: bits, Style: place.Spiral,
 			MaxParallel: h.parallel(), ThetaSteps: h.ThetaSteps, Tech: h.Tech,
 		})
 	case MethodBC:
-		r, _, err = core.RunBestBC(core.Config{
+		r, _, err = core.RunBestBCContext(ctx, core.Config{
 			Bits: bits, MaxParallel: h.parallel(), ThetaSteps: h.ThetaSteps, Tech: h.Tech,
 		})
 	default:
@@ -115,15 +132,26 @@ func (h *Harness) Run(m Method, bits int) (*core.Result, error) {
 	return r, nil
 }
 
+type job struct {
+	m Method
+	n int
+}
+
 // Prefetch computes every available (method, bits) flow result
 // concurrently and fills the cache, so the subsequent table builders
 // only read. Results are deterministic regardless of scheduling: each
 // run is seeded and independent.
 func (h *Harness) Prefetch(bits []int) error {
-	type job struct {
-		m Method
-		n int
-	}
+	return h.PrefetchContext(context.Background(), bits)
+}
+
+// PrefetchContext runs the prefetch on a bounded worker pool under a
+// context. Each job is isolated: a job that fails — or panics — yields
+// a per-job error while sibling jobs run to completion, and the
+// returned error joins every per-job failure (nil when all succeed).
+// Cancelling ctx stops job dispatch and aborts in-flight jobs at their
+// next stage boundary; JobTimeout (if set) bounds each job alone.
+func (h *Harness) PrefetchContext(ctx context.Context, bits []int) error {
 	var jobs []job
 	for _, n := range bits {
 		for _, m := range Methods {
@@ -132,23 +160,56 @@ func (h *Harness) Prefetch(bits []int) error {
 			}
 		}
 	}
-	errs := make(chan error, len(jobs))
+	workers := h.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	jobCh := make(chan int)
+	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
-	for _, j := range jobs {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(j job) {
+		go func() {
 			defer wg.Done()
-			if _, err := h.Run(j.m, j.n); err != nil {
-				errs <- err
+			for i := range jobCh {
+				errs[i] = h.runJob(ctx, jobs[i])
 			}
-		}(j)
+		}()
 	}
+	for i := range jobs {
+		if ctx.Err() != nil {
+			errs[i] = fmt.Errorf("exp: %s %d-bit: not started: %w", jobs[i].m, jobs[i].n, ctx.Err())
+			continue
+		}
+		jobCh <- i
+	}
+	close(jobCh)
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		return err
+	return errors.Join(errs...)
+}
+
+// runJob executes one prefetch job with panic containment and the
+// optional per-job timeout. A recovered panic becomes this job's
+// error; it never takes down the pool.
+func (h *Harness) runJob(ctx context.Context, j job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("exp: %s %d-bit: recovered panic: %v", j.m, j.n, r)
+		}
+	}()
+	if h.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, h.JobTimeout)
+		defer cancel()
 	}
-	return nil
+	if ferr := fault.Check(fault.StageExpJob); ferr != nil {
+		return fmt.Errorf("exp: %s %d-bit: %w", j.m, j.n, ferr)
+	}
+	_, err = h.RunContext(ctx, j.m, j.n)
+	return err
 }
 
 // TableIRow is one (bits, method) cell group of Table I.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"ccdac/internal/fault"
 	"ccdac/internal/geom"
 	"ccdac/internal/rcnet"
 	"ccdac/internal/route"
@@ -60,6 +61,9 @@ type Summary struct {
 	AreaUm2 float64
 	// Bits holds the per-capacitor extracted networks, indexed by bit.
 	Bits []BitNet
+	// Warnings records solver degradations taken during extraction
+	// (e.g. a CG→dense-Cholesky fallback in a bit's moment solve).
+	Warnings []string
 }
 
 // CriticalBit returns the capacitor with the largest Elmore delay; its
@@ -79,6 +83,9 @@ func (s *Summary) Tau() float64 { return s.Bits[s.CriticalBit()].TauSec }
 
 // Extract computes the full electrical view of a routed layout.
 func Extract(l *route.Layout) (*Summary, error) {
+	if err := fault.Check(fault.StageExtract); err != nil {
+		return nil, fmt.Errorf("extract: %w", err)
+	}
 	s := &Summary{
 		ViaCuts:      l.ViaCuts(),
 		WirelengthUm: l.TotalWirelength(),
@@ -101,6 +108,9 @@ func Extract(l *route.Layout) (*Summary, error) {
 			return nil, fmt.Errorf("extract: bit %d: %w", bit, err)
 		}
 		s.Bits[bit] = *bn
+		for _, w := range bn.Net.Warnings() {
+			s.Warnings = append(s.Warnings, fmt.Sprintf("extract: bit %d: %s", bit, w))
+		}
 	}
 	return s, nil
 }

@@ -1,0 +1,63 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisarmedCheckIsNil(t *testing.T) {
+	Reset()
+	for _, s := range Stages() {
+		if err := Check(s); err != nil {
+			t.Fatalf("disarmed Check(%s) = %v", s, err)
+		}
+	}
+}
+
+func TestOrdinalSelectsPass(t *testing.T) {
+	defer Reset()
+	want := errors.New("boom")
+	Enable(StageRoute, 2, want)
+	for pass := 0; pass < 5; pass++ {
+		err := Check(StageRoute)
+		if pass == 2 && !errors.Is(err, want) {
+			t.Fatalf("pass 2: got %v, want %v", pass, err)
+		}
+		if pass != 2 && err != nil {
+			t.Fatalf("pass %d: got %v, want nil", pass, err)
+		}
+	}
+	if !Fired(StageRoute) {
+		t.Fatal("Fired not recorded")
+	}
+	// Other stages stay unarmed.
+	if err := Check(StagePlace); err != nil {
+		t.Fatalf("unrelated stage: %v", err)
+	}
+}
+
+func TestEnablePanic(t *testing.T) {
+	defer Reset()
+	EnablePanic(StageExtract, 0, "invariant slip")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("armed panic did not fire")
+		}
+	}()
+	Check(StageExtract)
+}
+
+func TestDisableAndRearm(t *testing.T) {
+	defer Reset()
+	Enable(StagePlace, 0, errors.New("x"))
+	Disable(StagePlace)
+	if err := Check(StagePlace); err != nil {
+		t.Fatalf("disabled stage fired: %v", err)
+	}
+	// Re-arming resets the pass counter.
+	want := errors.New("y")
+	Enable(StagePlace, 0, want)
+	if err := Check(StagePlace); !errors.Is(err, want) {
+		t.Fatalf("re-armed stage: %v", err)
+	}
+}

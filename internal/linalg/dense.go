@@ -173,6 +173,39 @@ func Cholesky(a *Dense) (*Dense, error) {
 	return l, nil
 }
 
+// SolveSPD solves A·x = b for a symmetric positive-definite A by dense
+// Cholesky factorization with forward/back substitution — the robust
+// direct fallback when the iterative CG solve fails to converge.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	n := a.N
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), n)
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= l.At(i, j) * y[j]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= l.At(j, i) * x[j]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
 // ErrNotConverged is returned by iterative solvers that exhaust their
 // iteration budget before reaching the requested tolerance.
 var ErrNotConverged = errors.New("linalg: iterative solver did not converge")

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"ccdac/internal/fault"
 )
 
 // Sparse is a symmetric sparse matrix assembled from coordinate
@@ -72,6 +74,18 @@ func (s *Sparse) MulVec(x, y []float64) {
 	}
 }
 
+// ToDense materializes the sparse matrix as a dense one — used by the
+// direct-factorization fallback when the iterative solve stalls.
+func (s *Sparse) ToDense() *Dense {
+	d := NewDense(s.N)
+	for i, row := range s.rows {
+		for _, e := range row {
+			d.Data[i*s.N+e.col] = e.val
+		}
+	}
+	return d
+}
+
 // NNZ returns the number of stored entries.
 func (s *Sparse) NNZ() int {
 	n := 0
@@ -85,6 +99,9 @@ func (s *Sparse) NNZ() int {
 // Jacobi-preconditioned conjugate gradients. tol is the relative
 // residual target (e.g. 1e-12); maxIter <= 0 selects 10·N iterations.
 func (s *Sparse) SolveCG(b []float64, tol float64, maxIter int) ([]float64, error) {
+	if err := fault.Check(fault.StageLinalgCG); err != nil {
+		return nil, err
+	}
 	n := s.N
 	if len(b) != n {
 		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), n)

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"ccdac/internal/ccmatrix"
+	"ccdac/internal/fault"
 	"ccdac/internal/geom"
 )
 
@@ -61,6 +62,9 @@ func ArraySize(bits int) (rows, cols, dummies int) {
 }
 
 func checkBits(bits int) error {
+	if err := fault.Check(fault.StagePlace); err != nil {
+		return fmt.Errorf("place: %w", err)
+	}
 	if bits < MinBits || bits > MaxBits {
 		return fmt.Errorf("place: bits %d outside supported range %d..%d", bits, MinBits, MaxBits)
 	}

@@ -31,6 +31,16 @@ type Net struct {
 	res []resistor
 	// capFF[i] is the grounded capacitance at node i in fF.
 	capFF []float64
+	// warn records solver degradations (CG→dense fallbacks) taken
+	// while analyzing this net.
+	warn []string
+}
+
+// Warnings returns the solver-degradation warnings recorded during
+// analyses of this net (e.g. a CG non-convergence that fell back to a
+// dense Cholesky solve).
+func (n *Net) Warnings() []string {
+	return append([]string(nil), n.warn...)
 }
 
 type resistor struct {
@@ -287,7 +297,7 @@ func (n *Net) FirstMoment(root int) ([]float64, error) {
 	for u, i := range idx {
 		rhs[i] = capOf[u] * 1e-15 // fF -> F; tau in seconds
 	}
-	tau, err := g.SolveCG(rhs, 1e-12, 40*m)
+	tau, err := n.solveSPD(g, rhs, "first-moment")
 	if err != nil {
 		return nil, fmt.Errorf("rcnet: moment solve: %w", err)
 	}
@@ -301,6 +311,28 @@ func (n *Net) FirstMoment(root int) ([]float64, error) {
 		out[i] = tau[idx[u]]
 	}
 	return out, nil
+}
+
+// solveSPD solves g·x = rhs, preferring the Jacobi-preconditioned CG
+// iteration and degrading to a dense Cholesky factorization when CG
+// exhausts its iteration budget. The fallback is exact (direct), so
+// results stay correct; it is recorded as a warning on the net because
+// it signals an ill-conditioned extraction and costs O(n³).
+func (n *Net) solveSPD(g *linalg.Sparse, rhs []float64, what string) ([]float64, error) {
+	x, err := g.SolveCG(rhs, 1e-12, 40*g.N)
+	if err == nil {
+		return x, nil
+	}
+	if !errors.Is(err, linalg.ErrNotConverged) {
+		return nil, err
+	}
+	x, derr := linalg.SolveSPD(g.ToDense(), rhs)
+	if derr != nil {
+		return nil, errors.Join(err, derr)
+	}
+	n.warn = append(n.warn, fmt.Sprintf(
+		"%s CG solve did not converge; fell back to dense Cholesky (n=%d)", what, g.N))
+	return x, nil
 }
 
 // Moments computes the first and second moments of each node's step
@@ -369,7 +401,7 @@ func (n *Net) Moments(root int) (m1, m2 []float64, err error) {
 	for u, i := range idx {
 		rhs[i] = capOf[u] * 1e-15 * m1rep[u]
 	}
-	sol, err := g.SolveCG(rhs, 1e-12, 40*mm)
+	sol, err := n.solveSPD(g, rhs, "second-moment")
 	if err != nil {
 		return nil, nil, fmt.Errorf("rcnet: second moment solve: %w", err)
 	}

@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"ccdac/internal/ccmatrix"
+	"ccdac/internal/fault"
 	"ccdac/internal/geom"
 	"ccdac/internal/groups"
 	"ccdac/internal/tech"
@@ -186,6 +187,9 @@ func Route(m *ccmatrix.Matrix, t *tech.Technology, par []int) (*Layout, error) {
 // quantify what Algorithm 1's channel selection and bottom-stub
 // tie-breakers buy over a naive one-trunk-per-group router.
 func RouteWithOptions(m *ccmatrix.Matrix, t *tech.Technology, par []int, opts Options) (*Layout, error) {
+	if err := fault.Check(fault.StageRoute); err != nil {
+		return nil, fmt.Errorf("route: %w", err)
+	}
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("route: %w", err)
 	}

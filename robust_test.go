@@ -1,0 +1,154 @@
+package ccdac
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"ccdac/internal/fault"
+)
+
+// TestValidateRejectsEveryBadField covers each Config field's
+// validation: every case must fail with ErrConfig and name the field.
+func TestValidateRejectsEveryBadField(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		field string
+	}{
+		{"BitsTooSmall", Config{Bits: 1}, "Bits"},
+		{"BitsTooLarge", Config{Bits: 13}, "Bits"},
+		{"BitsZero", Config{}, "Bits"},
+		{"BitsNegative", Config{Bits: -4}, "Bits"},
+		{"UnknownStyle", Config{Bits: 6, Style: "hexagonal"}, "Style"},
+		{"NegativeMaxParallel", Config{Bits: 6, MaxParallel: -1}, "MaxParallel"},
+		{"HugeMaxParallel", Config{Bits: 6, MaxParallel: MaxParallelWires + 1}, "MaxParallel"},
+		{"CoreBitsWithoutBlockCells", Config{Bits: 6, Style: BlockChessboard, CoreBits: 4}, "BlockCells"},
+		{"BlockCellsWithoutCoreBits", Config{Bits: 6, Style: BlockChessboard, BlockCells: 2}, "CoreBits"},
+		{"OddCoreBits", Config{Bits: 6, Style: BlockChessboard, CoreBits: 3, BlockCells: 2}, "CoreBits"},
+		{"CoreBitsTooLarge", Config{Bits: 6, Style: BlockChessboard, CoreBits: 6, BlockCells: 2}, "CoreBits"},
+		{"BlockCellsTooLarge", Config{Bits: 6, Style: BlockChessboard, CoreBits: 4, BlockCells: 65}, "BlockCells"},
+		{"NegativeAnnealMoves", Config{Bits: 6, Style: Annealed, AnnealMoves: -1}, "AnnealMoves"},
+		{"HugeAnnealMoves", Config{Bits: 6, Style: Annealed, AnnealMoves: MaxAnnealMoves + 1}, "AnnealMoves"},
+		{"NegativeThetaSteps", Config{Bits: 6, ThetaSteps: -1}, "ThetaSteps"},
+		{"HugeThetaSteps", Config{Bits: 6, ThetaSteps: MaxThetaSteps + 1}, "ThetaSteps"},
+		{"UnknownTechNode", Config{Bits: 6, TechNode: "gaas"}, "TechNode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Generate(tc.cfg)
+			if err == nil {
+				t.Fatalf("config %+v must be rejected", tc.cfg)
+			}
+			if !errors.Is(err, ErrConfig) {
+				t.Errorf("error must match ErrConfig, got %v", err)
+			}
+			var pe *PipelineError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error must be a *PipelineError, got %T", err)
+			}
+			if pe.Stage != StageConfig {
+				t.Errorf("Stage = %q, want %q", pe.Stage, StageConfig)
+			}
+			if !strings.Contains(err.Error(), "field "+tc.field) {
+				t.Errorf("error must name field %s: %v", tc.field, err)
+			}
+		})
+	}
+}
+
+// TestPipelineErrorTaxonomy injects a failure into every pipeline stage
+// and asserts the public error matches exactly the right sentinel.
+func TestPipelineErrorTaxonomy(t *testing.T) {
+	sentinels := map[string]error{
+		fault.StagePlace:   ErrPlacement,
+		fault.StageRoute:   ErrRouting,
+		fault.StageExtract: ErrExtraction,
+		fault.StageAnalyze: ErrAnalysis,
+	}
+	all := []error{ErrConfig, ErrPlacement, ErrRouting, ErrExtraction, ErrAnalysis}
+	cause := errors.New("injected stage failure")
+	for stage, want := range sentinels {
+		t.Run(stage, func(t *testing.T) {
+			defer fault.Reset()
+			fault.Enable(stage, 0, cause)
+			_, err := Generate(Config{Bits: 4, ThetaSteps: 2})
+			if err == nil {
+				t.Fatal("expected the injected failure to surface")
+			}
+			for _, s := range all {
+				if (s == want) != errors.Is(err, s) {
+					t.Errorf("errors.Is(err, %v) = %v, want %v", s, errors.Is(err, s), s == want)
+				}
+			}
+			var pe *PipelineError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error must be a *PipelineError, got %T: %v", err, err)
+			}
+			if pe.Stage != stage || pe.Bits != 4 || pe.Style != Spiral {
+				t.Errorf("PipelineError{Stage: %q, Bits: %d, Style: %q}, want {%q, 4, spiral}",
+					pe.Stage, pe.Bits, pe.Style, stage)
+			}
+			if !errors.Is(err, cause) {
+				t.Errorf("underlying cause lost through wrapping: %v", err)
+			}
+		})
+	}
+}
+
+// TestPanicBecomesTypedError asserts that an internal panic surfaces as
+// the failing stage's PipelineError, never as a panic.
+func TestPanicBecomesTypedError(t *testing.T) {
+	defer fault.Reset()
+	fault.EnablePanic(fault.StageRoute, 0, "synthetic router bug")
+	_, err := Generate(Config{Bits: 4, SkipNonlinearity: true})
+	if err == nil {
+		t.Fatal("expected the contained panic to surface as an error")
+	}
+	if !errors.Is(err, ErrRouting) {
+		t.Errorf("panic in routing must match ErrRouting: %v", err)
+	}
+	if !strings.Contains(err.Error(), "recovered panic") {
+		t.Errorf("error must mention the recovered panic: %v", err)
+	}
+}
+
+// TestGenerateContextCanceled asserts cancellation surfaces as a typed
+// error whose cause matches context.Canceled.
+func TestGenerateContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := GenerateContext(ctx, Config{Bits: 4, SkipNonlinearity: true})
+	if err == nil {
+		t.Fatal("canceled context must fail the run")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cause must match context.Canceled: %v", err)
+	}
+	var pe *PipelineError
+	if !errors.As(err, &pe) {
+		t.Errorf("canceled run must still return a *PipelineError, got %T", err)
+	}
+}
+
+// TestBestBCSkipsFailingCandidatePublic mirrors the core-level skip
+// test through the public facade: the sweep's best result records the
+// skipped candidate in Warnings.
+func TestBestBCSkipsFailingCandidatePublic(t *testing.T) {
+	defer fault.Reset()
+	fault.Enable(fault.StageRoute, 0, errors.New("injected routing failure"))
+	best, _, err := GenerateBestBC(Config{Bits: 6, ThetaSteps: 2})
+	if err != nil {
+		t.Fatalf("one failing candidate must not fail the sweep: %v", err)
+	}
+	found := false
+	for _, w := range best.Warnings {
+		if strings.Contains(w, "skipped") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("skip not visible in public Warnings: %q", best.Warnings)
+	}
+}
