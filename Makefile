@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz
+.PHONY: check fmt vet build test race fuzz bench
 
 check: fmt vet build race
 
@@ -28,3 +28,9 @@ race:
 # Fuzz the public API's never-panic contract (30s).
 fuzz:
 	$(GO) test -fuzz=FuzzGenerate -fuzztime=30s -run '^$$' .
+
+# Observability benchmark: tracing overhead (disabled vs traced) plus a
+# per-stage wall-time report written to BENCH_obs.json.
+bench:
+	BENCH_OBS_OUT=BENCH_obs.json $(GO) test -run '^TestBenchObs$$' \
+		-bench '^BenchmarkTraceOverhead$$' -benchtime 5x .

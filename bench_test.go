@@ -6,9 +6,12 @@ package ccdac_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
+	"os"
 	"testing"
+	"time"
 
 	"ccdac"
 	"ccdac/internal/ccmatrix"
@@ -528,4 +531,85 @@ func BenchmarkLineChart(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = render.LineChart(series, render.ChartOptions{Title: "bench"})
 	}
+}
+
+// BenchmarkTraceOverhead compares the full flow with tracing disabled
+// and enabled; the disabled case is the cost every untraced run pays
+// for the instrumentation sites (one atomic load each).
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		trace bool
+	}{{"disabled", false}, {"traced", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := ccdac.Config{Bits: 8, MaxParallel: 2, SkipNonlinearity: true, Trace: mode.trace}
+			for i := 0; i < b.N; i++ {
+				if _, err := ccdac.Generate(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestBenchObs is the harness behind `make bench`: gated on
+// BENCH_OBS_OUT, it times the full flow with tracing off and on (best
+// of five), aggregates per-stage wall time from the trace, and writes
+// the report as JSON to the named file.
+func TestBenchObs(t *testing.T) {
+	out := os.Getenv("BENCH_OBS_OUT")
+	if out == "" {
+		t.Skip("set BENCH_OBS_OUT=<file> to write the observability benchmark report")
+	}
+	cfg := ccdac.Config{Bits: 8, MaxParallel: 2}
+	run := func(trace bool) (time.Duration, *ccdac.Trace) {
+		c := cfg
+		c.Trace = trace
+		best := time.Duration(math.MaxInt64)
+		var tr *ccdac.Trace
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			res, err := ccdac.Generate(c)
+			d := time.Since(start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d < best {
+				best = d
+			}
+			if res.Trace != nil {
+				tr = res.Trace
+			}
+		}
+		return best, tr
+	}
+	plain, _ := run(false)
+	traced, tr := run(true)
+
+	stages := map[string]float64{}
+	for _, s := range tr.Spans() {
+		stages[s.Name] += s.Duration.Seconds()
+	}
+	report := struct {
+		Bits            int                `json:"bits"`
+		PlainSeconds    float64            `json:"plain_seconds"`
+		TracedSeconds   float64            `json:"traced_seconds"`
+		OverheadPercent float64            `json:"overhead_percent"`
+		StageSeconds    map[string]float64 `json:"stage_seconds"`
+	}{
+		Bits:            cfg.Bits,
+		PlainSeconds:    plain.Seconds(),
+		TracedSeconds:   traced.Seconds(),
+		OverheadPercent: 100 * (traced.Seconds() - plain.Seconds()) / plain.Seconds(),
+		StageSeconds:    stages,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("plain %v, traced %v (%.2f%% overhead) -> %s",
+		plain, traced, report.OverheadPercent, out)
 }

@@ -26,6 +26,7 @@ import (
 	"context"
 
 	"ccdac/internal/core"
+	"ccdac/internal/obs"
 	"ccdac/internal/place"
 	"ccdac/internal/render"
 	"ccdac/internal/tech"
@@ -91,6 +92,16 @@ type Config struct {
 	// the paper's target class) or "bulk65" (an older-node contrast
 	// where vias are cheap and via-heavy layouts are not penalized).
 	TechNode string
+	// Trace enables observability for this run: every pipeline stage is
+	// recorded as a timed span and solver/router effort as metrics,
+	// surfaced on Result.Trace. Runs without Trace pay one atomic load
+	// per instrumentation site. See docs/OBSERVABILITY.md.
+	Trace bool
+	// TraceMemStats additionally snapshots heap-allocation deltas at
+	// every span boundary. It forces a runtime.ReadMemStats per span and
+	// is meant for offline memory attribution, not routine runs. Ignored
+	// unless Trace is set.
+	TraceMemStats bool
 }
 
 // Metrics summarizes a generated layout, mirroring the paper's
@@ -135,6 +146,9 @@ type Result struct {
 	// best-BC candidates). Empty means the flow ran exactly as
 	// configured; see docs/ROBUSTNESS.md for the degradation ladder.
 	Warnings []string
+	// Trace holds the run's observability record (span tree + metrics)
+	// when Config.Trace is set, nil otherwise.
+	Trace *Trace
 
 	res *core.Result
 }
@@ -161,11 +175,35 @@ func GenerateContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx, done := startTrace(ctx, cfg)
 	r, err := core.RunContext(ctx, ccfg)
+	tr := done(err)
 	if err != nil {
 		return nil, wrapRunError(cfg, err)
 	}
-	return wrap(cfg, r), nil
+	res := wrap(cfg, r)
+	res.Trace = tr
+	return res, nil
+}
+
+// startTrace arms observability for one generation run when cfg.Trace
+// is set. The returned done func must be called exactly once with the
+// run's error: it closes the root "generate" span (marking it failed on
+// error), disarms the trace, and returns the public record (nil when
+// tracing is off).
+func startTrace(ctx context.Context, cfg Config) (context.Context, func(error) *Trace) {
+	if !cfg.Trace {
+		return ctx, func(error) *Trace { return nil }
+	}
+	tr := obs.New(obs.Options{PprofLabels: true, MemStats: cfg.TraceMemStats})
+	ctx = obs.WithTrace(ctx, tr)
+	ctx, root := obs.StartSpan(ctx, "generate")
+	return ctx, func(err error) *Trace {
+		root.Fail(err)
+		root.End()
+		tr.Finish()
+		return newTrace(tr)
+	}
 }
 
 // GenerateBestBC sweeps the block-chessboard parameter grid (core size
@@ -190,7 +228,9 @@ func GenerateBestBCContext(ctx context.Context, cfg Config) (*Result, []*Result,
 	if err != nil {
 		return nil, nil, err
 	}
+	ctx, done := startTrace(ctx, cfg)
 	best, all, err := core.RunBestBCContext(ctx, ccfg)
+	tr := done(err)
 	if err != nil {
 		return nil, nil, wrapRunError(cfg, err)
 	}
@@ -204,7 +244,9 @@ func GenerateBestBCContext(ctx context.Context, cfg Config) (*Result, []*Result,
 	bcfg := cfg
 	bcfg.CoreBits = best.Config.BC.CoreBits
 	bcfg.BlockCells = best.Config.BC.BlockCells
-	return wrap(bcfg, best), out, nil
+	bres := wrap(bcfg, best)
+	bres.Trace = tr
+	return bres, out, nil
 }
 
 // PlacementASCII renders the placement as text, top row first: hex

@@ -31,6 +31,9 @@ func main() {
 	spiceOut := flag.String("spice", "", "write the critical bit's RC netlist (SPICE) to this file")
 	runDRC := flag.Bool("drc", false, "run the design-rule checker and report violations")
 	reportOut := flag.String("report", "", "write a self-contained HTML design report to this file")
+	traceOut := flag.String("trace", "", "record an observability trace and write its spans as JSONL to this file")
+	metricsOut := flag.String("metrics", "", "record run metrics and write them in Prometheus text format to this file")
+	traceMem := flag.Bool("trace-mem", false, "with -trace/-metrics, also record per-span heap-allocation deltas (slower)")
 	asJSON := flag.Bool("json", false, "emit metrics as JSON")
 	flag.Parse()
 
@@ -42,6 +45,8 @@ func main() {
 		MaxParallel:      *parallel,
 		ThetaSteps:       *theta,
 		SkipNonlinearity: *skipNL,
+		Trace:            *traceOut != "" || *metricsOut != "",
+		TraceMemStats:    *traceMem,
 	}
 	var res *ccdac.Result
 	var err error
@@ -52,15 +57,34 @@ func main() {
 		res, err = ccdac.Generate(cfg)
 	}
 	if err != nil {
+		// Warnings accumulated before the failure still matter for
+		// diagnosing it (a CG fallback before a routing abort, say).
+		var pe *ccdac.PipelineError
+		if errors.As(err, &pe) {
+			for _, w := range pe.Warnings {
+				fmt.Fprintln(os.Stderr, "ccdac: warning:", w)
+			}
+		}
 		// PipelineError values already carry the "ccdac:" prefix.
 		fmt.Fprintln(os.Stderr, err)
 		if errors.Is(err, ccdac.ErrConfig) {
 			fmt.Fprintln(os.Stderr, "ccdac: run with -h for flag documentation")
+			os.Exit(2)
 		}
 		os.Exit(1)
 	}
 	for _, w := range res.Warnings {
 		fmt.Fprintln(os.Stderr, "ccdac: warning:", w)
+	}
+	if res.Trace != nil {
+		writeTraceFiles(res.Trace, *traceOut, *metricsOut)
+		// Keep stdout parseable under -json: the stage tree goes to
+		// stderr there, stdout otherwise.
+		if *asJSON {
+			fmt.Fprint(os.Stderr, res.Trace.StageTree())
+		} else {
+			fmt.Print(res.Trace.StageTree())
+		}
 	}
 
 	if *asJSON {
@@ -142,6 +166,37 @@ func main() {
 				fmt.Println(" ", v)
 			}
 			os.Exit(2)
+		}
+	}
+}
+
+// writeTraceFiles dumps the run's trace spans (JSONL) and metrics
+// (Prometheus text format) to the requested files.
+func writeTraceFiles(tr *ccdac.Trace, traceOut, metricsOut string) {
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err == nil {
+			err = tr.WriteJSONL(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccdac:", err)
+			os.Exit(1)
+		}
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err == nil {
+			err = tr.WritePrometheus(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccdac:", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"ccdac/internal/core"
+	"ccdac/internal/obs"
 	"ccdac/internal/place"
 	"ccdac/internal/sweep"
 )
@@ -31,11 +33,26 @@ func main() {
 	factorsFlag := flag.String("factors", "0.25,0.5,1,2,4,8", "scale factors")
 	parallel := flag.Int("parallel", 2, "parallel wires")
 	withNL := flag.Bool("nl", false, "include INL/DNL in knob sweeps (slower)")
+	traceOut := flag.String("trace", "", "record an observability trace and write its spans as JSONL to this file")
+	metricsOut := flag.String("metrics", "", "record study metrics and write them in Prometheus text format to this file")
 	flag.Parse()
 
 	factors, err := parseFactors(*factorsFlag)
 	if err != nil {
 		fatal(err)
+	}
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *traceOut != "" || *metricsOut != "" {
+		tr = obs.New(obs.Options{PprofLabels: true})
+		ctx = obs.WithTrace(ctx, tr)
+		var root *obs.Span
+		ctx, root = obs.StartSpan(ctx, "sweep."+*study)
+		defer func() {
+			root.End()
+			tr.Finish()
+			dumpTrace(tr, *traceOut, *metricsOut)
+		}()
 	}
 	switch *study {
 	case "knob":
@@ -48,7 +65,7 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("unknown style %q", *style))
 		}
-		pts, err := sweep.Sensitivity(core.Config{
+		pts, err := sweep.SensitivityContext(ctx, core.Config{
 			Bits: *bits, Style: st, MaxParallel: *parallel, ThetaSteps: 4,
 		}, sweep.Knob(*knob), factors, *withNL)
 		if err != nil {
@@ -68,7 +85,7 @@ func main() {
 			fmt.Println()
 		}
 	case "viar":
-		s, err := sweep.StudyViaR(*bits, factors)
+		s, err := sweep.StudyViaRContext(ctx, *bits, factors)
 		if err != nil {
 			fatal(err)
 		}
@@ -79,7 +96,7 @@ func main() {
 				f, s.GapParallel[i], s.GapSingle[i], s.ParallelGain[i])
 		}
 	case "bc":
-		pts, err := sweep.BCAblation(*bits, *parallel)
+		pts, err := sweep.BCAblationContext(ctx, *bits, *parallel)
 		if err != nil {
 			fatal(err)
 		}
@@ -117,4 +134,36 @@ func parseFactors(s string) ([]float64, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sweep:", err)
 	os.Exit(1)
+}
+
+// dumpTrace writes the study's spans (JSONL) and metrics (Prometheus
+// text format) to the requested files and prints the stage-time tree to
+// stderr, keeping stdout reserved for the study tables.
+func dumpTrace(tr *obs.Trace, traceOut, metricsOut string) {
+	spans := tr.Spans()
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err == nil {
+			err = obs.WriteJSONL(f, spans)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err == nil {
+			err = obs.WritePrometheus(f, tr.Registry().Snapshot())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	_ = obs.WriteTree(os.Stderr, spans)
 }

@@ -69,6 +69,11 @@ type PipelineError struct {
 	// Bits and Style echo the configuration that failed.
 	Bits  int
 	Style Style
+	// Warnings preserves the graceful degradations the run had already
+	// accumulated before failing (solver fallbacks, abandoned
+	// promotions). On success these ride on Result.Warnings; on failure
+	// the Result is discarded, so they surface here instead.
+	Warnings []string
 	// Err is the underlying cause.
 	Err error
 }
@@ -164,13 +169,15 @@ func wrapRunError(cfg Config, err error) error {
 		return err
 	}
 	stage := "internal"
+	var warnings []string
 	var se *core.StageError
 	if errors.As(err, &se) {
 		stage = se.Stage
+		warnings = append([]string(nil), se.Warnings...)
 	}
 	style := cfg.Style
 	if style == "" {
 		style = Spiral
 	}
-	return &PipelineError{Stage: stage, Bits: cfg.Bits, Style: style, Err: err}
+	return &PipelineError{Stage: stage, Bits: cfg.Bits, Style: style, Warnings: warnings, Err: err}
 }

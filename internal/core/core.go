@@ -18,12 +18,14 @@ import (
 	"fmt"
 	"math"
 	"runtime/debug"
+	"strconv"
 	"time"
 
 	"ccdac/internal/ccmatrix"
 	"ccdac/internal/dacmodel"
 	"ccdac/internal/extract"
 	"ccdac/internal/fault"
+	"ccdac/internal/obs"
 	"ccdac/internal/place"
 	"ccdac/internal/route"
 	"ccdac/internal/tech"
@@ -64,6 +66,10 @@ type Config struct {
 type StageError struct {
 	Stage string
 	Err   error
+	// Warnings carries the graceful degradations the run had already
+	// accumulated before failing, so callers can still report them when
+	// no Result is returned.
+	Warnings []string
 }
 
 func (e *StageError) Error() string { return fmt.Sprintf("core: %s stage: %v", e.Stage, e.Err) }
@@ -72,17 +78,26 @@ func (e *StageError) Error() string { return fmt.Sprintf("core: %s stage: %v", e
 func (e *StageError) Unwrap() error { return e.Err }
 
 // runStage executes one pipeline stage with cancellation checking and
-// panic containment, attributing any failure to the stage name.
-func runStage(ctx context.Context, stage string, f func() error) (err error) {
+// panic containment, attributing any failure to the stage name. The
+// stage runs under an observability span named after it (passed down
+// through the callback's context for sub-spans); a failing stage marks
+// its span errored, and every completion feeds the per-stage duration
+// histogram.
+func runStage(ctx context.Context, stage string, f func(context.Context) error) (err error) {
+	sctx, span := obs.StartSpan(ctx, stage)
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			err = &StageError{Stage: stage, Err: fmt.Errorf("recovered panic: %v\n%s", r, debug.Stack())}
 		}
+		span.Fail(err)
+		span.End()
+		obs.ObserveDurationL(ctx, "ccdac_core_stage_seconds", obs.Labels{"stage": stage}, time.Since(start))
 	}()
 	if cerr := ctx.Err(); cerr != nil {
 		return &StageError{Stage: stage, Err: cerr}
 	}
-	if serr := f(); serr != nil {
+	if serr := f(sctx); serr != nil {
 		var se *StageError
 		if errors.As(serr, &se) {
 			return serr
@@ -117,9 +132,27 @@ type Result struct {
 	// and skipped best-BC candidates. An empty slice means the full
 	// flow ran as configured.
 	Warnings []string
+	// Stats are the structured counters behind those warnings.
+	Stats RunStats
 	// PlaceTime and RouteTime are the constructive-runtime components
 	// reported in Table III; AnalyzeTime covers extraction + NL.
 	PlaceTime, RouteTime, AnalyzeTime time.Duration
+}
+
+// RunStats reports one run's degradation and solver-effort counters in
+// structured form — the numeric counterpart of the Warnings prose, so
+// tests assert on counts instead of matching warning text. The same
+// numbers are recorded as trace metrics when a trace is live.
+type RunStats struct {
+	// CGIterations and CGFallbacks total the sparse-solver effort and
+	// CG→Cholesky fallbacks of the kept layout's extraction.
+	CGIterations, CGFallbacks int
+	// ParWireRetries counts parallel-wire promotions retried with fewer
+	// wires after a routing or extraction failure.
+	ParWireRetries int
+	// ParWireAbandoned counts promotions abandoned entirely, reverting
+	// to the last-good layout.
+	ParWireAbandoned int
 }
 
 // Place builds just the placement for a configuration.
@@ -174,10 +207,11 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		t = tech.FinFET12()
 	}
 	res = &Result{Config: cfg}
+	obs.Count(ctx, "ccdac_core_runs_total", 1)
 
 	start := time.Now()
 	var m *ccmatrix.Matrix
-	if err := runStage(ctx, fault.StagePlace, func() error {
+	if err := runStage(ctx, fault.StagePlace, func(context.Context) error {
 		var perr error
 		m, perr = Place(cfg)
 		return perr
@@ -211,15 +245,18 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 	for iter := 0; ; iter++ {
 		var stepL *route.Layout
 		var stepSum *extract.Summary
-		err := runStage(ctx, fault.StageRoute, func() error {
+		iterAttr := strconv.Itoa(iter)
+		err := runStage(ctx, fault.StageRoute, func(sctx context.Context) error {
+			obs.CurrentSpan(sctx).SetAttr("iter", iterAttr)
 			var rerr error
-			stepL, rerr = route.Route(m, t, par)
+			stepL, rerr = route.RouteContext(sctx, m, t, par)
 			return rerr
 		})
 		if err == nil {
-			err = runStage(ctx, fault.StageExtract, func() error {
+			err = runStage(ctx, fault.StageExtract, func(sctx context.Context) error {
+				obs.CurrentSpan(sctx).SetAttr("iter", iterAttr)
 				var xerr error
-				stepSum, xerr = extract.Extract(stepL)
+				stepSum, xerr = extract.ExtractContext(sctx, stepL)
 				return xerr
 			})
 		}
@@ -227,12 +264,14 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 			if canceled(err) || lastL == nil {
 				// Cancellation, or the base single-wire flow itself
 				// failed: nothing to degrade to.
-				return nil, err
+				return nil, failWith(err, res)
 			}
 			if par[promoted] > 2 {
 				// Retry the failed promotion with fewer parallel wires.
 				par[promoted]--
 				capOf[promoted] = par[promoted]
+				res.Stats.ParWireRetries++
+				obs.Count(ctx, "ccdac_core_parwire_retry_total", 1)
 				res.Warnings = append(res.Warnings, fmt.Sprintf(
 					"core: %d-wire promotion of C_%d failed (%v); retrying with %d wires",
 					par[promoted]+1, promoted, err, par[promoted]))
@@ -242,6 +281,8 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 			capOf[promoted] = 1
 			l, sum = lastL, lastSum
 			par = lastPar
+			res.Stats.ParWireAbandoned++
+			obs.Count(ctx, "ccdac_core_parwire_abandoned_total", 1)
 			res.Warnings = append(res.Warnings, fmt.Sprintf(
 				"core: parallel promotion of C_%d failed (%v); keeping last-good layout", promoted, err))
 			break
@@ -260,6 +301,8 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 	res.Layout = l
 	res.Par = par
 	res.Warnings = append(res.Warnings, sum.Warnings...)
+	res.Stats.CGIterations = sum.CGIterations
+	res.Stats.CGFallbacks = sum.CGFallbacks
 
 	start = time.Now()
 	res.Electrical = sum
@@ -267,7 +310,7 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 	res.F3dBHz = extract.F3dB(m.Bits, sum.Tau())
 
 	if !cfg.SkipNL {
-		if err := runStage(ctx, fault.StageAnalyze, func() error {
+		if err := runStage(ctx, fault.StageAnalyze, func(sctx context.Context) error {
 			if ferr := fault.Check(fault.StageAnalyze); ferr != nil {
 				return ferr
 			}
@@ -275,22 +318,39 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 			if steps <= 0 {
 				steps = 8
 			}
+			_, span := obs.StartSpan(sctx, "analysis.sweep")
 			sweep, serr := variation.SweepTheta(m, l.CellCenter, t, steps)
+			span.Fail(serr)
+			span.End()
 			if serr != nil {
 				return serr
 			}
+			_, span = obs.StartSpan(sctx, "analysis.nl")
 			nl, nerr := dacmodel.WorstOverTheta(sweep, dacmodel.Parasitics{CTSfF: sum.CTSfF}, t.VRef)
+			span.Fail(nerr)
+			span.End()
 			if nerr != nil {
 				return nerr
 			}
 			res.NL = nl
 			return nil
 		}); err != nil {
-			return nil, err
+			return nil, failWith(err, res)
 		}
 	}
 	res.AnalyzeTime = time.Since(start)
 	return res, nil
+}
+
+// failWith attaches the run's accumulated degradation warnings to the
+// failing StageError, so they survive the discarded Result and callers
+// can still report them alongside the error.
+func failWith(err error, res *Result) error {
+	var se *StageError
+	if res != nil && len(res.Warnings) > 0 && errors.As(err, &se) {
+		se.Warnings = append(append([]string(nil), res.Warnings...), se.Warnings...)
+	}
+	return err
 }
 
 // RunBestBC sweeps the block-chessboard parameter grid and returns the
@@ -325,11 +385,17 @@ func RunBestBCContext(ctx context.Context, cfg Config) (*Result, []*Result, erro
 	for _, p := range params {
 		c := cfg
 		c.BC = p
-		r, err := RunContext(ctx, c)
+		cctx, span := obs.StartSpan(ctx, "bestbc.candidate")
+		span.SetAttr("core_bits", strconv.Itoa(p.CoreBits))
+		span.SetAttr("block_cells", strconv.Itoa(p.BlockCells))
+		r, err := RunContext(cctx, c)
+		span.Fail(err)
+		span.End()
 		if err != nil {
 			if canceled(err) {
 				return nil, nil, err
 			}
+			obs.Count(ctx, "ccdac_core_bc_skipped_total", 1)
 			lastErr = fmt.Errorf("core: BC %+v: %w", p, err)
 			skipped = append(skipped, fmt.Sprintf(
 				"core: BC candidate {core %d, block %d} skipped: %v", p.CoreBits, p.BlockCells, err))

@@ -12,11 +12,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"ccdac/internal/core"
 	"ccdac/internal/fault"
+	"ccdac/internal/obs"
 	"ccdac/internal/place"
 	"ccdac/internal/tech"
 )
@@ -193,12 +195,25 @@ func (h *Harness) PrefetchContext(ctx context.Context, bits []int) error {
 
 // runJob executes one prefetch job with panic containment and the
 // optional per-job timeout. A recovered panic becomes this job's
-// error; it never takes down the pool.
+// error; it never takes down the pool. Each job runs under its own
+// observability span (errored on failure) and feeds the pool's job
+// counters and duration histogram.
 func (h *Harness) runJob(ctx context.Context, j job) (err error) {
+	ctx, span := obs.StartSpan(ctx, "exp.job")
+	span.SetAttr("method", string(j.m))
+	span.SetAttr("bits", strconv.Itoa(j.n))
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("exp: %s %d-bit: recovered panic: %v", j.m, j.n, r)
 		}
+		obs.Count(ctx, "ccdac_exp_jobs_total", 1)
+		if err != nil {
+			obs.Count(ctx, "ccdac_exp_job_failures_total", 1)
+		}
+		obs.ObserveDuration(ctx, "ccdac_exp_job_seconds", time.Since(start))
+		span.Fail(err)
+		span.End()
 	}()
 	if h.JobTimeout > 0 {
 		var cancel context.CancelFunc

@@ -11,11 +11,13 @@
 package extract
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"ccdac/internal/fault"
 	"ccdac/internal/geom"
+	"ccdac/internal/obs"
 	"ccdac/internal/rcnet"
 	"ccdac/internal/route"
 )
@@ -64,6 +66,11 @@ type Summary struct {
 	// Warnings records solver degradations taken during extraction
 	// (e.g. a CG→dense-Cholesky fallback in a bit's moment solve).
 	Warnings []string
+	// CGIterations and CGFallbacks total the sparse-solver effort and
+	// CG→Cholesky degradations across every bit's delay solve — the
+	// structured counterparts of the fallback prose in Warnings, so
+	// tests and dashboards assert on numbers instead of strings.
+	CGIterations, CGFallbacks int
 }
 
 // CriticalBit returns the capacitor with the largest Elmore delay; its
@@ -83,6 +90,13 @@ func (s *Summary) Tau() float64 { return s.Bits[s.CriticalBit()].TauSec }
 
 // Extract computes the full electrical view of a routed layout.
 func Extract(l *route.Layout) (*Summary, error) {
+	return ExtractContext(context.Background(), l)
+}
+
+// ExtractContext is Extract under a context carrying the observability
+// trace: the coupling sweep and the per-bit network builds are recorded
+// as nested spans, and solver effort lands in the trace's metrics.
+func ExtractContext(ctx context.Context, l *route.Layout) (*Summary, error) {
 	if err := fault.Check(fault.StageExtract); err != nil {
 		return nil, fmt.Errorf("extract: %w", err)
 	}
@@ -92,7 +106,10 @@ func Extract(l *route.Layout) (*Summary, error) {
 		AreaUm2:      l.Area(),
 	}
 	// Ground-capacitance sums and the coupling extraction.
-	wireCoupling := couple(l, s)
+	_, span := obs.StartSpan(ctx, "extract.couple")
+	wireCoupling, pairs := couple(l, s)
+	span.End()
+	obs.Count(ctx, "ccdac_extract_coupling_pairs_total", int64(pairs))
 	for _, w := range l.Wires {
 		if w.Bit == route.TopPlateBit {
 			s.CTSfF += l.Tech.TopPlateCfFPerUm * w.Seg.Len()
@@ -101,24 +118,39 @@ func Extract(l *route.Layout) (*Summary, error) {
 		s.CWirefF += l.Tech.WireC(w.Layer, effLen(l, w), w.Par)
 	}
 
+	_, span = obs.StartSpan(ctx, "extract.bitnets")
 	s.Bits = make([]BitNet, l.M.Bits+1)
+	nodes := 0
 	for bit := 0; bit <= l.M.Bits; bit++ {
 		bn, err := buildBitNet(l, bit, wireCoupling)
 		if err != nil {
-			return nil, fmt.Errorf("extract: bit %d: %w", bit, err)
+			err = fmt.Errorf("extract: bit %d: %w", bit, err)
+			span.Fail(err)
+			span.End()
+			return nil, err
 		}
 		s.Bits[bit] = *bn
+		nodes += bn.Net.NumNodes()
+		st := bn.Net.Stats()
+		s.CGIterations += st.CGIterations
+		s.CGFallbacks += st.CGFallbacks
 		for _, w := range bn.Net.Warnings() {
 			s.Warnings = append(s.Warnings, fmt.Sprintf("extract: bit %d: %s", bit, w))
 		}
 	}
+	span.End()
+	obs.Count(ctx, "ccdac_extract_nodes_total", int64(nodes))
+	obs.Count(ctx, "ccdac_linalg_cg_iterations_total", int64(s.CGIterations))
+	obs.Count(ctx, "ccdac_rcnet_cg_fallback_total", int64(s.CGFallbacks))
 	return s, nil
 }
 
 // couple extracts pairwise sidewall coupling between bottom-plate wires
 // of different capacitors (the C^BB of Table I), returning each wire's
-// share of coupling capacitance (treated as grounded for delay).
-func couple(l *route.Layout, s *Summary) []float64 {
+// share of coupling capacitance (treated as grounded for delay) and
+// the number of coupled wire pairs found.
+func couple(l *route.Layout, s *Summary) ([]float64, int) {
+	pairs := 0
 	share := make([]float64, len(l.Wires))
 	for i := 0; i < len(l.Wires); i++ {
 		wi := l.Wires[i]
@@ -145,9 +177,10 @@ func couple(l *route.Layout, s *Summary) []float64 {
 			s.CBBfF += c
 			share[i] += c / 2
 			share[j] += c / 2
+			pairs++
 		}
 	}
-	return share
+	return share, pairs
 }
 
 // effLen is the electrical length of a wire. Abutment connections

@@ -99,12 +99,20 @@ func (s *Sparse) NNZ() int {
 // Jacobi-preconditioned conjugate gradients. tol is the relative
 // residual target (e.g. 1e-12); maxIter <= 0 selects 10·N iterations.
 func (s *Sparse) SolveCG(b []float64, tol float64, maxIter int) ([]float64, error) {
+	x, _, err := s.SolveCGIter(b, tol, maxIter)
+	return x, err
+}
+
+// SolveCGIter is SolveCG, additionally reporting the number of CG
+// iterations performed — the solver-effort metric surfaced by the
+// observability layer (maxIter when the solve did not converge).
+func (s *Sparse) SolveCGIter(b []float64, tol float64, maxIter int) ([]float64, int, error) {
 	if err := fault.Check(fault.StageLinalgCG); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	n := s.N
 	if len(b) != n {
-		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), n)
+		return nil, 0, fmt.Errorf("linalg: rhs length %d, want %d", len(b), n)
 	}
 	if maxIter <= 0 {
 		maxIter = 10 * n
@@ -114,7 +122,7 @@ func (s *Sparse) SolveCG(b []float64, tol float64, maxIter int) ([]float64, erro
 	for i := 0; i < n; i++ {
 		d := s.At(i, i)
 		if d <= 0 {
-			return nil, fmt.Errorf("linalg: non-positive diagonal %g at %d (matrix not SPD)", d, i)
+			return nil, 0, fmt.Errorf("linalg: non-positive diagonal %g at %d (matrix not SPD)", d, i)
 		}
 		mInv[i] = 1 / d
 	}
@@ -123,7 +131,7 @@ func (s *Sparse) SolveCG(b []float64, tol float64, maxIter int) ([]float64, erro
 	copy(r, b)
 	normB := norm2(b)
 	if normB == 0 {
-		return x, nil
+		return x, 0, nil
 	}
 	z := make([]float64, n)
 	p := make([]float64, n)
@@ -137,7 +145,7 @@ func (s *Sparse) SolveCG(b []float64, tol float64, maxIter int) ([]float64, erro
 		s.MulVec(p, ap)
 		pap := dot(p, ap)
 		if pap <= 0 {
-			return nil, fmt.Errorf("linalg: breakdown pᵀAp = %g at iteration %d", pap, it)
+			return nil, it, fmt.Errorf("linalg: breakdown pᵀAp = %g at iteration %d", pap, it)
 		}
 		alpha := rz / pap
 		for i := 0; i < n; i++ {
@@ -145,7 +153,7 @@ func (s *Sparse) SolveCG(b []float64, tol float64, maxIter int) ([]float64, erro
 			r[i] -= alpha * ap[i]
 		}
 		if norm2(r) <= tol*normB {
-			return x, nil
+			return x, it + 1, nil
 		}
 		for i := range z {
 			z[i] = mInv[i] * r[i]
@@ -157,7 +165,7 @@ func (s *Sparse) SolveCG(b []float64, tol float64, maxIter int) ([]float64, erro
 			p[i] = z[i] + beta*p[i]
 		}
 	}
-	return nil, ErrNotConverged
+	return nil, maxIter, ErrNotConverged
 }
 
 func dot(a, b []float64) float64 {

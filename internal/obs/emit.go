@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// spanEvent is the JSONL wire form of one span. Field order is fixed by
+// the struct, so output is deterministic given deterministic spans.
+type spanEvent struct {
+	ID           uint64            `json:"id"`
+	Parent       uint64            `json:"parent,omitempty"`
+	Name         string            `json:"name"`
+	Start        string            `json:"start"`
+	DurNS        int64             `json:"dur_ns"`
+	Err          string            `json:"err,omitempty"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
+	AllocBytes   uint64            `json:"alloc_bytes,omitempty"`
+	AllocObjects uint64            `json:"alloc_objects,omitempty"`
+}
+
+// WriteJSONL emits one JSON object per span, one per line, in the
+// given order (Trace.Spans yields completion order).
+func WriteJSONL(w io.Writer, spans []SpanRecord) error {
+	enc := json.NewEncoder(w)
+	for _, s := range spans {
+		ev := spanEvent{
+			ID: s.ID, Parent: s.ParentID, Name: s.Name,
+			Start: s.Start.UTC().Format(time.RFC3339Nano),
+			DurNS: s.Duration.Nanoseconds(),
+			Err:   s.Err, Attrs: s.Attrs,
+			AllocBytes: s.AllocBytes, AllocObjects: s.AllocObjects,
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format, series sorted by name for stable output.
+func WritePrometheus(w io.Writer, m MetricsSnapshot) error {
+	typed := map[string]string{}
+	keys := make([]string, 0, len(m.Counters)+len(m.Gauges)+len(m.Histograms))
+	for k := range m.Counters {
+		typed[baseName(k)] = "counter"
+		keys = append(keys, k)
+	}
+	for k := range m.Gauges {
+		typed[baseName(k)] = "gauge"
+		keys = append(keys, k)
+	}
+	for k := range m.Histograms {
+		typed[baseName(k)] = "histogram"
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	seenType := map[string]bool{}
+	for _, k := range keys {
+		base := baseName(k)
+		if !seenType[base] {
+			seenType[base] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, typed[base]); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch {
+		case typed[base] == "counter":
+			_, err = fmt.Fprintf(w, "%s %d\n", k, m.Counters[k])
+		case typed[base] == "gauge":
+			_, err = fmt.Fprintf(w, "%s %s\n", k, formatFloat(m.Gauges[k]))
+		default:
+			err = writePromHistogram(w, k, m.Histograms[k])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits the cumulative _bucket/_sum/_count series of
+// one histogram, splicing the le label into any existing label set.
+func writePromHistogram(w io.Writer, key string, h HistogramSnapshot) error {
+	base, labels := baseName(key), ""
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		labels = key[i+1 : len(key)-1]
+	}
+	bucket := func(le string, n uint64) error {
+		ls := `le="` + le + `"`
+		if labels != "" {
+			ls = labels + "," + ls
+		}
+		_, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, ls, n)
+		return err
+	}
+	cum := uint64(0)
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		if err := bucket(formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.Counts[len(h.Bounds)]
+	if err := bucket("+Inf", cum); err != nil {
+		return err
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, suffix, formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, h.Count)
+	return err
+}
+
+// formatFloat renders v the way Prometheus clients do: shortest exact
+// decimal form.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTree renders the spans as an indented stage-time tree: each
+// span's wall time and its share of the root span it belongs to.
+// Errored spans are marked. Sibling order is span-start order.
+func WriteTree(w io.Writer, spans []SpanRecord) error {
+	children := map[uint64][]SpanRecord{}
+	var roots []SpanRecord
+	for _, s := range spans {
+		if s.ParentID == 0 {
+			roots = append(roots, s)
+		} else {
+			children[s.ParentID] = append(children[s.ParentID], s)
+		}
+	}
+	byStart := func(list []SpanRecord) {
+		sort.Slice(list, func(i, j int) bool {
+			if !list[i].Start.Equal(list[j].Start) {
+				return list[i].Start.Before(list[j].Start)
+			}
+			return list[i].ID < list[j].ID
+		})
+	}
+	byStart(roots)
+	for _, c := range children {
+		byStart(c)
+	}
+	var emit func(s SpanRecord, depth int, total time.Duration) error
+	emit = func(s SpanRecord, depth int, total time.Duration) error {
+		pct := 100.0
+		if total > 0 {
+			pct = 100 * float64(s.Duration) / float64(total)
+		}
+		mark := ""
+		if s.Err != "" {
+			mark = "  ERROR: " + firstLine(s.Err, 80)
+		}
+		label := strings.Repeat("  ", depth) + s.Name
+		if _, err := fmt.Fprintf(w, "%-42s %12s %6.1f%%%s\n", label, s.Duration.Round(time.Microsecond), pct, mark); err != nil {
+			return err
+		}
+		for _, c := range children[s.ID] {
+			if err := emit(c, depth+1, total); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := emit(r, 0, r.Duration); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// firstLine truncates s to its first line and at most max bytes.
+func firstLine(s string, max int) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > max {
+		s = s[:max] + "..."
+	}
+	return s
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// FaultEvent records one armed internal/fault injection firing. Fault
+// injection is test-only, so events go to a process-global bounded
+// buffer (no context flows into fault.Check) that tests read back to
+// assert the fault both fired and was attributed to the right stage.
+type FaultEvent struct {
+	Stage string
+	Time  time.Time
+}
+
+// maxFaultEvents bounds the global event buffer; older events are
+// dropped first. Any single test arms at most a handful of faults.
+const maxFaultEvents = 256
+
+var (
+	faultMu     sync.Mutex
+	faultEvents []FaultEvent
+)
+
+// RecordFault logs a fired fault-injection point. Called by
+// internal/fault when an armed fault triggers.
+func RecordFault(stage string) {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	if len(faultEvents) >= maxFaultEvents {
+		faultEvents = faultEvents[1:]
+	}
+	faultEvents = append(faultEvents, FaultEvent{Stage: stage, Time: time.Now()})
+}
+
+// FaultEvents returns the recorded fault firings, oldest first.
+func FaultEvents() []FaultEvent {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	return append([]FaultEvent(nil), faultEvents...)
+}
+
+// ResetFaultEvents clears the buffer; tests pair it with fault.Reset.
+func ResetFaultEvents() {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	faultEvents = nil
+}

@@ -1,0 +1,369 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a now func that starts at a fixed instant and
+// advances 1ms per call, making span timings deterministic.
+func fakeClock() func() time.Time {
+	base := time.Date(2025, 1, 2, 3, 4, 5, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		t := base.Add(time.Duration(n) * time.Millisecond)
+		n++
+		return t
+	}
+}
+
+func TestDisabledSpanIsNil(t *testing.T) {
+	if Enabled() {
+		t.Fatal("no trace is live, Enabled() = true")
+	}
+	ctx, span := StartSpan(context.Background(), "x")
+	if span != nil {
+		t.Fatalf("StartSpan without a live trace returned %v, want nil", span)
+	}
+	if CurrentSpan(ctx) != nil {
+		t.Fatal("nil span leaked into the context")
+	}
+	// All methods must be no-ops on the nil span.
+	span.SetAttr("k", "v")
+	span.Fail(errors.New("boom"))
+	span.End()
+	// Metric helpers must be no-ops without a live trace.
+	Count(ctx, "ccdac_test_total", 1)
+	SetGauge(ctx, "ccdac_test_um", 1)
+	Observe(ctx, "ccdac_test_seconds", 1)
+}
+
+func TestNestedSpanParenting(t *testing.T) {
+	tr := New(Options{})
+	defer tr.Finish()
+	ctx := WithTrace(context.Background(), tr)
+
+	octx, outer := StartSpan(ctx, "outer")
+	if outer == nil {
+		t.Fatal("StartSpan under a live trace returned nil")
+	}
+	if CurrentSpan(octx) != outer {
+		t.Fatal("outer span not carried by its context")
+	}
+	ictx, inner := StartSpan(octx, "inner")
+	_, leaf := StartSpan(ictx, "leaf")
+	leaf.End()
+	inner.Fail(errors.New("inner broke"))
+	inner.End()
+	outer.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if got := byName["outer"].ParentID; got != 0 {
+		t.Errorf("outer.ParentID = %d, want 0 (root)", got)
+	}
+	if got, want := byName["inner"].ParentID, byName["outer"].ID; got != want {
+		t.Errorf("inner.ParentID = %d, want %d", got, want)
+	}
+	if got, want := byName["leaf"].ParentID, byName["inner"].ID; got != want {
+		t.Errorf("leaf.ParentID = %d, want %d", got, want)
+	}
+	if byName["inner"].Err != "inner broke" {
+		t.Errorf("inner.Err = %q, want %q", byName["inner"].Err, "inner broke")
+	}
+	if byName["outer"].Err != "" || byName["leaf"].Err != "" {
+		t.Error("error leaked onto spans that did not Fail")
+	}
+	// Completion order: leaf, inner, outer.
+	if spans[0].Name != "leaf" || spans[2].Name != "outer" {
+		t.Errorf("completion order = %s,%s,%s", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+}
+
+func TestSpanEndAfterFinishDropped(t *testing.T) {
+	tr := New(Options{})
+	ctx := WithTrace(context.Background(), tr)
+	_, a := StartSpan(ctx, "a")
+	_, b := StartSpan(ctx, "b")
+	a.End()
+	tr.Finish()
+	b.End() // too late: must not be recorded
+	b.End() // and End must stay idempotent
+	if got := len(tr.Spans()); got != 1 {
+		t.Fatalf("got %d spans after Finish, want 1", got)
+	}
+	if Enabled() {
+		t.Fatal("trace finished but Enabled() = true")
+	}
+	tr.Finish() // idempotent: must not drive the live count negative
+	if Enabled() {
+		t.Fatal("double Finish corrupted the live-trace count")
+	}
+}
+
+func TestConcurrentSpansAndMetrics(t *testing.T) {
+	const goroutines, perG = 8, 100
+	tr := New(Options{})
+	defer tr.Finish()
+	ctx := WithTrace(context.Background(), tr)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sctx, span := StartSpan(ctx, "worker")
+				span.SetAttr("g", fmt.Sprint(g))
+				_, child := StartSpan(sctx, "worker.step")
+				CountL(sctx, "ccdac_test_steps_total", Labels{"g": fmt.Sprint(g % 2)}, 1)
+				Observe(sctx, "ccdac_test_size", float64(i))
+				child.End()
+				span.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := len(tr.Spans()); got != 2*goroutines*perG {
+		t.Fatalf("got %d spans, want %d", got, 2*goroutines*perG)
+	}
+	snap := tr.Registry().Snapshot()
+	total := snap.Counter("ccdac_test_steps_total", Labels{"g": "0"}) +
+		snap.Counter("ccdac_test_steps_total", Labels{"g": "1"})
+	if total != goroutines*perG {
+		t.Fatalf("counter total = %d, want %d", total, goroutines*perG)
+	}
+	h := snap.Histograms["ccdac_test_size"]
+	if h.Count != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", h.Count, goroutines*perG)
+	}
+}
+
+func TestTraceIsolation(t *testing.T) {
+	// Two live traces: metrics recorded under one context must not
+	// bleed into the other trace's registry.
+	t1, t2 := New(Options{}), New(Options{})
+	defer t1.Finish()
+	defer t2.Finish()
+	ctx1 := WithTrace(context.Background(), t1)
+	ctx2 := WithTrace(context.Background(), t2)
+	Count(ctx1, "ccdac_test_total", 3)
+	Count(ctx2, "ccdac_test_total", 5)
+	if got := t1.Registry().Snapshot().Counter("ccdac_test_total", nil); got != 3 {
+		t.Errorf("trace 1 counter = %d, want 3", got)
+	}
+	if got := t2.Registry().Snapshot().Counter("ccdac_test_total", nil); got != 5 {
+		t.Errorf("trace 2 counter = %d, want 5", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ccdac_test_size", nil, []float64{1, 4})
+	// A sample exactly on a bound belongs to that bound's bucket
+	// (le semantics); above the last bound goes to +Inf.
+	for _, v := range []float64{0.5, 1, 4, 4.0001} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 1, 1} // le=1: {0.5, 1}; le=4: {4}; +Inf: {4.0001}
+	if len(s.Counts) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(s.Counts), len(want))
+	}
+	for i := range want {
+		if s.Counts[i] != want[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, s.Counts[i], want[i])
+		}
+	}
+	if s.Count != 4 {
+		t.Errorf("count = %d, want 4", s.Count)
+	}
+	if s.Sum != 0.5+1+4+4.0001 {
+		t.Errorf("sum = %g", s.Sum)
+	}
+}
+
+func TestDefaultBucketSelection(t *testing.T) {
+	if got := defaultBuckets("ccdac_core_stage_seconds"); &got[0] != &DefaultDurationBuckets[0] {
+		t.Error("_seconds metric did not select the duration buckets")
+	}
+	if got := defaultBuckets("ccdac_extract_nodes_total"); &got[0] != &DefaultSizeBuckets[0] {
+		t.Error("non-_seconds metric did not select the size buckets")
+	}
+}
+
+func TestGoldenJSONL(t *testing.T) {
+	tr := New(Options{})
+	tr.now = fakeClock()
+	ctx := WithTrace(context.Background(), tr)
+
+	octx, outer := StartSpan(ctx, "generate") // start +0ms
+	_, inner := StartSpan(octx, "routing")    // start +1ms
+	inner.SetAttr("iter", "1")
+	inner.Fail(errors.New("boom"))
+	inner.End() // +2ms -> dur 1ms
+	outer.End() // +3ms -> dur 3ms
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"id":2,"parent":1,"name":"routing","start":"2025-01-02T03:04:05.001Z","dur_ns":1000000,"err":"boom","attrs":{"iter":"1"}}
+{"id":1,"name":"generate","start":"2025-01-02T03:04:05Z","dur_ns":3000000}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("JSONL mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestGoldenPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ccdac_test_total", nil).Add(3)
+	r.Counter("ccdac_test_labeled_total", Labels{"stage": "routing"}).Add(2)
+	r.Gauge("ccdac_test_um", nil).Set(1.5)
+	h := r.Histogram("ccdac_test_seconds", Labels{"stage": "routing"}, []float64{0.5, 1})
+	for _, v := range []float64{0.25, 1, 5} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE ccdac_test_labeled_total counter
+ccdac_test_labeled_total{stage="routing"} 2
+# TYPE ccdac_test_seconds histogram
+ccdac_test_seconds_bucket{stage="routing",le="0.5"} 1
+ccdac_test_seconds_bucket{stage="routing",le="1"} 2
+ccdac_test_seconds_bucket{stage="routing",le="+Inf"} 3
+ccdac_test_seconds_sum{stage="routing"} 6.25
+ccdac_test_seconds_count{stage="routing"} 3
+# TYPE ccdac_test_total counter
+ccdac_test_total 3
+# TYPE ccdac_test_um gauge
+ccdac_test_um 1.5
+`
+	if got := buf.String(); got != want {
+		t.Errorf("Prometheus text mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	tr := New(Options{})
+	tr.now = fakeClock()
+	ctx := WithTrace(context.Background(), tr)
+
+	gctx, root := StartSpan(ctx, "generate") // +0
+	_, p := StartSpan(gctx, "placement")     // +1
+	p.End()                                  // +2 -> 1ms
+	rctx, rt := StartSpan(gctx, "routing")   // +3
+	_, w := StartSpan(rctx, "route.wires")   // +4
+	w.Fail(errors.New("blocked track\nsecond line ignored"))
+	w.End()    // +5 -> 1ms
+	rt.End()   // +6 -> 3ms
+	root.End() // +7 -> 7ms
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteTree(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	fmt.Fprintf(&want, "%-42s %12s %6.1f%%\n", "generate", "7ms", 100.0)
+	fmt.Fprintf(&want, "%-42s %12s %6.1f%%\n", "  placement", "1ms", 100.0/7)
+	fmt.Fprintf(&want, "%-42s %12s %6.1f%%\n", "  routing", "3ms", 300.0/7)
+	fmt.Fprintf(&want, "%-42s %12s %6.1f%%%s\n", "    route.wires", "1ms", 100.0/7,
+		"  ERROR: blocked track")
+	if got := buf.String(); got != want.String() {
+		t.Errorf("tree mismatch:\ngot:\n%s\nwant:\n%s", got, want.String())
+	}
+}
+
+func TestMemStatsDeltas(t *testing.T) {
+	tr := New(Options{MemStats: true})
+	defer tr.Finish()
+	ctx := WithTrace(context.Background(), tr)
+	_, span := StartSpan(ctx, "alloc")
+	sink = make([]byte, 1<<20)
+	span.End()
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if spans[0].AllocBytes < 1<<20 {
+		t.Errorf("AllocBytes = %d, want >= %d", spans[0].AllocBytes, 1<<20)
+	}
+	if spans[0].AllocObjects == 0 {
+		t.Error("AllocObjects = 0, want > 0")
+	}
+}
+
+// sink defeats allocation elision in TestMemStatsDeltas.
+var sink []byte
+
+func TestFaultEventBuffer(t *testing.T) {
+	ResetFaultEvents()
+	defer ResetFaultEvents()
+	RecordFault("extraction")
+	RecordFault("linalg.cg")
+	evs := FaultEvents()
+	if len(evs) != 2 || evs[0].Stage != "extraction" || evs[1].Stage != "linalg.cg" {
+		t.Fatalf("events = %+v", evs)
+	}
+	// The buffer is bounded: flooding keeps the newest events.
+	for i := 0; i < maxFaultEvents+10; i++ {
+		RecordFault("flood")
+	}
+	evs = FaultEvents()
+	if len(evs) != maxFaultEvents {
+		t.Fatalf("buffer grew to %d, cap is %d", len(evs), maxFaultEvents)
+	}
+}
+
+// BenchmarkDisabledStartSpan measures the disarmed fast path: one
+// atomic load and out. This is the cost every instrumentation site
+// pays on an unobserved run.
+func BenchmarkDisabledStartSpan(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, span := StartSpan(ctx, "bench")
+		span.End()
+	}
+}
+
+// BenchmarkDisabledCount measures the disarmed metric helper path.
+func BenchmarkDisabledCount(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Count(ctx, "ccdac_bench_total", 1)
+	}
+}
+
+// BenchmarkEnabledSpan measures the armed span cost for overhead
+// budgeting against full stage durations.
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := New(Options{})
+	defer tr.Finish()
+	ctx := WithTrace(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, span := StartSpan(ctx, "bench")
+		span.End()
+	}
+}

@@ -34,6 +34,24 @@ type Net struct {
 	// warn records solver degradations (CG→dense fallbacks) taken
 	// while analyzing this net.
 	warn []string
+	// cgIters and cgFallbacks count solver effort and degradations,
+	// surfaced structurally through Stats for the observability layer.
+	cgIters, cgFallbacks int
+}
+
+// NetStats totals the iterative-solver effort and degradations
+// accumulated across every analysis run on one net.
+type NetStats struct {
+	// CGIterations is the total conjugate-gradient iteration count.
+	CGIterations int
+	// CGFallbacks counts CG solves that exhausted their iteration
+	// budget and fell back to the dense Cholesky factorization.
+	CGFallbacks int
+}
+
+// Stats returns the net's accumulated solver statistics.
+func (n *Net) Stats() NetStats {
+	return NetStats{CGIterations: n.cgIters, CGFallbacks: n.cgFallbacks}
 }
 
 // Warnings returns the solver-degradation warnings recorded during
@@ -319,7 +337,8 @@ func (n *Net) FirstMoment(root int) ([]float64, error) {
 // results stay correct; it is recorded as a warning on the net because
 // it signals an ill-conditioned extraction and costs O(n³).
 func (n *Net) solveSPD(g *linalg.Sparse, rhs []float64, what string) ([]float64, error) {
-	x, err := g.SolveCG(rhs, 1e-12, 40*g.N)
+	x, iters, err := g.SolveCGIter(rhs, 1e-12, 40*g.N)
+	n.cgIters += iters
 	if err == nil {
 		return x, nil
 	}
@@ -330,6 +349,7 @@ func (n *Net) solveSPD(g *linalg.Sparse, rhs []float64, what string) ([]float64,
 	if derr != nil {
 		return nil, errors.Join(err, derr)
 	}
+	n.cgFallbacks++
 	n.warn = append(n.warn, fmt.Sprintf(
 		"%s CG solve did not converge; fell back to dense Cholesky (n=%d)", what, g.N))
 	return x, nil

@@ -21,6 +21,7 @@
 package route
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -29,6 +30,7 @@ import (
 	"ccdac/internal/fault"
 	"ccdac/internal/geom"
 	"ccdac/internal/groups"
+	"ccdac/internal/obs"
 	"ccdac/internal/tech"
 )
 
@@ -180,13 +182,26 @@ type Options struct {
 // Route runs the full constructive router on a validated placement.
 // par gives the per-capacitor parallel wire counts (nil: all 1).
 func Route(m *ccmatrix.Matrix, t *tech.Technology, par []int) (*Layout, error) {
-	return RouteWithOptions(m, t, par, Options{})
+	return RouteWithOptionsContext(context.Background(), m, t, par, Options{})
+}
+
+// RouteContext is Route under a context carrying the observability
+// trace: Algorithm 1's steps are recorded as nested spans and the
+// routed-resource totals as trace metrics.
+func RouteContext(ctx context.Context, m *ccmatrix.Matrix, t *tech.Technology, par []int) (*Layout, error) {
+	return RouteWithOptionsContext(ctx, m, t, par, Options{})
 }
 
 // RouteWithOptions runs the router with ablation options — used to
 // quantify what Algorithm 1's channel selection and bottom-stub
 // tie-breakers buy over a naive one-trunk-per-group router.
 func RouteWithOptions(m *ccmatrix.Matrix, t *tech.Technology, par []int, opts Options) (*Layout, error) {
+	return RouteWithOptionsContext(context.Background(), m, t, par, opts)
+}
+
+// RouteWithOptionsContext is RouteWithOptions under a context carrying
+// the observability trace.
+func RouteWithOptionsContext(ctx context.Context, m *ccmatrix.Matrix, t *tech.Technology, par []int, opts Options) (*Layout, error) {
 	if err := fault.Check(fault.StageRoute); err != nil {
 		return nil, fmt.Errorf("route: %w", err)
 	}
@@ -209,17 +224,34 @@ func RouteWithOptions(m *ccmatrix.Matrix, t *tech.Technology, par []int, opts Op
 		}
 		parOf[i] = p
 	}
+	_, span := obs.StartSpan(ctx, "route.groups")
 	gs, err := groups.Find(m)
 	if err != nil {
-		return nil, fmt.Errorf("route: %w", err)
+		err = fmt.Errorf("route: %w", err)
+		span.Fail(err)
+		span.End()
+		return nil, err
 	}
+	span.End()
 	l := &Layout{M: m, Tech: t, Groups: gs, Par: parOf, opts: opts}
-	l.formClusters() // Algorithm 1, Step 1
-	l.assignTracks() // Algorithm 1, Step 2
-	l.computeGeometry()
-	l.realizeWires() // Algorithm 1, Step 3
-	l.routeTopPlate()
+	l.step(ctx, "route.clusters", l.formClusters) // Algorithm 1, Step 1
+	l.step(ctx, "route.tracks", l.assignTracks)   // Algorithm 1, Step 2
+	l.step(ctx, "route.geometry", l.computeGeometry)
+	l.step(ctx, "route.wires", l.realizeWires) // Algorithm 1, Step 3
+	l.step(ctx, "route.top", l.routeTopPlate)
+	obs.Count(ctx, "ccdac_route_wires_total", int64(len(l.Wires)))
+	obs.Count(ctx, "ccdac_route_vias_total", int64(len(l.Vias)))
+	obs.Count(ctx, "ccdac_route_via_cuts_total", int64(l.ViaCuts()))
+	obs.Count(ctx, "ccdac_route_clusters_total", int64(len(l.Clusters)))
+	obs.SetGauge(ctx, "ccdac_route_wirelength_um", l.TotalWirelength())
 	return l, nil
+}
+
+// step runs one Algorithm-1 phase under an observability span.
+func (l *Layout) step(ctx context.Context, name string, f func()) {
+	_, span := obs.StartSpan(ctx, name)
+	f()
+	span.End()
 }
 
 // formClusters is Algorithm 1 Step 1 (channel selection): for each

@@ -8,10 +8,12 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"ccdac/internal/core"
+	"ccdac/internal/obs"
 	"ccdac/internal/place"
 	"ccdac/internal/tech"
 )
@@ -95,6 +97,14 @@ type Point struct {
 // collects the resulting metrics. The INL/DNL analysis is skipped for
 // purely electrical knobs unless withNL is set.
 func Sensitivity(cfg core.Config, knob Knob, factors []float64, withNL bool) ([]Point, error) {
+	return SensitivityContext(context.Background(), cfg, knob, factors, withNL)
+}
+
+// SensitivityContext is Sensitivity under a context carrying
+// cancellation and, optionally, an observability trace: each factor's
+// run is recorded as a "sweep.point" span annotated with the knob and
+// scale factor.
+func SensitivityContext(ctx context.Context, cfg core.Config, knob Knob, factors []float64, withNL bool) ([]Point, error) {
 	base := cfg.Tech
 	if base == nil {
 		base = tech.FinFET12()
@@ -108,10 +118,17 @@ func Sensitivity(cfg core.Config, knob Knob, factors []float64, withNL bool) ([]
 		c := cfg
 		c.Tech = t
 		c.SkipNL = !withNL
-		r, err := core.Run(c)
+		sctx, span := obs.StartSpan(ctx, "sweep.point")
+		span.SetAttr("knob", string(knob))
+		span.SetAttr("factor", fmt.Sprintf("%g", f))
+		r, err := core.RunContext(sctx, c)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: factor %g: %w", f, err)
+			err = fmt.Errorf("sweep: factor %g: %w", f, err)
+			span.Fail(err)
+			span.End()
+			return nil, err
 		}
+		span.End()
 		p := Point{Factor: f, F3dBHz: r.F3dBHz, ViaCuts: r.Electrical.ViaCuts}
 		if r.NL != nil {
 			p.DNL, p.INL = r.NL.MaxAbsDNL, r.NL.MaxAbsINL
@@ -135,7 +152,13 @@ type BCPoint struct {
 // one bit count — the tradeoff space of Fig. 4 and the "best BC"
 // search.
 func BCAblation(bits, parallel int) ([]BCPoint, error) {
-	_, all, err := core.RunBestBC(core.Config{Bits: bits, MaxParallel: parallel})
+	return BCAblationContext(context.Background(), bits, parallel)
+}
+
+// BCAblationContext is BCAblation under a context; each candidate
+// structure appears as a "bestbc.candidate" span in an attached trace.
+func BCAblationContext(ctx context.Context, bits, parallel int) ([]BCPoint, error) {
+	_, all, err := core.RunBestBCContext(ctx, core.Config{Bits: bits, MaxParallel: parallel})
 	if err != nil {
 		return nil, err
 	}
@@ -258,24 +281,44 @@ func SizeForSpec(cfg core.Config, specLSB, maxFactor float64) (*SizeResult, erro
 
 // StudyViaR runs the via-resistance study.
 func StudyViaR(bits int, factors []float64) (*ViaRStudy, error) {
+	return StudyViaRContext(context.Background(), bits, factors)
+}
+
+// StudyViaRContext is StudyViaR under a context; each factor's three
+// runs share one "sweep.point" span in an attached trace.
+func StudyViaRContext(ctx context.Context, bits int, factors []float64) (*ViaRStudy, error) {
 	s := &ViaRStudy{Factors: append([]float64(nil), factors...)}
 	for _, f := range factors {
 		t, err := ScaledTech(tech.FinFET12(), KnobViaR, f)
 		if err != nil {
 			return nil, err
 		}
-		sp2, err := core.Run(core.Config{Bits: bits, Style: place.Spiral, Tech: t, SkipNL: true, MaxParallel: 2})
+		sctx, span := obs.StartSpan(ctx, "sweep.point")
+		span.SetAttr("knob", string(KnobViaR))
+		span.SetAttr("factor", fmt.Sprintf("%g", f))
+		run := func(cfg core.Config) (*core.Result, error) {
+			r, err := core.RunContext(sctx, cfg)
+			if err != nil {
+				span.Fail(err)
+			}
+			return r, err
+		}
+		sp2, err := run(core.Config{Bits: bits, Style: place.Spiral, Tech: t, SkipNL: true, MaxParallel: 2})
 		if err != nil {
+			span.End()
 			return nil, err
 		}
-		sp1, err := core.Run(core.Config{Bits: bits, Style: place.Spiral, Tech: t, SkipNL: true})
+		sp1, err := run(core.Config{Bits: bits, Style: place.Spiral, Tech: t, SkipNL: true})
 		if err != nil {
+			span.End()
 			return nil, err
 		}
-		cb, err := core.Run(core.Config{Bits: bits, Style: place.Chessboard, Tech: t, SkipNL: true})
+		cb, err := run(core.Config{Bits: bits, Style: place.Chessboard, Tech: t, SkipNL: true})
 		if err != nil {
+			span.End()
 			return nil, err
 		}
+		span.End()
 		s.GapParallel = append(s.GapParallel, sp2.F3dBHz/cb.F3dBHz)
 		s.GapSingle = append(s.GapSingle, sp1.F3dBHz/cb.F3dBHz)
 		s.ParallelGain = append(s.ParallelGain, sp2.F3dBHz/sp1.F3dBHz)
