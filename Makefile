@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz bench
+.PHONY: check fmt vet build test race fuzz bench serve-bench
 
 check: fmt vet build race
 
@@ -34,3 +34,11 @@ fuzz:
 bench:
 	BENCH_OBS_OUT=BENCH_obs.json $(GO) test -run '^TestBenchObs$$' \
 		-bench '^BenchmarkTraceOverhead$$' -benchtime 5x .
+
+# Serve-mode load benchmark: boots the daemon on a loopback listener,
+# drives it with concurrent clients and writes throughput plus latency
+# percentiles (and the server's counter deltas) to BENCH_serve.json.
+# Knobs: BENCH_SERVE_CLIENTS, BENCH_SERVE_REQUESTS, BENCH_SERVE_BITS.
+serve-bench:
+	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json $(GO) test \
+		-run '^TestBenchServe$$' -count=1 -v ./internal/serve

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"ccdac"
+	"ccdac/internal/obs"
 )
 
 func main() {
@@ -187,9 +188,14 @@ func writeTraceFiles(tr *ccdac.Trace, traceOut, metricsOut string) {
 		}
 	}
 	if metricsOut != "" {
+		// Fold the run's snapshot into a process-level registry — the
+		// same Merge path the serve daemon uses — so the exposition is
+		// the aggregated process view, not a bare per-trace dump.
+		proc := obs.NewRegistry()
+		proc.Merge(tr.MetricsSnapshot())
 		f, err := os.Create(metricsOut)
 		if err == nil {
-			err = tr.WritePrometheus(f)
+			err = obs.WritePrometheus(f, proc.Snapshot())
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}

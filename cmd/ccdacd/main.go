@@ -1,0 +1,61 @@
+// Command ccdacd is the long-running ccdac generation daemon: it
+// serves the constructive flow over HTTP with process-level metrics
+// aggregation, health/readiness probes, and pprof endpoints.
+//
+//	ccdacd -addr :8080 -max-inflight 16 -timeout 60s
+//
+//	curl -s localhost:8080/v1/generate -d '{"bits":8,"max_parallel":2}'
+//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/healthz
+//	go tool pprof localhost:8080/debug/pprof/profile?seconds=10
+//
+// Every request runs under its own observability trace; its metrics
+// fold into one global registry, so /metrics reports fleet totals
+// (request rates and latency histograms per route, pipeline runs,
+// degradation and CG-fallback counters). SIGTERM/SIGINT starts a
+// graceful drain: /readyz flips to 503 and in-flight requests get
+// -drain to finish. See docs/OBSERVABILITY.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ccdac/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent generate requests before 429 shedding (0 = 2x GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline for /v1/generate")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "ccdacd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	srv := serve.New(serve.Options{
+		Addr:           *addr,
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drain,
+		Logger:         logger,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.ListenAndServe(ctx); err != nil {
+		logger.Error("ccdacd exited", "err", err)
+		os.Exit(1)
+	}
+}

@@ -154,9 +154,14 @@ func dumpTrace(tr *obs.Trace, traceOut, metricsOut string) {
 		}
 	}
 	if metricsOut != "" {
+		// Fold the study trace into a process-level registry via the
+		// same Merge path the serve daemon uses, so every exposition in
+		// the repo is an aggregated registry view.
+		proc := obs.NewRegistry()
+		proc.Merge(tr.Registry().Snapshot())
 		f, err := os.Create(metricsOut)
 		if err == nil {
-			err = obs.WritePrometheus(f, tr.Registry().Snapshot())
+			err = obs.WritePrometheus(f, proc.Snapshot())
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}

@@ -319,7 +319,7 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 				steps = 8
 			}
 			_, span := obs.StartSpan(sctx, "analysis.sweep")
-			sweep, serr := variation.SweepTheta(m, l.CellCenter, t, steps)
+			sweep, serr := variation.SweepThetaContext(sctx, m, l.CellCenter, t, steps)
 			span.Fail(serr)
 			span.End()
 			if serr != nil {

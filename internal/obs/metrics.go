@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"fmt"
 	"math"
 	"sort"
 	"strings"
@@ -58,8 +57,16 @@ func NewRegistry() *Registry {
 	}
 }
 
+// labelEscaper rewrites the three characters the Prometheus text
+// exposition format requires escaped inside label values — backslash,
+// double quote, and newline. Everything else (tabs, UTF-8) passes
+// through raw, which the format allows; Go-style %q escaping would
+// emit sequences like \t and é that Prometheus parsers reject.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 // seriesKey renders name plus the sorted label set, which is also the
-// Prometheus exposition form of the series name.
+// Prometheus exposition form of the series name (label values escaped
+// per the exposition spec).
 func seriesKey(name string, labels Labels) string {
 	if len(labels) == 0 {
 		return name
@@ -76,7 +83,10 @@ func seriesKey(name string, labels Labels) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+		b.WriteString(k)
+		b.WriteString(`="`)
+		labelEscaper.WriteString(&b, labels[k])
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -237,4 +247,114 @@ func (s MetricsSnapshot) Counter(name string, labels Labels) int64 {
 // Gauge returns the value of the named gauge series (zero if unset).
 func (s MetricsSnapshot) Gauge(name string, labels Labels) float64 {
 	return s.Gauges[seriesKey(name, labels)]
+}
+
+// merge folds a frozen histogram into h. Matching bucket bounds add
+// count-for-count; mismatched bounds re-bucket each source bucket at
+// its upper bound (the +Inf overflow stays overflow), which preserves
+// totals at the cost of bound-resolution.
+func (h *Histogram) merge(s HistogramSnapshot) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	same := len(s.Bounds) == len(h.bounds)
+	for i := 0; same && i < len(h.bounds); i++ {
+		same = h.bounds[i] == s.Bounds[i]
+	}
+	if same {
+		for i, n := range s.Counts {
+			h.counts[i] += n
+		}
+	} else {
+		for i, n := range s.Counts {
+			if n == 0 {
+				continue
+			}
+			v := math.Inf(1)
+			if i < len(s.Bounds) {
+				v = s.Bounds[i]
+			}
+			h.counts[sort.SearchFloat64s(h.bounds, v)] += n
+		}
+	}
+	h.sum += s.Sum
+	h.n += s.Count
+}
+
+// Merge folds a frozen snapshot into the registry, series by series
+// and label-set by label-set: counters add, gauges take the snapshot's
+// value (last write wins), histograms add bucket counts (see
+// Histogram merge semantics for mismatched bounds). Series absent
+// from the registry are created with the snapshot's values. Merge is
+// safe to call concurrently with itself and with every other registry
+// method; this is how per-request registries fold into a process-level
+// one (internal/serve) and per-run CLI snapshots into one exposition.
+func (r *Registry) Merge(s MetricsSnapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range s.Counters {
+		c, ok := r.counters[k]
+		if !ok {
+			c = &Counter{}
+			r.counters[k] = c
+		}
+		c.Add(v)
+	}
+	for k, v := range s.Gauges {
+		g, ok := r.gauges[k]
+		if !ok {
+			g = &GaugeValue{}
+			r.gauges[k] = g
+		}
+		g.Set(v)
+	}
+	for k, hs := range s.Histograms {
+		h, ok := r.hists[k]
+		if !ok {
+			b := append([]float64(nil), hs.Bounds...)
+			h = &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+			r.hists[k] = h
+		}
+		h.merge(hs)
+	}
+}
+
+// Delta returns the change from prev to s: counter and histogram
+// series subtract (series absent from prev pass through whole), gauges
+// keep s's current value. Feeding periodic snapshots of a long-lived
+// registry through Delta before Merge avoids double-counting the
+// prefix already merged.
+func (s MetricsSnapshot) Delta(prev MetricsSnapshot) MetricsSnapshot {
+	d := MetricsSnapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		if dv := v - prev.Counters[k]; dv != 0 {
+			d.Counters[k] = dv
+		}
+	}
+	for k, v := range s.Gauges {
+		d.Gauges[k] = v
+	}
+	for k, h := range s.Histograms {
+		p, ok := prev.Histograms[k]
+		if !ok || len(p.Counts) != len(h.Counts) {
+			d.Histograms[k] = h
+			continue
+		}
+		dh := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.Bounds...),
+			Counts: make([]uint64, len(h.Counts)),
+			Sum:    h.Sum - p.Sum,
+			Count:  h.Count - p.Count,
+		}
+		for i := range h.Counts {
+			dh.Counts[i] = h.Counts[i] - p.Counts[i]
+		}
+		if dh.Count != 0 {
+			d.Histograms[k] = dh
+		}
+	}
+	return d
 }

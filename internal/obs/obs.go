@@ -198,6 +198,16 @@ func CurrentSpan(ctx context.Context) *Span {
 	return s
 }
 
+// ID returns the span's trace-local ID (0 for the nil span), the same
+// value SpanRecord.ID reports after End — callers use it to correlate
+// external records (e.g. structured request logs) with the span tree.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
 // Fail marks the span errored. The span stays open until End; calling
 // Fail(nil) is a no-op, so `defer span.Fail(err)`-style uses are safe.
 func (s *Span) Fail(err error) {

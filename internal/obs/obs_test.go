@@ -262,6 +262,157 @@ ccdac_test_um 1.5
 	}
 }
 
+func TestGoldenPrometheusLabelEscaping(t *testing.T) {
+	// Backslash, double quote, and newline are the three characters the
+	// exposition format escapes in label values; tabs and UTF-8 pass
+	// through raw. Go %q-style escaping (\t, é) is unparsable.
+	r := NewRegistry()
+	r.Counter("ccdac_test_total", Labels{"path": `a\b"c` + "\nd"}).Add(1)
+	r.Gauge("ccdac_test_um", Labels{"note": "tab\tand é stay raw"}).Set(2)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE ccdac_test_total counter
+ccdac_test_total{path="a\\b\"c\nd"} 1
+# TYPE ccdac_test_um gauge
+ccdac_test_um{note="tab	and é stay raw"} 2
+`
+	if got := buf.String(); got != want {
+		t.Errorf("Prometheus text mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// The escaped form is also the snapshot key, so lookups through the
+	// same Labels map still resolve the series.
+	if got := r.Snapshot().Counter("ccdac_test_total", Labels{"path": `a\b"c` + "\nd"}); got != 1 {
+		t.Errorf("escaped-label counter lookup = %d, want 1", got)
+	}
+}
+
+func TestRegistryMerge(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("ccdac_test_total", nil).Add(3)
+	src.Counter("ccdac_test_labeled_total", Labels{"stage": "routing"}).Add(2)
+	src.Gauge("ccdac_test_um", nil).Set(1.5)
+	h := src.Histogram("ccdac_test_seconds", nil, []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(5)
+	snap := src.Snapshot()
+
+	dst := NewRegistry()
+	dst.Counter("ccdac_test_total", nil).Add(10)
+	dst.Merge(snap)
+	dst.Merge(snap)
+
+	got := dst.Snapshot()
+	if v := got.Counter("ccdac_test_total", nil); v != 16 {
+		t.Errorf("merged counter = %d, want 16", v)
+	}
+	if v := got.Counter("ccdac_test_labeled_total", Labels{"stage": "routing"}); v != 4 {
+		t.Errorf("merged labeled counter = %d, want 4", v)
+	}
+	if v := got.Gauge("ccdac_test_um", nil); v != 1.5 {
+		t.Errorf("merged gauge = %g, want 1.5", v)
+	}
+	hs := got.Histograms["ccdac_test_seconds"]
+	if hs.Count != 4 || hs.Sum != 2*(0.25+5) {
+		t.Errorf("merged histogram count/sum = %d/%g, want 4/%g", hs.Count, hs.Sum, 2*(0.25+5))
+	}
+	wantCounts := []uint64{2, 0, 2} // le=0.5: both 0.25s; +Inf: both 5s
+	for i, w := range wantCounts {
+		if hs.Counts[i] != w {
+			t.Errorf("merged bucket %d = %d, want %d", i, hs.Counts[i], w)
+		}
+	}
+}
+
+func TestRegistryMergeRebuckets(t *testing.T) {
+	// Mismatched bounds: each source bucket lands at its upper bound in
+	// the destination's bucketing, totals preserved.
+	src := NewRegistry()
+	h := src.Histogram("ccdac_test_size", nil, []float64{2, 8})
+	for _, v := range []float64{1, 5, 100} { // buckets: le=2:1, le=8:1, +Inf:1
+		h.Observe(v)
+	}
+	dst := NewRegistry()
+	dst.Histogram("ccdac_test_size", nil, []float64{4}) // le=4, +Inf
+	dst.Merge(src.Snapshot())
+
+	hs := dst.Snapshot().Histograms["ccdac_test_size"]
+	// le=2 bucket re-files at 2 (<=4), le=8 bucket at 8 (+Inf), overflow at +Inf.
+	if hs.Counts[0] != 1 || hs.Counts[1] != 2 {
+		t.Errorf("re-bucketed counts = %v, want [1 2]", hs.Counts)
+	}
+	if hs.Count != 3 || hs.Sum != 106 {
+		t.Errorf("re-bucketed count/sum = %d/%g, want 3/106", hs.Count, hs.Sum)
+	}
+}
+
+func TestRegistryMergeConcurrent(t *testing.T) {
+	// Concurrent merges of per-"request" snapshots must not drop
+	// counts — the invariant the serve daemon's global registry relies
+	// on (and the race detector checks the locking).
+	const goroutines, perG = 8, 50
+	global := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r := NewRegistry()
+				r.Counter("ccdac_test_runs_total", nil).Inc()
+				r.Histogram("ccdac_test_seconds", nil, DefaultDurationBuckets).Observe(0.01)
+				global.Merge(r.Snapshot())
+			}
+		}()
+	}
+	wg.Wait()
+	snap := global.Snapshot()
+	if got := snap.Counter("ccdac_test_runs_total", nil); got != goroutines*perG {
+		t.Errorf("merged counter = %d, want %d (dropped merges)", got, goroutines*perG)
+	}
+	if got := snap.Histograms["ccdac_test_seconds"].Count; got != goroutines*perG {
+		t.Errorf("merged histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ccdac_test_total", nil).Add(3)
+	r.Gauge("ccdac_test_um", nil).Set(1)
+	h := r.Histogram("ccdac_test_size", nil, []float64{10})
+	h.Observe(5)
+	prev := r.Snapshot()
+
+	r.Counter("ccdac_test_total", nil).Add(2)
+	r.Counter("ccdac_test_new_total", nil).Add(7)
+	r.Gauge("ccdac_test_um", nil).Set(9)
+	h.Observe(50)
+	d := r.Snapshot().Delta(prev)
+
+	if d.Counters["ccdac_test_total"] != 2 {
+		t.Errorf("counter delta = %d, want 2", d.Counters["ccdac_test_total"])
+	}
+	if d.Counters["ccdac_test_new_total"] != 7 {
+		t.Errorf("new-series delta = %d, want 7", d.Counters["ccdac_test_new_total"])
+	}
+	if d.Gauges["ccdac_test_um"] != 9 {
+		t.Errorf("gauge delta keeps current value, got %g", d.Gauges["ccdac_test_um"])
+	}
+	hd := d.Histograms["ccdac_test_size"]
+	if hd.Count != 1 || hd.Sum != 50 || hd.Counts[0] != 0 || hd.Counts[1] != 1 {
+		t.Errorf("histogram delta = %+v, want one +Inf sample of 50", hd)
+	}
+	// Merging the delta on top of prev reproduces the current totals.
+	agg := NewRegistry()
+	agg.Merge(prev)
+	agg.Merge(d)
+	if got := agg.Snapshot().Counter("ccdac_test_total", nil); got != 5 {
+		t.Errorf("prev+delta counter = %d, want 5", got)
+	}
+}
+
 func TestWriteTree(t *testing.T) {
 	tr := New(Options{})
 	tr.now = fakeClock()

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestBenchServe is the harness behind `make serve-bench`: gated on
+// BENCH_SERVE_OUT, it boots a real daemon on a loopback listener,
+// drives it with N concurrent clients over TCP, and writes the
+// throughput/latency report (p50/p95/p99, requests/sec) plus the
+// server's own counter deltas to the named JSON file. Knobs:
+// BENCH_SERVE_CLIENTS (default 8), BENCH_SERVE_REQUESTS (default 160),
+// BENCH_SERVE_BITS (default 6).
+func TestBenchServe(t *testing.T) {
+	out := os.Getenv("BENCH_SERVE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SERVE_OUT=<file> to write the serve load-benchmark report")
+	}
+	clients := envInt("BENCH_SERVE_CLIENTS", 8)
+	requests := envInt("BENCH_SERVE_REQUESTS", 160)
+	bits := envInt("BENCH_SERVE_BITS", 6)
+
+	srv := New(Options{Addr: "127.0.0.1:0", MaxInFlight: clients, Logger: quietLogger()})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	served := make(chan error, 1)
+	go func() { served <- srv.ListenAndServe(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Addr() == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("server never bound a listener")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	before := srv.Registry().Snapshot()
+	body := fmt.Sprintf(`{"bits":%d,"max_parallel":2,"skip_nonlinearity":true}`, bits)
+	rep, err := RunLoad(context.Background(), LoadOptions{
+		URL:      "http://" + srv.Addr() + "/v1/generate",
+		Body:     []byte(body),
+		Clients:  clients,
+		Requests: requests,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 {
+		t.Fatalf("load run produced no successful requests: %+v", rep)
+	}
+	delta := srv.Registry().Snapshot().Delta(before)
+
+	cancel()
+	if err := <-served; err != nil {
+		t.Fatalf("drain after load: %v", err)
+	}
+
+	report := struct {
+		Bits           int              `json:"bits"`
+		Load           LoadReport       `json:"load"`
+		ServerCounters map[string]int64 `json:"server_counters"`
+	}{Bits: bits, Load: rep, ServerCounters: delta.Counters}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d clients x %d requests: %.1f req/s, p50 %.4fs p95 %.4fs p99 %.4fs -> %s",
+		rep.Clients, rep.Requests, rep.RequestsPerSecond,
+		rep.P50Seconds, rep.P95Seconds, rep.P99Seconds, out)
+}
+
+func envInt(key string, def int) int {
+	if s := os.Getenv(key); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ccdac"
+	"ccdac/internal/obs"
+)
+
+// GenerateRequest is the JSON body of POST /v1/generate, mirroring
+// ccdac.Config field for field (tracing is managed server-side and is
+// not a client knob). Unknown fields are rejected with 400.
+type GenerateRequest struct {
+	Bits             int    `json:"bits"`
+	Style            string `json:"style,omitempty"`
+	CoreBits         int    `json:"core_bits,omitempty"`
+	BlockCells       int    `json:"block_cells,omitempty"`
+	MaxParallel      int    `json:"max_parallel,omitempty"`
+	AnnealSeed       int64  `json:"anneal_seed,omitempty"`
+	AnnealMoves      int    `json:"anneal_moves,omitempty"`
+	ThetaSteps       int    `json:"theta_steps,omitempty"`
+	SkipNonlinearity bool   `json:"skip_nonlinearity,omitempty"`
+	TechNode         string `json:"tech_node,omitempty"`
+	// BestBC sweeps the block-chessboard structure grid and returns the
+	// best candidate (GenerateBestBC) instead of one fixed structure.
+	BestBC bool `json:"best_bc,omitempty"`
+}
+
+func (g GenerateRequest) config() ccdac.Config {
+	return ccdac.Config{
+		Bits:             g.Bits,
+		Style:            ccdac.Style(g.Style),
+		CoreBits:         g.CoreBits,
+		BlockCells:       g.BlockCells,
+		MaxParallel:      g.MaxParallel,
+		AnnealSeed:       g.AnnealSeed,
+		AnnealMoves:      g.AnnealMoves,
+		ThetaSteps:       g.ThetaSteps,
+		SkipNonlinearity: g.SkipNonlinearity,
+		TechNode:         g.TechNode,
+	}
+}
+
+// GenerateResponse is the JSON body of a successful generate request:
+// the run's metrics summary, its degradation warnings, and the
+// request-private counter snapshot that was merged into the global
+// registry (so clients — and the zero-dropped-merges test — can
+// reconcile per-request numbers against /metrics totals).
+type GenerateResponse struct {
+	RequestID      string           `json:"request_id"`
+	ElapsedSeconds float64          `json:"elapsed_seconds"`
+	Metrics        ccdac.Metrics    `json:"metrics"`
+	Warnings       []string         `json:"warnings,omitempty"`
+	Counters       map[string]int64 `json:"counters,omitempty"`
+}
+
+// handleGenerate runs one generation under a request-private trace and
+// folds its metrics into the process registry — on success, on
+// pipeline failure, and on cancellation alike, so partial effort is
+// never invisible to /metrics.
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("serve: decoding request body: %w", err))
+		return
+	}
+	cfg := req.config()
+
+	tr := obs.New(obs.Options{PprofLabels: true})
+	ctx := obs.WithTrace(r.Context(), tr)
+	ctx, root := obs.StartSpan(ctx, "serve.generate")
+	root.SetAttr("request_id", RequestID(r.Context()))
+	if ri := requestInfo(r.Context()); ri != nil {
+		ri.spanID.Store(root.ID())
+	}
+
+	start := time.Now()
+	var res *ccdac.Result
+	var err error
+	if req.BestBC {
+		res, _, err = ccdac.GenerateBestBCContext(ctx, cfg)
+	} else {
+		res, err = ccdac.GenerateContext(ctx, cfg)
+	}
+	elapsed := time.Since(start)
+
+	// Close out the trace and merge before responding: a canceled or
+	// failed run still contributes its partial counters (runs started,
+	// stages completed, fallbacks taken) to the global registry.
+	root.Fail(err)
+	root.End()
+	tr.Finish()
+	snap := tr.Registry().Snapshot()
+	s.reg.Merge(snap)
+	if s.onTrace != nil {
+		s.onTrace(tr)
+	}
+
+	if err != nil {
+		s.writeError(w, r, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, GenerateResponse{
+		RequestID:      RequestID(r.Context()),
+		ElapsedSeconds: elapsed.Seconds(),
+		Metrics:        res.Metrics,
+		Warnings:       res.Warnings,
+		Counters:       snap.Counters,
+	})
+}
+
+// statusOf maps a pipeline error to its HTTP status: invalid configs
+// are the client's fault, deadline hits are gateway timeouts, client
+// cancellations use nginx's 499 convention, everything else is a 500.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ccdac.ErrConfig):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+
+	"ccdac/internal/obs"
+)
+
+// handleMetrics exposes the global registry in the Prometheus text
+// format. Point-in-time process gauges (uptime, in-flight requests,
+// goroutines) are set at scrape time from their authoritative sources
+// rather than maintained on the request path.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reg.Gauge("ccdac_serve_uptime_seconds", nil).Set(time.Since(s.start).Seconds())
+	s.reg.Gauge("ccdac_serve_inflight", nil).Set(float64(s.inflight.Load()))
+	s.reg.Gauge("ccdac_serve_goroutines", nil).Set(float64(runtime.NumGoroutine()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WritePrometheus(w, s.reg.Snapshot()); err != nil {
+		// Headers are out; nothing to do but log — the scraper will see
+		// the truncated body fail to parse and retry.
+		s.log.Error("metrics write failed", "err", err)
+	}
+}
+
+// healthzResponse is the liveness payload: the process is up and this
+// is what it has been doing.
+type healthzResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	InFlight      int64   `json:"inflight"`
+	Served        int64   `json:"served"`
+	MaxInFlight   int     `json:"max_inflight"`
+	GoVersion     string  `json:"go_version"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		InFlight:      s.inflight.Load(),
+		Served:        s.served.Load(),
+		MaxInFlight:   s.opts.MaxInFlight,
+		GoVersion:     runtime.Version(),
+	})
+}
+
+// handleReadyz reports whether the daemon accepts new work: 200 while
+// serving, 503 once draining has begun so load balancers stop routing
+// to this instance while in-flight requests finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.ready.Load() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+}

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadOptions parameterizes one load run against a live daemon.
+type LoadOptions struct {
+	// URL is the full generate endpoint, e.g.
+	// "http://127.0.0.1:8080/v1/generate".
+	URL string
+	// Body is the JSON request posted by every client.
+	Body []byte
+	// Clients is the number of concurrent clients (default 8).
+	Clients int
+	// Requests is the total request count shared across clients
+	// (default 100).
+	Requests int
+	// Timeout bounds each individual request (default 2m).
+	Timeout time.Duration
+}
+
+// LoadReport is the outcome of one load run: throughput and the
+// latency distribution of successful requests.
+type LoadReport struct {
+	Clients           int     `json:"clients"`
+	Requests          int     `json:"requests"`
+	OK                int     `json:"ok"`
+	Shed              int     `json:"shed"`
+	Errors            int     `json:"errors"`
+	ElapsedSeconds    float64 `json:"elapsed_seconds"`
+	RequestsPerSecond float64 `json:"requests_per_second"`
+	P50Seconds        float64 `json:"p50_seconds"`
+	P95Seconds        float64 `json:"p95_seconds"`
+	P99Seconds        float64 `json:"p99_seconds"`
+	MaxSeconds        float64 `json:"max_seconds"`
+}
+
+// RunLoad drives the generate endpoint with Clients concurrent workers
+// until Requests requests have been issued, then reports throughput
+// and p50/p95/p99 latency over the successful responses. 429 sheds are
+// counted separately (they are the daemon doing its job under
+// overload, not failures); any other non-200 or transport error counts
+// as an error. RunLoad stops early when ctx is canceled.
+func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
+	if opts.URL == "" {
+		return LoadReport{}, fmt.Errorf("serve: load URL must be set")
+	}
+	if opts.Clients <= 0 {
+		opts.Clients = 8
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 100
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 2 * time.Minute
+	}
+	client := &http.Client{Timeout: opts.Timeout}
+
+	var (
+		next      atomic.Int64
+		ok, shed  atomic.Int64
+		errCount  atomic.Int64
+		mu        sync.Mutex
+		latencies []float64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(opts.Requests) {
+				if ctx.Err() != nil {
+					return
+				}
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.URL, bytes.NewReader(opts.Body))
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					ok.Add(1)
+					mu.Lock()
+					latencies = append(latencies, time.Since(t0).Seconds())
+					mu.Unlock()
+				case resp.StatusCode == http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					errCount.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Float64s(latencies)
+	rep := LoadReport{
+		Clients:        opts.Clients,
+		Requests:       opts.Requests,
+		OK:             int(ok.Load()),
+		Shed:           int(shed.Load()),
+		Errors:         int(errCount.Load()),
+		ElapsedSeconds: elapsed.Seconds(),
+		P50Seconds:     percentile(latencies, 0.50),
+		P95Seconds:     percentile(latencies, 0.95),
+		P99Seconds:     percentile(latencies, 0.99),
+	}
+	if n := len(latencies); n > 0 {
+		rep.MaxSeconds = latencies[n-1]
+	}
+	if elapsed > 0 {
+		rep.RequestsPerSecond = float64(rep.OK) / elapsed.Seconds()
+	}
+	return rep, ctx.Err()
+}
+
+// percentile returns the nearest-rank q-quantile of sorted (0 when
+// empty).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

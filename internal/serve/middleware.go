@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"ccdac"
+	"ccdac/internal/obs"
+)
+
+// reqInfo rides the request context: the request ID assigned by wrap
+// and, for generate requests, the root span ID the handler publishes
+// so the access log can correlate to the span tree.
+type reqInfo struct {
+	id     string
+	spanID atomic.Uint64
+}
+
+type reqInfoKey struct{}
+
+// RequestID returns the request ID wrap assigned to this request's
+// context ("" outside a wrapped handler).
+func RequestID(ctx context.Context) string {
+	if ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo); ri != nil {
+		return ri.id
+	}
+	return ""
+}
+
+func requestInfo(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+// newRequestID returns 16 hex characters of crypto/rand entropy.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// rand.Read never fails on supported platforms; degrade to a
+		// recognizable constant rather than aborting the request.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the status code and byte count a handler
+// writes, for the access log and the per-route metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// wrap is the middleware chain applied to every route: request-ID
+// assignment, structured logging, per-route request counters and
+// latency histograms, and panic containment. Routes registered with
+// limited=true (the generate workload) additionally pass the bounded
+// admission semaphore — full means an immediate 429 with Retry-After,
+// never queuing — and run under the per-request timeout.
+func (s *Server) wrap(route string, limited bool, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ri := &reqInfo{id: r.Header.Get("X-Request-ID")}
+		if ri.id == "" {
+			ri.id = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", ri.id)
+		r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri))
+
+		if limited {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.reg.Counter("ccdac_serve_shed_total", obs.Labels{"route": route}).Inc()
+				s.reg.Counter("ccdac_serve_requests_total", obs.Labels{"route": route, "code": "429"}).Inc()
+				w.Header().Set("Retry-After", "1")
+				s.writeError(w, r, http.StatusTooManyRequests,
+					fmt.Errorf("serve: %d requests already in flight, shedding", s.opts.MaxInFlight))
+				s.log.LogAttrs(r.Context(), slog.LevelWarn, "request shed",
+					slog.String("route", route), slog.String("request_id", ri.id))
+				return
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+
+		s.inflight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				// A handler panic is contained here the same way the
+				// pipeline contains stage panics: converted to a typed
+				// *PipelineError, reported, never propagated — one bad
+				// request must not take the daemon down.
+				s.reg.Counter("ccdac_serve_panics_total", obs.Labels{"route": route}).Inc()
+				perr := &ccdac.PipelineError{Stage: "internal", Err: fmt.Errorf("recovered panic: %v", rec)}
+				s.log.LogAttrs(r.Context(), slog.LevelError, "panic contained",
+					slog.String("route", route), slog.String("request_id", ri.id),
+					slog.String("panic", fmt.Sprint(rec)), slog.String("stack", string(debug.Stack())))
+				if !sw.wrote {
+					s.writeError(sw, r, http.StatusInternalServerError, perr)
+				} else {
+					sw.code = http.StatusInternalServerError
+				}
+			}
+			d := time.Since(start)
+			s.inflight.Add(-1)
+			s.served.Add(1)
+			code := strconv.Itoa(sw.code)
+			s.reg.Counter("ccdac_serve_requests_total", obs.Labels{"route": route, "code": code}).Inc()
+			s.reg.Histogram("ccdac_serve_request_seconds", obs.Labels{"route": route},
+				obs.DefaultDurationBuckets).Observe(d.Seconds())
+			level := slog.LevelInfo
+			if sw.code >= 500 {
+				level = slog.LevelError
+			}
+			attrs := []slog.Attr{
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", sw.code),
+				slog.Int64("bytes", sw.bytes),
+				slog.Float64("seconds", d.Seconds()),
+				slog.String("request_id", ri.id),
+			}
+			if id := ri.spanID.Load(); id != 0 {
+				attrs = append(attrs, slog.Uint64("span_id", id))
+			}
+			s.log.LogAttrs(r.Context(), level, "request", attrs...)
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error     string   `json:"error"`
+	Stage     string   `json:"stage,omitempty"`
+	Warnings  []string `json:"warnings,omitempty"`
+	RequestID string   `json:"request_id,omitempty"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, code int, err error) {
+	resp := errorResponse{Error: err.Error(), RequestID: RequestID(r.Context())}
+	var pe *ccdac.PipelineError
+	if errors.As(err, &pe) {
+		resp.Stage = pe.Stage
+		resp.Warnings = pe.Warnings
+	}
+	writeJSON(w, code, resp)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The status line is already out; an encode/write failure here can
+	// only mean the client is gone.
+	_ = enc.Encode(v)
+}

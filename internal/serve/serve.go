@@ -1,0 +1,178 @@
+// Package serve is the long-running HTTP front end of the ccdac flow:
+// a daemon (cmd/ccdacd) that wraps GenerateContext behind POST
+// /v1/generate and turns the per-run observability of internal/obs
+// into process-level observability. Every request runs under its own
+// trace (isolated spans and metrics, as in library use), and the
+// request's frozen snapshot folds into one global registry via
+// Registry.Merge, so /metrics exposes fleet totals — throughput,
+// latency, degradations, CG-fallback rates — rather than
+// per-invocation printouts.
+//
+// Endpoints:
+//
+//	POST /v1/generate   JSON config in, JSON metrics summary + warnings out
+//	GET  /metrics       Prometheus text exposition of the global registry
+//	GET  /healthz       liveness + uptime/inflight/request counts
+//	GET  /readyz        readiness (503 while draining)
+//	     /debug/pprof/  net/http/pprof profiles
+//
+// Request middleware (see wrap): request-ID generation, structured
+// slog JSON logging correlated to the root span ID, per-route latency
+// histograms, panic containment reusing *ccdac.PipelineError, a
+// bounded-concurrency semaphore with 429 shedding, and per-request
+// timeouts. ListenAndServe drains gracefully when its context is
+// canceled (cmd/ccdacd wires that to SIGTERM/SIGINT).
+package serve
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccdac/internal/obs"
+)
+
+// Options tunes one Server. The zero value is usable: every field has
+// a default applied by New.
+type Options struct {
+	// Addr is the listen address for ListenAndServe (default ":8080").
+	Addr string
+	// MaxInFlight bounds concurrent /v1/generate requests; excess
+	// requests are shed with 429 rather than queued (default
+	// 2×GOMAXPROCS).
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline applied to
+	// /v1/generate; the pipeline honors it at every stage boundary
+	// (default 60s).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful shutdown: in-flight requests get
+	// this long to finish after the serve context is canceled (default
+	// 10s).
+	DrainTimeout time.Duration
+	// Logger receives the structured request log (default: JSON to
+	// stderr).
+	Logger *slog.Logger
+}
+
+// Server is one daemon instance: the route mux, the process-level
+// metrics registry, and the admission state.
+type Server struct {
+	opts Options
+	log  *slog.Logger
+	reg  *obs.Registry
+	mux  *http.ServeMux
+
+	sem      chan struct{}
+	inflight atomic.Int64
+	served   atomic.Int64
+	ready    atomic.Bool
+	start    time.Time
+
+	mu   sync.Mutex
+	addr string
+
+	// onTrace, when set (tests), observes each generate request's
+	// finished trace after its metrics merged into the global registry.
+	onTrace func(*obs.Trace)
+}
+
+// New builds a Server with its routes registered. The server is ready
+// (readyz 200) from construction; ListenAndServe flips it unready when
+// draining.
+func New(opts Options) *Server {
+	if opts.Addr == "" {
+		opts.Addr = ":8080"
+	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 60 * time.Second
+	}
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = 10 * time.Second
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	s := &Server{
+		opts:  opts,
+		log:   opts.Logger,
+		reg:   obs.NewRegistry(),
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, opts.MaxInFlight),
+		start: time.Now(),
+	}
+	s.ready.Store(true)
+
+	s.mux.Handle("POST /v1/generate", s.wrap("generate", true, http.HandlerFunc(s.handleGenerate)))
+	s.mux.Handle("GET /metrics", s.wrap("metrics", false, http.HandlerFunc(s.handleMetrics)))
+	s.mux.Handle("GET /healthz", s.wrap("healthz", false, http.HandlerFunc(s.handleHealthz)))
+	s.mux.Handle("GET /readyz", s.wrap("readyz", false, http.HandlerFunc(s.handleReadyz)))
+	s.mux.Handle("/debug/pprof/", s.wrap("pprof", false, http.HandlerFunc(pprof.Index)))
+	s.mux.Handle("/debug/pprof/cmdline", s.wrap("pprof", false, http.HandlerFunc(pprof.Cmdline)))
+	s.mux.Handle("/debug/pprof/profile", s.wrap("pprof", false, http.HandlerFunc(pprof.Profile)))
+	s.mux.Handle("/debug/pprof/symbol", s.wrap("pprof", false, http.HandlerFunc(pprof.Symbol)))
+	s.mux.Handle("/debug/pprof/trace", s.wrap("pprof", false, http.HandlerFunc(pprof.Trace)))
+	return s
+}
+
+// Handler returns the server's full route tree (for tests and for
+// embedding behind an outer mux).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the process-level metrics registry every request's
+// per-trace snapshot merges into.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Addr returns the bound listen address once ListenAndServe has a
+// listener ("" before that) — useful with Addr ":0".
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
+// ListenAndServe serves until ctx is canceled, then drains: readiness
+// flips to 503 (load balancers stop sending), in-flight requests get
+// DrainTimeout to finish, and the listener closes. It returns nil on a
+// clean drain, the listen/serve error otherwise.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.addr = ln.Addr().String()
+	s.mu.Unlock()
+	hs := &http.Server{
+		Handler:     s.mux,
+		BaseContext: func(net.Listener) context.Context { return context.Background() },
+	}
+	s.log.Info("ccdacd listening", "addr", s.Addr(), "max_inflight", s.opts.MaxInFlight,
+		"request_timeout", s.opts.RequestTimeout.String())
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		s.ready.Store(false)
+		s.log.Info("draining", "inflight", s.inflight.Load(), "drain_timeout", s.opts.DrainTimeout.String())
+		sctx, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		s.log.Info("drained", "requests_served", s.served.Load())
+		return nil
+	}
+}

@@ -7,6 +7,7 @@
 package variation
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -92,6 +93,14 @@ func (a *Analysis) SigmaT() float64 {
 // capacitor shifts at angle thetaRad, and the random-mismatch
 // covariance matrix (angle-independent).
 func Analyze(m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, thetaRad float64) (*Analysis, error) {
+	return AnalyzeContext(context.Background(), m, pos, t, thetaRad)
+}
+
+// AnalyzeContext is Analyze under a context. The covariance build is
+// the analysis hot loop (quadratic in unit cells — it dominates a
+// large-array run), so cancellation is checked once per covariance
+// row, bounding the post-cancel latency to one row's work.
+func AnalyzeContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, thetaRad float64) (*Analysis, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("variation: %w", err)
 	}
@@ -145,6 +154,9 @@ func Analyze(m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, thetaRad fl
 	sigmaU2 := t.SigmaU() * t.SigmaU()
 	a.Cov = linalg.NewDense(m.Bits + 1)
 	for j := 0; j <= m.Bits; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("variation: covariance row %d: %w", j, err)
+		}
 		for k := j; k <= m.Bits; k++ {
 			s := 0.0
 			for _, pa := range cells[j] {
@@ -164,18 +176,29 @@ func Analyze(m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, thetaRad fl
 // [0, pi) and returns one Analysis per angle. The covariance matrix is
 // computed once and shared (it is angle-independent).
 func SweepTheta(m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, nSteps int) ([]*Analysis, error) {
+	return SweepThetaContext(context.Background(), m, pos, t, nSteps)
+}
+
+// SweepThetaContext is SweepTheta under a context: cancellation is
+// checked before every angle step (and within the first step's
+// covariance build), so a canceled sweep returns promptly instead of
+// finishing all nSteps angles.
+func SweepThetaContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, nSteps int) ([]*Analysis, error) {
 	if nSteps < 1 {
 		return nil, fmt.Errorf("variation: need at least 1 sweep step, got %d", nSteps)
 	}
-	first, err := Analyze(m, pos, t, 0)
+	first, err := AnalyzeContext(ctx, m, pos, t, 0)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*Analysis, nSteps)
 	out[0] = first
 	for i := 1; i < nSteps; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("variation: sweep step %d: %w", i, err)
+		}
 		theta := math.Pi * float64(i) / float64(nSteps)
-		a, err := Analyze(m, pos, t, theta)
+		a, err := AnalyzeContext(ctx, m, pos, t, theta)
 		if err != nil {
 			return nil, err
 		}

@@ -79,6 +79,12 @@ func (t *Trace) Counters() map[string]int64 {
 // Gauge returns the value of an unlabeled gauge metric (zero if unset).
 func (t *Trace) Gauge(name string) float64 { return t.metrics.Gauges[name] }
 
+// MetricsSnapshot returns the run's frozen metrics registry for
+// process-level aggregation: in-module callers (the CLIs, the serve
+// daemon) fold it into a global obs.Registry via Merge so multi-run
+// invocations emit one aggregated exposition.
+func (t *Trace) MetricsSnapshot() obs.MetricsSnapshot { return t.metrics }
+
 // WriteJSONL emits the spans as JSON Lines, one span event per line.
 func (t *Trace) WriteJSONL(w io.Writer) error { return obs.WriteJSONL(w, t.spans) }
 
