@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz bench serve-bench
+.PHONY: check fmt vet build test race fuzz bench bench-analyze bench-smoke serve-bench
 
 check: fmt vet build race
 
@@ -34,6 +34,20 @@ fuzz:
 bench:
 	BENCH_OBS_OUT=BENCH_obs.json $(GO) test -run '^TestBenchObs$$' \
 		-bench '^BenchmarkTraceOverhead$$' -benchtime 5x .
+
+# Analysis hot-path benchmark: times the memoized parallel covariance
+# build against a seed-style serial reference and the binned coupling
+# sweep against the quadratic one, writing the speedups and scaling
+# exponents to BENCH_analyze.json (see docs/PERFORMANCE.md).
+bench-analyze:
+	BENCH_ANALYZE_OUT=BENCH_analyze.json $(GO) test \
+		-run '^TestBenchAnalyze$$' -count=1 -v .
+
+# One-iteration pass over the hot-path micro-benchmarks: proves they
+# still compile and run without paying full benchtime (used by CI).
+bench-smoke:
+	$(GO) test -run '^$$' -count=1 -benchtime 1x \
+		-bench '^(BenchmarkAnalyzeCov|BenchmarkCoupleSweep|BenchmarkExtractBits)$$' .
 
 # Serve-mode load benchmark: boots the daemon on a loopback listener,
 # drives it with concurrent clients and writes throughput plus latency

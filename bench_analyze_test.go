@@ -1,0 +1,294 @@
+// Benchmarks and the acceptance report for the analysis hot paths:
+// the memoized parallel covariance build, the binned coupling sweep,
+// and the parallel per-bit extraction. TestBenchAnalyze (gated on
+// BENCH_ANALYZE_OUT) regenerates BENCH_analyze.json, comparing each
+// optimized path against a seed-style serial reference in-process.
+package ccdac_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ccdac/internal/ccmatrix"
+	"ccdac/internal/extract"
+	"ccdac/internal/geom"
+	"ccdac/internal/par"
+	"ccdac/internal/place"
+	"ccdac/internal/route"
+	"ccdac/internal/tech"
+	"ccdac/internal/variation"
+)
+
+// BenchmarkAnalyzeCov measures the covariance-dominated variation
+// analysis, serial (workers = -1) and at the default worker budget.
+func BenchmarkAnalyzeCov(b *testing.B) {
+	t := tech.FinFET12()
+	for _, bits := range []int{6, 8, 10} {
+		m, err := place.NewSpiral(bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pos := variation.GridPositioner(t)
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"serial", -1}, {"parallel", 0}} {
+			ctx := par.WithWorkers(context.Background(), mode.workers)
+			b.Run(fmt.Sprintf("N%d/%s", bits, mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := variation.AnalyzeContext(ctx, m, pos, t, math.Pi/4); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCoupleSweep measures just the inter-bit coupling sweep of a
+// routed layout (the binned interval-index pass).
+func BenchmarkCoupleSweep(b *testing.B) {
+	t := tech.FinFET12()
+	for _, bits := range []int{6, 8, 10} {
+		m, err := place.NewSpiral(bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, err := route.Route(m, t, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("N%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				extract.Coupling(l)
+			}
+		})
+	}
+}
+
+// BenchmarkExtractBits measures the full extraction with the per-bit
+// network build serial vs at the default worker budget.
+func BenchmarkExtractBits(b *testing.B) {
+	t := tech.FinFET12()
+	for _, bits := range []int{6, 8, 10} {
+		m, err := place.NewSpiral(bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, err := route.Route(m, t, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"serial", -1}, {"parallel", 0}} {
+			ctx := par.WithWorkers(context.Background(), mode.workers)
+			b.Run(fmt.Sprintf("N%d/%s", bits, mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := extract.ExtractContext(ctx, l); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// naiveCovarianceBuild is the seed's covariance formulation: a full
+// double loop over every unit-cell pair with per-pair Euclidean
+// distance and math.Pow — no memo, no exp form, no symmetry halving.
+func naiveCovarianceBuild(m *ccmatrix.Matrix, pos variation.Positioner, t *tech.Technology) [][]float64 {
+	n := m.Bits + 1
+	cells := make([][]geom.Pt, n)
+	for bit := 0; bit < n; bit++ {
+		for _, c := range m.CellsOf(bit) {
+			cells[bit] = append(cells[bit], pos(c))
+		}
+	}
+	sigmaU := t.SigmaU()
+	cov := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		cov[j] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		for k := j; k < n; k++ {
+			var sum float64
+			for _, pj := range cells[j] {
+				for _, pk := range cells[k] {
+					sum += math.Pow(t.Mis.RhoU, pj.Dist(pk)/t.Mis.LcUm)
+				}
+			}
+			c := sigmaU * sigmaU * sum
+			cov[j][k] = c
+			cov[k][j] = c
+		}
+	}
+	return cov
+}
+
+// quadraticCoupleSweep is the seed's O(W²) all-pairs coupling scan,
+// the reference the binned sweep's scaling is measured against.
+func quadraticCoupleSweep(l *route.Layout) (cbb float64, pairs int) {
+	const couplingReach = 6.0
+	for i := 0; i < len(l.Wires); i++ {
+		wi := l.Wires[i]
+		if wi.Bit == route.TopPlateBit {
+			continue
+		}
+		for j := i + 1; j < len(l.Wires); j++ {
+			wj := l.Wires[j]
+			if wj.Bit == route.TopPlateBit || wj.Bit == wi.Bit || wi.Layer != wj.Layer {
+				continue
+			}
+			sep := wi.Seg.Separation(wj.Seg)
+			if sep == 0 || sep > couplingReach*l.Tech.SMinUm {
+				continue
+			}
+			ov := wi.Seg.OverlapLen(wj.Seg)
+			if ov <= 0 {
+				continue
+			}
+			cbb += l.Tech.CouplingfFPerUm(sep) * ov
+			pairs++
+		}
+	}
+	return cbb, pairs
+}
+
+// bestOf runs f reps times and returns the fastest wall time.
+func bestOf(reps int, f func()) time.Duration {
+	best := time.Duration(math.MaxInt64)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestBenchAnalyze writes the hot-path acceptance report: the 10-bit
+// covariance build against the seed-style serial reference (the ≥3×
+// acceptance criterion) and the coupling sweep's scaling against the
+// quadratic reference. Gated so routine test runs stay fast:
+//
+//	BENCH_ANALYZE_OUT=BENCH_analyze.json go test -run TestBenchAnalyze .
+func TestBenchAnalyze(t *testing.T) {
+	out := os.Getenv("BENCH_ANALYZE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_ANALYZE_OUT=<file> to write the analysis hot-path benchmark report")
+	}
+	tch := tech.FinFET12()
+	pos := variation.GridPositioner(tch)
+
+	const covBits = 10
+	m, err := place.NewSpiral(covBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the shared rho memo first so the comparison measures the
+	// steady state a pipeline run sees, then time both formulations.
+	if _, err := variation.Analyze(m, pos, tch, 0); err != nil {
+		t.Fatal(err)
+	}
+	naive := bestOf(3, func() { naiveCovarianceBuild(m, pos, tch) })
+	optimized := bestOf(3, func() {
+		if _, err := variation.Analyze(m, pos, tch, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	covSpeedup := naive.Seconds() / optimized.Seconds()
+	if covSpeedup < 3 {
+		t.Errorf("10-bit covariance speedup = %.2fx, acceptance requires >= 3x", covSpeedup)
+	}
+
+	type couplingPoint struct {
+		Bits             int     `json:"bits"`
+		Wires            int     `json:"wires"`
+		Pairs            int     `json:"pairs"`
+		BinnedSeconds    float64 `json:"binned_seconds"`
+		QuadraticSeconds float64 `json:"quadratic_seconds"`
+		Speedup          float64 `json:"speedup"`
+	}
+	var coupling []couplingPoint
+	for _, bits := range []int{6, 8, 10} {
+		pm, err := place.NewSpiral(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := route.Route(pm, tch, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cbb float64
+		var pairs int
+		binned := bestOf(5, func() { cbb, pairs = extract.Coupling(l) })
+		var refCBB float64
+		var refPairs int
+		quadratic := bestOf(5, func() { refCBB, refPairs = quadraticCoupleSweep(l) })
+		if pairs != refPairs || math.Abs(cbb-refCBB) > 1e-9*math.Max(1, refCBB) {
+			t.Fatalf("N%d: binned sweep (%g fF, %d pairs) disagrees with quadratic reference (%g fF, %d pairs)",
+				bits, cbb, pairs, refCBB, refPairs)
+		}
+		coupling = append(coupling, couplingPoint{
+			Bits:             bits,
+			Wires:            len(l.Wires),
+			Pairs:            pairs,
+			BinnedSeconds:    binned.Seconds(),
+			QuadraticSeconds: quadratic.Seconds(),
+			Speedup:          quadratic.Seconds() / binned.Seconds(),
+		})
+	}
+	first, last := coupling[0], coupling[len(coupling)-1]
+	// Empirical scaling exponent of the binned sweep in wire count; the
+	// quadratic reference sits at ~2 by construction.
+	binnedExp := math.Log(last.BinnedSeconds/first.BinnedSeconds) /
+		math.Log(float64(last.Wires)/float64(first.Wires))
+	quadExp := math.Log(last.QuadraticSeconds/first.QuadraticSeconds) /
+		math.Log(float64(last.Wires)/float64(first.Wires))
+	if last.BinnedSeconds >= last.QuadraticSeconds {
+		t.Errorf("10-bit binned sweep (%v) not faster than quadratic reference (%v)",
+			time.Duration(last.BinnedSeconds*float64(time.Second)),
+			time.Duration(last.QuadraticSeconds*float64(time.Second)))
+	}
+	if binnedExp >= quadExp {
+		t.Errorf("binned scaling exponent %.2f not below quadratic reference's %.2f", binnedExp, quadExp)
+	}
+
+	report := struct {
+		GOMAXPROCS        int             `json:"gomaxprocs"`
+		CovarianceBits    int             `json:"covariance_bits"`
+		SeedSerialSeconds float64         `json:"covariance_seed_serial_seconds"`
+		OptimizedSeconds  float64         `json:"covariance_optimized_seconds"`
+		CovSpeedup        float64         `json:"covariance_speedup"`
+		Coupling          []couplingPoint `json:"coupling"`
+		BinnedScalingExp  float64         `json:"coupling_binned_scaling_exponent"`
+		QuadScalingExp    float64         `json:"coupling_quadratic_scaling_exponent"`
+	}{
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		CovarianceBits:    covBits,
+		SeedSerialSeconds: naive.Seconds(),
+		OptimizedSeconds:  optimized.Seconds(),
+		CovSpeedup:        covSpeedup,
+		Coupling:          coupling,
+		BinnedScalingExp:  binnedExp,
+		QuadScalingExp:    quadExp,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("covariance: seed %v -> optimized %v (%.1fx); coupling exponent %.2f vs %.2f -> %s",
+		naive, optimized, covSpeedup, binnedExp, quadExp, out)
+}

@@ -88,6 +88,13 @@ type Config struct {
 	// SkipNonlinearity skips the INL/DNL analysis, leaving only the
 	// electrical and frequency metrics (faster).
 	SkipNonlinearity bool
+	// Workers bounds the goroutines used by the analysis hot loops
+	// (covariance rows, theta steps, per-bit extraction, Monte-Carlo
+	// samples). 0 uses GOMAXPROCS; negative values force serial
+	// execution. Results are identical at any worker count — the knob
+	// trades wall time only. Servers hosting several concurrent runs
+	// should set this so MaxInFlight × Workers ≈ GOMAXPROCS.
+	Workers int
 	// TechNode selects the process technology: "finfet12" (default,
 	// the paper's target class) or "bulk65" (an older-node contrast
 	// where vias are cheap and via-heavy layouts are not penalized).
@@ -277,6 +284,7 @@ func toCoreConfig(cfg Config) (core.Config, error) {
 		MaxParallel: cfg.MaxParallel,
 		ThetaSteps:  cfg.ThetaSteps,
 		SkipNL:      cfg.SkipNonlinearity,
+		Workers:     cfg.Workers,
 	}
 	switch cfg.TechNode {
 	case "", "finfet12":

@@ -26,6 +26,7 @@ func main() {
 	blockCells := flag.Int("block", 0, "block-chessboard block granularity (0 = default)")
 	theta := flag.Int("theta", 8, "gradient angles for worst-case INL/DNL")
 	skipNL := flag.Bool("fast", false, "skip the INL/DNL analysis")
+	workers := flag.Int("workers", 0, "analysis worker budget (0 = GOMAXPROCS, negative = serial)")
 	svgOut := flag.String("svg", "", "write the routed layout SVG to this file")
 	placeOut := flag.String("placement-svg", "", "write the placement SVG to this file")
 	gdsOut := flag.String("gds", "", "write the layout as a GDSII stream to this file")
@@ -46,6 +47,7 @@ func main() {
 		MaxParallel:      *parallel,
 		ThetaSteps:       *theta,
 		SkipNonlinearity: *skipNL,
+		Workers:          *workers,
 		Trace:            *traceOut != "" || *metricsOut != "",
 		TraceMemStats:    *traceMem,
 	}

@@ -33,6 +33,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent generate requests before 429 shedding (0 = 2x GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "per-request analysis worker cap (0 = GOMAXPROCS/max-inflight, negative = serial)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline for /v1/generate")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -48,6 +49,7 @@ func main() {
 	srv := serve.New(serve.Options{
 		Addr:           *addr,
 		MaxInFlight:    *maxInflight,
+		Workers:        *workers,
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drain,
 		Logger:         logger,

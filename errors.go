@@ -104,6 +104,9 @@ const (
 	MaxThetaSteps = 360
 	// MaxAnnealMoves bounds the annealed baseline's move budget.
 	MaxAnnealMoves = 10_000_000
+	// MaxWorkers bounds Config.Workers: a fan-out wider than this only
+	// adds scheduling overhead for the array sizes MaxBits allows.
+	MaxWorkers = 256
 )
 
 // configErr builds the *PipelineError for one invalid Config field.
@@ -149,6 +152,11 @@ func (cfg Config) validate() error {
 	}
 	if cfg.ThetaSteps < 0 || cfg.ThetaSteps > MaxThetaSteps {
 		return configErr(cfg, "ThetaSteps", "%d outside 0..%d", cfg.ThetaSteps, MaxThetaSteps)
+	}
+	// Negative Workers (serial) is a supported debugging knob; only an
+	// absurd positive fan-out is rejected.
+	if cfg.Workers > MaxWorkers {
+		return configErr(cfg, "Workers", "%d exceeds %d", cfg.Workers, MaxWorkers)
 	}
 	switch cfg.TechNode {
 	case "", "finfet12", "bulk65":

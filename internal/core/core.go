@@ -26,6 +26,7 @@ import (
 	"ccdac/internal/extract"
 	"ccdac/internal/fault"
 	"ccdac/internal/obs"
+	"ccdac/internal/par"
 	"ccdac/internal/place"
 	"ccdac/internal/route"
 	"ccdac/internal/tech"
@@ -56,6 +57,12 @@ type Config struct {
 	ThetaSteps int
 	// SkipNL skips the INL/DNL analysis (electrical metrics only).
 	SkipNL bool
+	// Workers is the parallelism budget for the analysis hot loops
+	// (covariance rows, theta steps, per-bit extraction, Monte-Carlo
+	// samples): 0 uses GOMAXPROCS, negative forces serial execution.
+	// Results are identical at any worker count; only wall time
+	// changes.
+	Workers int
 }
 
 // StageError attributes a flow failure to the pipeline stage that
@@ -194,6 +201,8 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Carry the run's worker budget to every downstream hot loop.
+	ctx = par.WithWorkers(ctx, cfg.Workers)
 	// Backstop for panics in the orchestration glue itself; per-stage
 	// panics are attributed by runStage before reaching this.
 	defer func() {
@@ -326,7 +335,7 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 				return serr
 			}
 			_, span = obs.StartSpan(sctx, "analysis.nl")
-			nl, nerr := dacmodel.WorstOverTheta(sweep, dacmodel.Parasitics{CTSfF: sum.CTSfF}, t.VRef)
+			nl, nerr := dacmodel.WorstOverThetaContext(sctx, sweep, dacmodel.Parasitics{CTSfF: sum.CTSfF}, t.VRef)
 			span.Fail(nerr)
 			span.End()
 			if nerr != nil {

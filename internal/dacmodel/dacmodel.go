@@ -5,9 +5,11 @@
 package dacmodel
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"ccdac/internal/par"
 	"ccdac/internal/variation"
 )
 
@@ -150,17 +152,37 @@ func Nonlinearity(a *variation.Analysis, par Parasitics, vref float64) (*Result,
 // WorstOverTheta runs Nonlinearity for every analysis in the sweep and
 // returns the worst-case result (max |INL|, with its |DNL| companion
 // taken from the same worst angle by |INL|+|DNL|).
-func WorstOverTheta(as []*variation.Analysis, par Parasitics, vref float64) (*Result, error) {
+func WorstOverTheta(as []*variation.Analysis, parasitics Parasitics, vref float64) (*Result, error) {
+	return WorstOverThetaContext(context.Background(), as, parasitics, vref)
+}
+
+// WorstOverThetaContext is WorstOverTheta under a context: the
+// per-angle code sweeps run on the context's worker budget and
+// cancellation is checked before each angle. The worst-case reduction
+// happens serially in angle order afterwards, so the selected angle —
+// including the first-wins tie break — is identical at any worker
+// count.
+func WorstOverThetaContext(ctx context.Context, as []*variation.Analysis, parasitics Parasitics, vref float64) (*Result, error) {
 	if len(as) == 0 {
 		return nil, fmt.Errorf("dacmodel: empty theta sweep")
 	}
-	var worst *Result
-	for _, a := range as {
-		r, err := Nonlinearity(a, par, vref)
-		if err != nil {
-			return nil, err
+	rs := make([]*Result, len(as))
+	if err := par.ForN(par.Workers(ctx), len(as), func(i int) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("dacmodel: theta step %d: %w", i, cerr)
 		}
-		if worst == nil || r.MaxAbsINL+r.MaxAbsDNL > worst.MaxAbsINL+worst.MaxAbsDNL {
+		r, err := Nonlinearity(as[i], parasitics, vref)
+		if err != nil {
+			return err
+		}
+		rs[i] = r
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	worst := rs[0]
+	for _, r := range rs[1:] {
+		if r.MaxAbsINL+r.MaxAbsDNL > worst.MaxAbsINL+worst.MaxAbsDNL {
 			worst = r
 		}
 	}

@@ -14,10 +14,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"ccdac/internal/fault"
 	"ccdac/internal/geom"
 	"ccdac/internal/obs"
+	"ccdac/internal/par"
 	"ccdac/internal/rcnet"
 	"ccdac/internal/route"
 )
@@ -74,8 +76,12 @@ type Summary struct {
 }
 
 // CriticalBit returns the capacitor with the largest Elmore delay; its
-// time constant limits the DAC clock (Sec. III-B).
+// time constant limits the DAC clock (Sec. III-B). A summary with no
+// extracted bit networks has no critical bit and reports -1.
 func (s *Summary) CriticalBit() int {
+	if len(s.Bits) == 0 {
+		return -1
+	}
 	best, bestTau := 0, -1.0
 	for _, b := range s.Bits {
 		if b.TauSec > bestTau {
@@ -85,8 +91,15 @@ func (s *Summary) CriticalBit() int {
 	return best
 }
 
-// Tau returns the limiting (maximum) Elmore time constant in seconds.
-func (s *Summary) Tau() float64 { return s.Bits[s.CriticalBit()].TauSec }
+// Tau returns the limiting (maximum) Elmore time constant in seconds,
+// or 0 when no bit networks were extracted.
+func (s *Summary) Tau() float64 {
+	crit := s.CriticalBit()
+	if crit < 0 || crit >= len(s.Bits) {
+		return 0
+	}
+	return s.Bits[crit].TauSec
+}
 
 // Extract computes the full electrical view of a routed layout.
 func Extract(l *route.Layout) (*Summary, error) {
@@ -118,17 +131,31 @@ func ExtractContext(ctx context.Context, l *route.Layout) (*Summary, error) {
 		s.CWirefF += l.Tech.WireC(w.Layer, effLen(l, w), w.Par)
 	}
 
+	// Per-bit network builds are independent (each assembles and solves
+	// its own rcnet from the shared read-only layout), so they fan out
+	// across the context's worker budget; results land by bit index and
+	// warnings/solver stats are folded in bit order afterwards, keeping
+	// the summary identical at any worker count.
 	_, span = obs.StartSpan(ctx, "extract.bitnets")
 	s.Bits = make([]BitNet, l.M.Bits+1)
-	nodes := 0
-	for bit := 0; bit <= l.M.Bits; bit++ {
-		bn, err := buildBitNet(l, bit, wireCoupling)
-		if err != nil {
-			err = fmt.Errorf("extract: bit %d: %w", bit, err)
-			span.Fail(err)
-			span.End()
-			return nil, err
+	nets := make([]*BitNet, l.M.Bits+1)
+	if err := par.ForN(par.Workers(ctx), l.M.Bits+1, func(bit int) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("extract: bit %d: %w", bit, cerr)
 		}
+		bn, berr := buildBitNet(l, bit, wireCoupling)
+		if berr != nil {
+			return fmt.Errorf("extract: bit %d: %w", bit, berr)
+		}
+		nets[bit] = bn
+		return nil
+	}); err != nil {
+		span.Fail(err)
+		span.End()
+		return nil, err
+	}
+	nodes := 0
+	for bit, bn := range nets {
 		s.Bits[bit] = *bn
 		nodes += bn.Net.NumNodes()
 		st := bn.Net.Stats()
@@ -145,39 +172,84 @@ func ExtractContext(ctx context.Context, l *route.Layout) (*Summary, error) {
 	return s, nil
 }
 
+// Coupling runs just the coupling sweep of a routed layout and returns
+// the total inter-bit coupling ΣC^BB in fF and the number of coupled
+// wire pairs — the benchmark and diagnostic surface of couple.
+func Coupling(l *route.Layout) (cbbFF float64, pairs int) {
+	var s Summary
+	_, p := couple(l, &s)
+	return s.CBBfF, p
+}
+
+// coupleEntry is one bottom-plate wire in the coupling interval index:
+// its original wire slot and its perpendicular track coordinate (y for
+// horizontal wires, x for vertical ones).
+type coupleEntry struct {
+	idx  int
+	perp float64
+}
+
 // couple extracts pairwise sidewall coupling between bottom-plate wires
 // of different capacitors (the C^BB of Table I), returning each wire's
 // share of coupling capacitance (treated as grounded for delay) and
 // the number of coupled wire pairs found.
+//
+// Only parallel same-layer wires within couplingReach spacings couple,
+// so instead of the seed's O(W²) all-pairs scan the wires are bucketed
+// per (layer, direction) and sorted by their perpendicular coordinate;
+// each wire is then compared only against the neighbors inside its
+// reach window — O(W log W + W·k) for k wires per window. The pair set
+// is exactly the seed's (the window bound is the same separation
+// cutoff), only the accumulation order differs.
 func couple(l *route.Layout, s *Summary) ([]float64, int) {
 	pairs := 0
 	share := make([]float64, len(l.Wires))
-	for i := 0; i < len(l.Wires); i++ {
-		wi := l.Wires[i]
-		if wi.Bit == route.TopPlateBit {
+	nLayers := len(l.Tech.Layers)
+	// Bucket index: layer × direction. geom.Seg classifies zero-length
+	// segments as horizontal, matching Separation's pairing rules.
+	buckets := make([][]coupleEntry, 2*nLayers)
+	for i, w := range l.Wires {
+		if w.Bit == route.TopPlateBit || w.Layer < 0 || w.Layer >= nLayers {
 			continue
 		}
-		for j := i + 1; j < len(l.Wires); j++ {
-			wj := l.Wires[j]
-			if wj.Bit == route.TopPlateBit || wj.Bit == wi.Bit {
-				continue
+		perp := w.Seg.A.Y
+		b := 2 * w.Layer
+		if w.Seg.Dir() == geom.Vertical {
+			perp = w.Seg.A.X
+			b++
+		}
+		buckets[b] = append(buckets[b], coupleEntry{idx: i, perp: perp})
+	}
+	reach := couplingReach * l.Tech.SMinUm
+	for _, es := range buckets {
+		sort.Slice(es, func(a, b int) bool {
+			if es[a].perp != es[b].perp {
+				return es[a].perp < es[b].perp
 			}
-			if wi.Layer != wj.Layer {
-				continue
+			return es[a].idx < es[b].idx
+		})
+		for i := 0; i < len(es); i++ {
+			wi := l.Wires[es[i].idx]
+			for j := i + 1; j < len(es) && es[j].perp-es[i].perp <= reach; j++ {
+				sep := es[j].perp - es[i].perp
+				if sep == 0 {
+					// Same track: abutting, not sidewall-coupled.
+					continue
+				}
+				wj := l.Wires[es[j].idx]
+				if wj.Bit == wi.Bit {
+					continue
+				}
+				ov := wi.Seg.OverlapLen(wj.Seg)
+				if ov <= 0 {
+					continue
+				}
+				c := l.Tech.CouplingfFPerUm(sep) * ov
+				s.CBBfF += c
+				share[es[i].idx] += c / 2
+				share[es[j].idx] += c / 2
+				pairs++
 			}
-			sep := wi.Seg.Separation(wj.Seg)
-			if sep == 0 || sep > couplingReach*l.Tech.SMinUm {
-				continue
-			}
-			ov := wi.Seg.OverlapLen(wj.Seg)
-			if ov <= 0 {
-				continue
-			}
-			c := l.Tech.CouplingfFPerUm(sep) * ov
-			s.CBBfF += c
-			share[i] += c / 2
-			share[j] += c / 2
-			pairs++
 		}
 	}
 	return share, pairs

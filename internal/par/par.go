@@ -1,0 +1,111 @@
+// Package par is the pipeline's parallelism layer: a bounded worker
+// pool for index-addressed fan-out and the context plumbing that
+// carries the per-run worker budget from the caller (core.Config or
+// the serve daemon) down into the analysis hot loops.
+//
+// Determinism contract: ForN runs fn(0..n-1) exactly once each, with
+// every result written to a caller-owned, index-addressed slot, so the
+// output of a parallel run is identical to a serial one whenever each
+// fn(i) is itself deterministic. The worker count changes only wall
+// time, never results.
+//
+// Composition contract: nothing in this package spawns goroutines
+// beyond the requested worker budget, and the budget flows through the
+// context (WithWorkers/FromContext), so an outer admission controller
+// — e.g. the serve daemon's bounded-concurrency semaphore — caps
+// process-wide parallelism at MaxInFlight × workers by construction
+// instead of each request fanning out to GOMAXPROCS.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ctxKey carries the worker budget through a context.
+type ctxKey struct{}
+
+// WithWorkers returns a context carrying the worker budget n for
+// downstream ForN calls (0 = GOMAXPROCS at use time, <0 = serial).
+func WithWorkers(ctx context.Context, n int) context.Context {
+	return context.WithValue(ctx, ctxKey{}, n)
+}
+
+// FromContext returns the worker budget carried by ctx, or 0 (meaning
+// "resolver default", i.e. GOMAXPROCS) when none was set.
+func FromContext(ctx context.Context) int {
+	n, _ := ctx.Value(ctxKey{}).(int)
+	return n
+}
+
+// Resolve maps a Workers knob to an effective worker count: 0 means
+// GOMAXPROCS, negative means serial, and positive values pass through.
+func Resolve(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Workers resolves the effective worker count for ctx: the context's
+// budget if one was set, GOMAXPROCS otherwise.
+func Workers(ctx context.Context) int {
+	return Resolve(FromContext(ctx))
+}
+
+// ForN runs fn(i) for every i in [0, n) across at most workers
+// goroutines and returns the first error (by completion order; all
+// workers stop claiming new indices once any fn fails). With workers
+// <= 1 or n <= 1 it degrades to a plain loop on the calling goroutine
+// — the serial reference path the equivalence tests compare against.
+//
+// fn is responsible for its own cancellation checks (so callers
+// control check granularity and error wording); a context to check
+// travels into fn as a closure, not through ForN.
+func ForN(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errOnce sync.Once
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstEr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}

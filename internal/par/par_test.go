@@ -1,0 +1,103 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != 1 {
+		t.Errorf("Resolve(-3) = %d, want 1", got)
+	}
+	if got := Resolve(7); got != 7 {
+		t.Errorf("Resolve(7) = %d, want 7", got)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if got := FromContext(ctx); got != 0 {
+		t.Errorf("unset budget = %d, want 0", got)
+	}
+	if got := Workers(ctx); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(unset) = %d, want GOMAXPROCS", got)
+	}
+	ctx = WithWorkers(ctx, 3)
+	if got := FromContext(ctx); got != 3 {
+		t.Errorf("budget = %d, want 3", got)
+	}
+	if got := Workers(WithWorkers(ctx, -1)); got != 1 {
+		t.Errorf("Workers(-1) = %d, want 1 (serial)", got)
+	}
+}
+
+func TestForNRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 100
+		var counts [n]atomic.Int64
+		if err := ForN(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForNIndexAddressedDeterminism(t *testing.T) {
+	const n = 257
+	want := make([]int, n)
+	if err := ForN(1, n, func(i int) error { want[i] = i * i; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int, n)
+	if err := ForN(8, n, func(i int) error { got[i] = i * i; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("index %d: parallel %d != serial %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForNFirstErrorStopsClaiming(t *testing.T) {
+	sentinel := errors.New("boom")
+	var ran atomic.Int64
+	// Every index past 4 fails, so each of the 4 workers exits on its
+	// first failing claim: at most 5 successes + 4 failures ever run.
+	err := ForN(4, 10_000, func(i int) error {
+		ran.Add(1)
+		if i >= 5 {
+			return fmt.Errorf("index %d: %w", i, sentinel)
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error = %v, want wrapped sentinel", err)
+	}
+	if r := ran.Load(); r > 9 {
+		t.Errorf("%d indices ran; workers kept claiming after failure", r)
+	}
+}
+
+func TestForNZeroAndNegativeN(t *testing.T) {
+	if err := ForN(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForN(4, -5, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}

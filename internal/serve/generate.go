@@ -26,6 +26,11 @@ type GenerateRequest struct {
 	ThetaSteps       int    `json:"theta_steps,omitempty"`
 	SkipNonlinearity bool   `json:"skip_nonlinearity,omitempty"`
 	TechNode         string `json:"tech_node,omitempty"`
+	// Workers asks for an analysis parallelism budget below the
+	// server's per-request cap (Options.Workers); larger requests are
+	// clamped to the cap so one client cannot oversubscribe the host.
+	// 0 takes the server default, negative forces serial analysis.
+	Workers int `json:"workers,omitempty"`
 	// BestBC sweeps the block-chessboard structure grid and returns the
 	// best candidate (GenerateBestBC) instead of one fixed structure.
 	BestBC bool `json:"best_bc,omitempty"`
@@ -72,6 +77,12 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cfg := req.config()
+	// Per-request worker budget: the server's cap, unless the request
+	// asked for less (a negative ask means serial analysis).
+	cfg.Workers = s.opts.Workers
+	if req.Workers != 0 && req.Workers < cfg.Workers {
+		cfg.Workers = req.Workers
+	}
 
 	tr := obs.New(obs.Options{PprofLabels: true})
 	ctx := obs.WithTrace(r.Context(), tr)

@@ -49,6 +49,13 @@ type Options struct {
 	// requests are shed with 429 rather than queued (default
 	// 2×GOMAXPROCS).
 	MaxInFlight int
+	// Workers is the per-request parallelism budget for the analysis
+	// hot loops, composing with MaxInFlight so the daemon fans out to
+	// at most MaxInFlight × Workers goroutines instead of every request
+	// grabbing GOMAXPROCS. Default max(1, GOMAXPROCS / MaxInFlight);
+	// negative forces serial analysis. Requests may ask for fewer
+	// workers than this cap, never more.
+	Workers int
 	// RequestTimeout is the per-request deadline applied to
 	// /v1/generate; the pipeline honors it at every stage boundary
 	// (default 60s).
@@ -93,6 +100,12 @@ func New(opts Options) *Server {
 	}
 	if opts.MaxInFlight <= 0 {
 		opts.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if opts.Workers == 0 {
+		opts.Workers = runtime.GOMAXPROCS(0) / opts.MaxInFlight
+		if opts.Workers < 1 {
+			opts.Workers = 1
+		}
 	}
 	if opts.RequestTimeout <= 0 {
 		opts.RequestTimeout = 60 * time.Second
@@ -158,7 +171,7 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 		BaseContext: func(net.Listener) context.Context { return context.Background() },
 	}
 	s.log.Info("ccdacd listening", "addr", s.Addr(), "max_inflight", s.opts.MaxInFlight,
-		"request_timeout", s.opts.RequestTimeout.String())
+		"workers", s.opts.Workers, "request_timeout", s.opts.RequestTimeout.String())
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {

@@ -4,6 +4,15 @@
 // per-capacitor covariance matrix drives the 3σ INL/DNL analysis, plus
 // a Cholesky-based correlated Monte-Carlo sampler as a cross-check
 // extension.
+//
+// Performance: the covariance builds (both the capacitor-level one of
+// Analyze and the unit-level one of MonteCarlo) are the analysis hot
+// loops — quadratic in unit cells. They run on a bounded worker pool
+// (one covariance row per work item; see internal/par for the worker
+// budget plumbing) over the memoized exp-form correlation table of
+// tech.RhoTable, and every parallel result is written by index, so a
+// run's output is bit-identical at any worker count. See
+// docs/PERFORMANCE.md.
 package variation
 
 import (
@@ -11,10 +20,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"ccdac/internal/ccmatrix"
 	"ccdac/internal/geom"
 	"ccdac/internal/linalg"
+	"ccdac/internal/obs"
+	"ccdac/internal/par"
 	"ccdac/internal/tech"
 )
 
@@ -89,6 +101,117 @@ func (a *Analysis) SigmaT() float64 {
 	return math.Sqrt(math.Max(0, v))
 }
 
+// cellGeom is the gathered geometry of one placement: per-capacitor
+// unit-cell centers and the occupied-array centroid the gradient is
+// referenced to.
+type cellGeom struct {
+	cells  [][]geom.Pt
+	counts []int
+	cx, cy float64
+}
+
+// gatherCells positions every unit cell and computes the centroid.
+func gatherCells(m *ccmatrix.Matrix, pos Positioner) *cellGeom {
+	g := &cellGeom{
+		cells:  make([][]geom.Pt, m.Bits+1),
+		counts: make([]int, m.Bits+1),
+	}
+	total := 0
+	for k := 0; k <= m.Bits; k++ {
+		for _, c := range m.CellsOf(k) {
+			p := pos(c)
+			g.cells[k] = append(g.cells[k], p)
+			g.cx += p.X
+			g.cy += p.Y
+			total++
+		}
+		g.counts[k] = len(g.cells[k])
+	}
+	g.cx /= float64(total)
+	g.cy /= float64(total)
+	return g
+}
+
+// gradientCStar evaluates Eq. 3 at one angle:
+// C_k* = sum_j C_u * t0/t_j with
+// t_j = t0 (1 + gamma (x cos th + y sin th) + q r^2), gamma in 1/um
+// and q in 1/um^2 (the quadratic term is an extension; the paper's
+// model is linear, q = 0).
+func gradientCStar(g *cellGeom, t *tech.Technology, thetaRad float64) []float64 {
+	gamma := t.Mis.GradientPPMPerUm * 1e-6
+	quad := t.Mis.QuadGradientPPMPerUm2 * 1e-6
+	cosT, sinT := math.Cos(thetaRad), math.Sin(thetaRad)
+	out := make([]float64, len(g.cells))
+	for k, cells := range g.cells {
+		sum := 0.0
+		for _, p := range cells {
+			dx, dy := p.X-g.cx, p.Y-g.cy
+			tRatio := 1 + gamma*(dx*cosT+dy*sinT) + quad*(dx*dx+dy*dy)
+			sum += t.Unit.CfF / tRatio
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// covariance builds the capacitor-level covariance matrix (Eqs. 4-6)
+// on the context's worker budget: one covariance row per work item,
+// entries written by index, cancellation checked once per row. Each
+// row keeps a local memo over the shared tech.RhoTable, so the
+// ~n²/2 correlation evaluations collapse onto the layout's distinct
+// quantized distances; the caller receives the evaluation and memo-hit
+// counts for the run's observability record.
+func covariance(ctx context.Context, g *cellGeom, t *tech.Technology) (*linalg.Dense, int64, int64, error) {
+	bits := len(g.cells) - 1
+	sigmaU2 := t.SigmaU() * t.SigmaU()
+	rt := t.RhoTable()
+	cov := linalg.NewDense(bits + 1)
+	var calls, fetches atomic.Int64
+	err := par.ForN(par.Workers(ctx), bits+1, func(i int) error {
+		// Claim heavy rows first: row j's work grows with C_j's cell
+		// count (2^(j-1) cells), so handing out high bits early keeps
+		// the pool balanced. Writes stay index-addressed regardless.
+		j := bits - i
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("variation: covariance row %d: %w", j, err)
+		}
+		local := rt.Local()
+		cj := g.cells[j]
+		// Diagonal entry: rho(0) = 1 self terms plus twice the strict
+		// upper pair sum (symmetry halves the work).
+		s := float64(len(cj))
+		for a := 0; a < len(cj); a++ {
+			pa := cj[a]
+			for b := a + 1; b < len(cj); b++ {
+				dx, dy := pa.X-cj[b].X, pa.Y-cj[b].Y
+				s += 2 * local.RhoSq(dx*dx+dy*dy)
+			}
+		}
+		cov.Set(j, j, sigmaU2*s)
+		for k := j + 1; k <= bits; k++ {
+			ck := g.cells[k]
+			s := 0.0
+			for _, pa := range cj {
+				for _, pb := range ck {
+					dx, dy := pa.X-pb.X, pa.Y-pb.Y
+					s += local.RhoSq(dx*dx + dy*dy)
+				}
+			}
+			c := sigmaU2 * s
+			cov.Set(j, k, c)
+			cov.Set(k, j, c)
+		}
+		c, f := local.Stats()
+		calls.Add(c)
+		fetches.Add(f)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return cov, calls.Load(), fetches.Load(), nil
+}
+
 // Analyze computes the variation view of a placement: the gradient
 // capacitor shifts at angle thetaRad, and the random-mismatch
 // covariance matrix (angle-independent).
@@ -98,8 +221,10 @@ func Analyze(m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, thetaRad fl
 
 // AnalyzeContext is Analyze under a context. The covariance build is
 // the analysis hot loop (quadratic in unit cells — it dominates a
-// large-array run), so cancellation is checked once per covariance
-// row, bounding the post-cancel latency to one row's work.
+// large-array run); it runs on the context's worker budget (see
+// par.WithWorkers; default GOMAXPROCS) with cancellation checked once
+// per covariance row, bounding the post-cancel latency to one row's
+// work per worker.
 func AnalyzeContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, thetaRad float64) (*Analysis, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("variation: %w", err)
@@ -107,68 +232,21 @@ func AnalyzeContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, t *
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("variation: %w", err)
 	}
+	g := gatherCells(m, pos)
 	a := &Analysis{
 		Bits:     m.Bits,
 		CuFF:     t.Unit.CfF,
 		ThetaRad: thetaRad,
-		CStar:    make([]float64, m.Bits+1),
-		Counts:   make([]int, m.Bits+1),
+		CStar:    gradientCStar(g, t, thetaRad),
+		Counts:   g.counts,
 	}
-
-	cells := make([][]geom.Pt, m.Bits+1)
-	// The gradient is referenced to the centroid of the occupied array.
-	var cx, cy float64
-	total := 0
-	for k := 0; k <= m.Bits; k++ {
-		for _, c := range m.CellsOf(k) {
-			p := pos(c)
-			cells[k] = append(cells[k], p)
-			cx += p.X
-			cy += p.Y
-			total++
-		}
-		a.Counts[k] = len(cells[k])
+	cov, calls, fetches, err := covariance(ctx, g, t)
+	if err != nil {
+		return nil, err
 	}
-	cx /= float64(total)
-	cy /= float64(total)
-
-	// Eq. 3: C_k* = sum_j C_u * t0/t_j with
-	// t_j = t0 (1 + gamma (x cos th + y sin th) + q r^2), gamma in
-	// 1/um and q in 1/um^2 (the quadratic term is an extension; the
-	// paper's model is linear, q = 0).
-	gamma := t.Mis.GradientPPMPerUm * 1e-6
-	quad := t.Mis.QuadGradientPPMPerUm2 * 1e-6
-	cosT, sinT := math.Cos(thetaRad), math.Sin(thetaRad)
-	for k := 0; k <= m.Bits; k++ {
-		sum := 0.0
-		for _, p := range cells[k] {
-			dx, dy := p.X-cx, p.Y-cy
-			tRatio := 1 + gamma*(dx*cosT+dy*sinT) + quad*(dx*dx+dy*dy)
-			sum += t.Unit.CfF / tRatio
-		}
-		a.CStar[k] = sum
-	}
-
-	// Random mismatch: capacitor-level covariance from unit-cell
-	// correlations rho_ab = rho_u^(d/Lc) (Eqs. 4-6).
-	sigmaU2 := t.SigmaU() * t.SigmaU()
-	a.Cov = linalg.NewDense(m.Bits + 1)
-	for j := 0; j <= m.Bits; j++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("variation: covariance row %d: %w", j, err)
-		}
-		for k := j; k <= m.Bits; k++ {
-			s := 0.0
-			for _, pa := range cells[j] {
-				for _, pb := range cells[k] {
-					s += t.Rho(pa.Dist(pb))
-				}
-			}
-			c := sigmaU2 * s
-			a.Cov.Set(j, k, c)
-			a.Cov.Set(k, j, c)
-		}
-	}
+	a.Cov = cov
+	obs.Count(ctx, "ccdac_variation_rho_calls_total", calls)
+	obs.Count(ctx, "ccdac_variation_rho_memo_hits_total", calls-fetches)
 	return a, nil
 }
 
@@ -180,30 +258,48 @@ func SweepTheta(m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, nSteps i
 }
 
 // SweepThetaContext is SweepTheta under a context: cancellation is
-// checked before every angle step (and within the first step's
-// covariance build), so a canceled sweep returns promptly instead of
-// finishing all nSteps angles.
+// checked within the covariance build and before every angle step, so
+// a canceled sweep returns promptly.
+//
+// The geometry is gathered once and the angle-independent covariance
+// is built exactly once (the seed recomputed — then discarded — a full
+// covariance per angle); the remaining per-angle gradient evaluations
+// are linear in cells and run on the context's worker budget.
 func SweepThetaContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, nSteps int) ([]*Analysis, error) {
 	if nSteps < 1 {
 		return nil, fmt.Errorf("variation: need at least 1 sweep step, got %d", nSteps)
 	}
-	first, err := AnalyzeContext(ctx, m, pos, t, 0)
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("variation: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("variation: %w", err)
+	}
+	g := gatherCells(m, pos)
+	cov, calls, fetches, err := covariance(ctx, g, t)
 	if err != nil {
 		return nil, err
 	}
+	obs.Count(ctx, "ccdac_variation_rho_calls_total", calls)
+	obs.Count(ctx, "ccdac_variation_rho_memo_hits_total", calls-fetches)
 	out := make([]*Analysis, nSteps)
-	out[0] = first
-	for i := 1; i < nSteps; i++ {
+	err = par.ForN(par.Workers(ctx), nSteps, func(i int) error {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("variation: sweep step %d: %w", i, err)
+			return fmt.Errorf("variation: sweep step %d: %w", i, err)
 		}
 		theta := math.Pi * float64(i) / float64(nSteps)
-		a, err := AnalyzeContext(ctx, m, pos, t, theta)
-		if err != nil {
-			return nil, err
+		out[i] = &Analysis{
+			Bits:     m.Bits,
+			CuFF:     t.Unit.CfF,
+			ThetaRad: theta,
+			CStar:    gradientCStar(g, t, theta),
+			Counts:   g.counts,
+			Cov:      cov, // shared: angle-independent
 		}
-		a.Cov = first.Cov // share the angle-independent covariance
-		out[i] = a
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -214,6 +310,18 @@ func SweepThetaContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, 
 // systematic gradient shift of the supplied analysis added in. It
 // cross-checks the closed-form 3σ model.
 func MonteCarlo(m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, a *Analysis, samples int, seed int64) ([][]float64, error) {
+	return MonteCarloContext(context.Background(), m, pos, t, a, samples, seed)
+}
+
+// MonteCarloContext is MonteCarlo under a context: cancellation is
+// checked once per unit-covariance row and once per sample, mirroring
+// AnalyzeContext, so a canceled run stops within one row's (or one
+// sample's) work per worker instead of finishing every sample.
+//
+// Sampling is deterministic for a fixed seed independent of the worker
+// count: sample s draws from its own RNG stream derived from (seed, s)
+// by a splitmix64 mix, and results are written by sample index.
+func MonteCarloContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, a *Analysis, samples int, seed int64) ([][]float64, error) {
 	if samples < 1 {
 		return nil, fmt.Errorf("variation: need at least 1 sample")
 	}
@@ -230,24 +338,37 @@ func MonteCarlo(m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, a *Analy
 	n := len(units)
 	cov := linalg.NewDense(n)
 	sigmaU2 := t.SigmaU() * t.SigmaU()
-	for i := 0; i < n; i++ {
+	rt := t.RhoTable()
+	workers := par.Workers(ctx)
+	if err := par.ForN(workers, n, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("variation: unit covariance row %d: %w", i, err)
+		}
+		local := rt.Local()
 		for j := i; j < n; j++ {
-			c := sigmaU2 * t.Rho(units[i].p.Dist(units[j].p))
+			dx, dy := units[i].p.X-units[j].p.X, units[i].p.Y-units[j].p.Y
+			c := sigmaU2 * local.RhoSq(dx*dx+dy*dy)
 			cov.Set(i, j, c)
 			cov.Set(j, i, c)
 		}
 		// Tiny jitter keeps the near-singular high-correlation matrix
 		// numerically positive definite.
 		cov.Add(i, i, sigmaU2*1e-9)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	chol, err := linalg.Cholesky(cov)
 	if err != nil {
 		return nil, fmt.Errorf("variation: unit covariance: %w", err)
 	}
-	rng := rand.New(rand.NewSource(seed))
 	out := make([][]float64, samples)
-	z := make([]float64, n)
-	for s := 0; s < samples; s++ {
+	if err := par.ForN(workers, samples, func(s int) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("variation: monte-carlo sample %d: %w", s, err)
+		}
+		rng := rand.New(rand.NewSource(mcStreamSeed(seed, s)))
+		z := make([]float64, n)
 		for i := range z {
 			z[i] = rng.NormFloat64()
 		}
@@ -264,6 +385,23 @@ func MonteCarlo(m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, a *Analy
 			shifts[k] += a.DCSys(k)
 		}
 		out[s] = shifts
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// mcStreamSeed derives the RNG stream seed of sample s from the user
+// seed via a splitmix64 mix: adjacent raw seeds of Go's LCG source are
+// correlated, and per-sample streams are what make the sampler's
+// output independent of the worker count.
+func mcStreamSeed(seed int64, s int) int64 {
+	z := uint64(seed) + (uint64(s)+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }

@@ -7,6 +7,7 @@
 package yield
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -39,17 +40,26 @@ type Result struct {
 // many meet the spec over a full-code INL/DNL sweep.
 func Estimate(m *ccmatrix.Matrix, pos variation.Positioner, t *tech.Technology,
 	thetaRad float64, spec Spec, par dacmodel.Parasitics, samples int, seed int64) (*Result, error) {
+	return EstimateContext(context.Background(), m, pos, t, thetaRad, spec, par, samples, seed)
+}
+
+// EstimateContext is Estimate under a context: the covariance build and
+// the Monte-Carlo sample loop run on the context's worker budget and
+// honor cancellation; the estimate for a fixed seed is identical at any
+// worker count.
+func EstimateContext(ctx context.Context, m *ccmatrix.Matrix, pos variation.Positioner, t *tech.Technology,
+	thetaRad float64, spec Spec, par dacmodel.Parasitics, samples int, seed int64) (*Result, error) {
 	if spec.MaxAbsDNL <= 0 || spec.MaxAbsINL <= 0 {
 		return nil, fmt.Errorf("yield: spec bounds must be positive, got %+v", spec)
 	}
 	if samples < 1 {
 		return nil, fmt.Errorf("yield: need at least 1 sample")
 	}
-	a, err := variation.Analyze(m, pos, t, thetaRad)
+	a, err := variation.AnalyzeContext(ctx, m, pos, t, thetaRad)
 	if err != nil {
 		return nil, err
 	}
-	shifts, err := variation.MonteCarlo(m, pos, t, a, samples, seed)
+	shifts, err := variation.MonteCarloContext(ctx, m, pos, t, a, samples, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -96,9 +106,19 @@ func wilson(passed, n int, z float64) (lo, hi float64) {
 // same value), returning one Result per spec point — a yield curve.
 func SpecSweep(m *ccmatrix.Matrix, pos variation.Positioner, t *tech.Technology,
 	thetaRad float64, specs []float64, par dacmodel.Parasitics, samples int, seed int64) ([]*Result, error) {
+	return SpecSweepContext(context.Background(), m, pos, t, thetaRad, specs, par, samples, seed)
+}
+
+// SpecSweepContext is SpecSweep under a context, checking cancellation
+// between spec points and within each estimate.
+func SpecSweepContext(ctx context.Context, m *ccmatrix.Matrix, pos variation.Positioner, t *tech.Technology,
+	thetaRad float64, specs []float64, par dacmodel.Parasitics, samples int, seed int64) ([]*Result, error) {
 	out := make([]*Result, 0, len(specs))
-	for _, s := range specs {
-		r, err := Estimate(m, pos, t, thetaRad, Spec{MaxAbsDNL: s, MaxAbsINL: s}, par, samples, seed)
+	for i, s := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("yield: spec point %d: %w", i, err)
+		}
+		r, err := EstimateContext(ctx, m, pos, t, thetaRad, Spec{MaxAbsDNL: s, MaxAbsINL: s}, par, samples, seed)
 		if err != nil {
 			return nil, err
 		}
