@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz bench bench-analyze bench-smoke serve-bench
+.PHONY: check fmt vet build test race fuzz bench bench-analyze bench-smoke serve-bench bench-cache
 
 check: fmt vet build race
 
@@ -56,3 +56,12 @@ bench-smoke:
 serve-bench:
 	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json $(GO) test \
 		-run '^TestBenchServe$$' -count=1 -v ./internal/serve
+
+# Caching benchmark: serve cold-vs-warm, memoized sensitivity sweep,
+# singleflight dedup factor, and CG solver allocations, written to
+# BENCH_cache.json. Asserts warm-hit speedup > 1, one generation for 8
+# concurrent identical requests, and pooled-scratch solver allocs;
+# doubles as CI's cache-correctness smoke (see docs/PERFORMANCE.md).
+bench-cache:
+	BENCH_CACHE_OUT=$(CURDIR)/BENCH_cache.json $(GO) test \
+		-run '^TestBenchCache$$' -count=1 -v ./internal/serve

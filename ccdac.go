@@ -109,6 +109,13 @@ type Config struct {
 	// is meant for offline memory attribution, not routine runs. Ignored
 	// unless Trace is set.
 	TraceMemStats bool
+	// Memo arms the process-wide stage caches: placements, routed
+	// layouts, extracted RC summaries, covariance matrices and Cholesky
+	// factors are memoized by content-addressed keys over exactly the
+	// inputs each stage consumes. Repeated or overlapping runs (sweeps,
+	// calibration, servers) reuse intermediates; results are bitwise
+	// identical to Memo-off runs. See docs/PERFORMANCE.md.
+	Memo bool
 }
 
 // Metrics summarizes a generated layout, mirroring the paper's
@@ -285,6 +292,7 @@ func toCoreConfig(cfg Config) (core.Config, error) {
 		ThetaSteps:  cfg.ThetaSteps,
 		SkipNL:      cfg.SkipNonlinearity,
 		Workers:     cfg.Workers,
+		Memo:        cfg.Memo,
 	}
 	switch cfg.TechNode {
 	case "", "finfet12":

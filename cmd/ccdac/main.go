@@ -27,6 +27,7 @@ func main() {
 	theta := flag.Int("theta", 8, "gradient angles for worst-case INL/DNL")
 	skipNL := flag.Bool("fast", false, "skip the INL/DNL analysis")
 	workers := flag.Int("workers", 0, "analysis worker budget (0 = GOMAXPROCS, negative = serial)")
+	memoize := flag.Bool("memo", false, "memoize pipeline stages in the process-wide cache (see docs/PERFORMANCE.md)")
 	svgOut := flag.String("svg", "", "write the routed layout SVG to this file")
 	placeOut := flag.String("placement-svg", "", "write the placement SVG to this file")
 	gdsOut := flag.String("gds", "", "write the layout as a GDSII stream to this file")
@@ -48,6 +49,7 @@ func main() {
 		ThetaSteps:       *theta,
 		SkipNonlinearity: *skipNL,
 		Workers:          *workers,
+		Memo:             *memoize,
 		Trace:            *traceOut != "" || *metricsOut != "",
 		TraceMemStats:    *traceMem,
 	}

@@ -2,9 +2,11 @@
 // serves the constructive flow over HTTP with process-level metrics
 // aggregation, health/readiness probes, and pprof endpoints.
 //
-//	ccdacd -addr :8080 -max-inflight 16 -timeout 60s
+//	ccdacd -addr :8080 -max-inflight 16 -timeout 60s -cache-bytes 67108864
 //
 //	curl -s localhost:8080/v1/generate -d '{"bits":8,"max_parallel":2}'
+//	curl -s localhost:8080/v1/generate -d '{"bits":8,"cache":"bypass"}'
+//	curl -s localhost:8080/v1/batch -d '{"requests":[{"bits":6},{"bits":8}]}'
 //	curl -s localhost:8080/metrics
 //	curl -s localhost:8080/healthz
 //	go tool pprof localhost:8080/debug/pprof/profile?seconds=10
@@ -36,6 +38,9 @@ func main() {
 	workers := flag.Int("workers", 0, "per-request analysis worker cap (0 = GOMAXPROCS/max-inflight, negative = serial)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline for /v1/generate")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result-cache byte bound (0 = 64MiB default, negative = disable caching and singleflight)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "result-cache entry TTL (0 = no expiry, LRU eviction only)")
+	maxBatch := flag.Int("max-batch", 0, "max sub-requests per /v1/batch call (0 = 64)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -52,6 +57,9 @@ func main() {
 		Workers:        *workers,
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drain,
+		CacheMaxBytes:  *cacheBytes,
+		CacheTTL:       *cacheTTL,
+		MaxBatch:       *maxBatch,
 		Logger:         logger,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

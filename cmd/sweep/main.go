@@ -33,6 +33,7 @@ func main() {
 	factorsFlag := flag.String("factors", "0.25,0.5,1,2,4,8", "scale factors")
 	parallel := flag.Int("parallel", 2, "parallel wires")
 	withNL := flag.Bool("nl", false, "include INL/DNL in knob sweeps (slower)")
+	memoize := flag.Bool("memo", false, "memoize pipeline stages across sweep points (see docs/PERFORMANCE.md)")
 	traceOut := flag.String("trace", "", "record an observability trace and write its spans as JSONL to this file")
 	metricsOut := flag.String("metrics", "", "record study metrics and write them in Prometheus text format to this file")
 	flag.Parse()
@@ -66,7 +67,7 @@ func main() {
 			fatal(fmt.Errorf("unknown style %q", *style))
 		}
 		pts, err := sweep.SensitivityContext(ctx, core.Config{
-			Bits: *bits, Style: st, MaxParallel: *parallel, ThetaSteps: 4,
+			Bits: *bits, Style: st, MaxParallel: *parallel, ThetaSteps: 4, Memo: *memoize,
 		}, sweep.Knob(*knob), factors, *withNL)
 		if err != nil {
 			fatal(err)

@@ -27,6 +27,7 @@ func main() {
 	samples := flag.Int("samples", 200, "Monte-Carlo samples per spec point")
 	specsFlag := flag.String("specs", "0.001,0.002,0.004,0.01", "INL/DNL spec points in LSB")
 	seed := flag.Int64("seed", 1, "random seed")
+	memoize := flag.Bool("memo", false, "memoize pipeline stages across the per-style runs (see docs/PERFORMANCE.md)")
 	flag.Parse()
 
 	specs, err := parseSpecs(*specsFlag)
@@ -49,7 +50,7 @@ func main() {
 	}
 	fmt.Println()
 	for _, s := range styles {
-		res, err := core.Run(core.Config{Bits: *bits, Style: s.style, SkipNL: true})
+		res, err := core.Run(core.Config{Bits: *bits, Style: s.style, SkipNL: true, Memo: *memoize})
 		if err != nil {
 			fatal(err)
 		}

@@ -25,6 +25,7 @@ import (
 	"ccdac/internal/dacmodel"
 	"ccdac/internal/extract"
 	"ccdac/internal/fault"
+	"ccdac/internal/memo"
 	"ccdac/internal/obs"
 	"ccdac/internal/par"
 	"ccdac/internal/place"
@@ -63,6 +64,14 @@ type Config struct {
 	// Results are identical at any worker count; only wall time
 	// changes.
 	Workers int
+	// Memo enables content-addressed memoization of stage
+	// intermediates (placement, routed layout, extraction, covariance)
+	// in process-global caches, so repeated or overlapping
+	// configurations reuse work across runs. Results are bitwise
+	// identical with or without it; the knob trades memory for wall
+	// time. Callers may equivalently enable it for a whole call tree
+	// via memo.WithEnabled on the context.
+	Memo bool
 }
 
 // StageError attributes a flow failure to the pipeline stage that
@@ -170,20 +179,9 @@ func Place(cfg Config) (*ccmatrix.Matrix, error) {
 	case place.Chessboard:
 		return place.NewChessboard(cfg.Bits)
 	case place.BlockChessboard:
-		p := cfg.BC
-		if p.BlockCells == 0 {
-			p = place.BCParams{CoreBits: 4, BlockCells: 2}
-			if p.CoreBits > cfg.Bits-1 {
-				p.CoreBits = 2
-			}
-		}
-		return place.NewBlockChessboard(cfg.Bits, p)
+		return place.NewBlockChessboard(cfg.Bits, effectiveBC(cfg))
 	case place.Annealed:
-		a := cfg.Anneal
-		if a.Seed == 0 && a.Moves == 0 {
-			a = place.DefaultAnnealConfig()
-		}
-		return place.NewAnnealed(cfg.Bits, a)
+		return place.NewAnnealed(cfg.Bits, effectiveAnneal(cfg))
 	}
 	return nil, fmt.Errorf("core: unknown placement style %v", cfg.Style)
 }
@@ -203,6 +201,12 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 	}
 	// Carry the run's worker budget to every downstream hot loop.
 	ctx = par.WithWorkers(ctx, cfg.Workers)
+	// Arm stage memoization for this call tree when asked; downstream
+	// analysis (covariance, Cholesky) keys off the same mark.
+	if cfg.Memo {
+		ctx = memo.WithEnabled(ctx)
+	}
+	useMemo := memo.Enabled(ctx)
 	// Backstop for panics in the orchestration glue itself; per-stage
 	// panics are attributed by runStage before reaching this.
 	defer func() {
@@ -220,9 +224,27 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 
 	start := time.Now()
 	var m *ccmatrix.Matrix
-	if err := runStage(ctx, fault.StagePlace, func(context.Context) error {
+	pKey := ""
+	if useMemo {
+		pKey = placeKey(cfg)
+	}
+	if err := runStage(ctx, fault.StagePlace, func(sctx context.Context) error {
+		if useMemo {
+			if v, ok := placeCache.Get(pKey); ok {
+				// Fault injection stays observable on a hit.
+				if ferr := fault.Check(fault.StagePlace); ferr != nil {
+					return ferr
+				}
+				obs.CurrentSpan(sctx).SetAttr("memo", "hit")
+				m = v.(*ccmatrix.Matrix)
+				return nil
+			}
+		}
 		var perr error
 		m, perr = Place(cfg)
+		if perr == nil && useMemo {
+			placeCache.Put(pKey, m, matrixBytes(m))
+		}
 		return perr
 	}); err != nil {
 		return nil, err
@@ -255,17 +277,47 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		var stepL *route.Layout
 		var stepSum *extract.Summary
 		iterAttr := strconv.Itoa(iter)
+		rKey := ""
+		if useMemo {
+			rKey = routeKey(pKey, par, t)
+		}
 		err := runStage(ctx, fault.StageRoute, func(sctx context.Context) error {
 			obs.CurrentSpan(sctx).SetAttr("iter", iterAttr)
+			if useMemo {
+				if v, ok := layoutCache.Get(rKey); ok {
+					if ferr := fault.Check(fault.StageRoute); ferr != nil {
+						return ferr
+					}
+					obs.CurrentSpan(sctx).SetAttr("memo", "hit")
+					stepL = layoutForTech(v.(*route.Layout), t)
+					return nil
+				}
+			}
 			var rerr error
 			stepL, rerr = route.RouteContext(sctx, m, t, par)
+			if rerr == nil && useMemo {
+				layoutCache.Put(rKey, stepL, layoutBytes(stepL))
+			}
 			return rerr
 		})
 		if err == nil {
 			err = runStage(ctx, fault.StageExtract, func(sctx context.Context) error {
 				obs.CurrentSpan(sctx).SetAttr("iter", iterAttr)
+				if useMemo {
+					if v, ok := extractCache.Get(extractKey(rKey, t)); ok {
+						if ferr := fault.Check(fault.StageExtract); ferr != nil {
+							return ferr
+						}
+						obs.CurrentSpan(sctx).SetAttr("memo", "hit")
+						stepSum = v.(*extract.Summary)
+						return nil
+					}
+				}
 				var xerr error
 				stepSum, xerr = extract.ExtractContext(sctx, stepL)
+				if xerr == nil && useMemo {
+					extractCache.Put(extractKey(rKey, t), stepSum, summaryBytes(stepSum))
+				}
 				return xerr
 			})
 		}
@@ -392,6 +444,13 @@ func RunBestBCContext(ctx context.Context, cfg Config) (*Result, []*Result, erro
 	var lastErr error
 	all := make([]*Result, 0, len(params))
 	for _, p := range params {
+		// With warm stage caches a candidate costs almost nothing, so
+		// this loop can spin through the grid faster than the per-stage
+		// checks inside RunContext fire; honor cancellation per
+		// candidate to keep canceled sweeps prompt either way.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, &StageError{Stage: fault.StagePlace, Err: cerr}
+		}
 		c := cfg
 		c.BC = p
 		cctx, span := obs.StartSpan(ctx, "bestbc.candidate")

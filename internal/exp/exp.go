@@ -63,6 +63,11 @@ type Harness struct {
 	// JobTimeout bounds each Prefetch job's wall time (0 = none);
 	// a timed-out job reports a per-job error, siblings continue.
 	JobTimeout time.Duration
+	// Memo arms the process-wide stage caches (core.Config.Memo) for
+	// every run the harness launches. Results are bitwise identical;
+	// callers that re-run overlapping configurations (calibration,
+	// knob sweeps) trade memory for large wall-time savings.
+	Memo bool
 
 	mu    sync.Mutex
 	cache map[string]*core.Result
@@ -107,20 +112,20 @@ func (h *Harness) RunContext(ctx context.Context, m Method, bits int) (*core.Res
 	var err error
 	switch m {
 	case MethodLin:
-		cfg := core.Config{Bits: bits, Style: place.Annealed, ThetaSteps: h.ThetaSteps, Tech: h.Tech}
+		cfg := core.Config{Bits: bits, Style: place.Annealed, ThetaSteps: h.ThetaSteps, Tech: h.Tech, Memo: h.Memo}
 		cfg.Anneal = place.DefaultAnnealConfig()
 		cfg.Anneal.Moves = h.AnnealMoves
 		r, err = core.RunContext(ctx, cfg)
 	case MethodBurcea:
-		r, err = core.RunContext(ctx, core.Config{Bits: bits, Style: place.Chessboard, ThetaSteps: h.ThetaSteps, Tech: h.Tech})
+		r, err = core.RunContext(ctx, core.Config{Bits: bits, Style: place.Chessboard, ThetaSteps: h.ThetaSteps, Tech: h.Tech, Memo: h.Memo})
 	case MethodSpiral:
 		r, err = core.RunContext(ctx, core.Config{
 			Bits: bits, Style: place.Spiral,
-			MaxParallel: h.parallel(), ThetaSteps: h.ThetaSteps, Tech: h.Tech,
+			MaxParallel: h.parallel(), ThetaSteps: h.ThetaSteps, Tech: h.Tech, Memo: h.Memo,
 		})
 	case MethodBC:
 		r, _, err = core.RunBestBCContext(ctx, core.Config{
-			Bits: bits, MaxParallel: h.parallel(), ThetaSteps: h.ThetaSteps, Tech: h.Tech,
+			Bits: bits, MaxParallel: h.parallel(), ThetaSteps: h.ThetaSteps, Tech: h.Tech, Memo: h.Memo,
 		})
 	default:
 		return nil, fmt.Errorf("exp: unknown method %q", m)

@@ -42,18 +42,28 @@ func (m *Dense) Clone() *Dense {
 	return c
 }
 
-// MulVec computes y = M·x.
+// MulVec computes y = M·x, allocating the result. Hot paths that
+// solve repeatedly should reuse a destination via MulVecTo.
 func (m *Dense) MulVec(x []float64) []float64 {
 	y := make([]float64, m.N)
+	m.MulVecTo(y, x)
+	return y
+}
+
+// MulVecTo computes dst = M·x in place; dst must have length N and may
+// not alias x.
+func (m *Dense) MulVecTo(dst, x []float64) {
+	if len(dst) != m.N {
+		panic(fmt.Sprintf("linalg: MulVecTo dst length %d, want %d", len(dst), m.N))
+	}
 	for i := 0; i < m.N; i++ {
 		row := m.Data[i*m.N : (i+1)*m.N]
 		s := 0.0
 		for j, v := range row {
 			s += v * x[j]
 		}
-		y[i] = s
+		dst[i] = s
 	}
-	return y
 }
 
 // LU holds an LU factorization with partial pivoting: P·A = L·U.
@@ -185,19 +195,21 @@ func SolveSPD(a *Dense, b []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One slice serves both substitutions: the back pass reads x[i]
+	// (the forward result y_i) before overwriting it, and only indices
+	// above i — already finalized — feed each step.
+	x := make([]float64, n)
 	// Forward substitution: L·y = b.
-	y := make([]float64, n)
 	for i := 0; i < n; i++ {
 		s := b[i]
 		for j := 0; j < i; j++ {
-			s -= l.At(i, j) * y[j]
+			s -= l.At(i, j) * x[j]
 		}
-		y[i] = s / l.At(i, i)
+		x[i] = s / l.At(i, i)
 	}
 	// Back substitution: Lᵀ·x = y.
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
-		s := y[i]
+		s := x[i]
 		for j := i + 1; j < n; j++ {
 			s -= l.At(j, i) * x[j]
 		}

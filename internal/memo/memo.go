@@ -1,0 +1,352 @@
+// Package memo provides content-addressed memoization of pipeline
+// intermediates: size-bounded LRU caches keyed by canonical hashes of
+// the exact inputs each stage consumes.
+//
+// The caches hold immutable values — a placement matrix, a routed
+// layout, a covariance matrix — that the pipeline treats as read-only
+// after construction, so a hit hands out the cached pointer directly.
+// Every key is derived through Key, which length- and type-prefixes
+// each field before hashing (FNV-1a 128), so two different field
+// sequences can never collide by concatenation.
+//
+// Memoization is opt-in per run: stages consult their caches only when
+// the context carries the enable mark (Enabled). Library calls default
+// to cold runs — identical results, no shared state — while servers,
+// sweeps and calibration drivers opt in because their workloads repeat
+// stage inputs heavily. Cached and cold runs produce bitwise-identical
+// results (the pipeline is deterministic), so the knob trades memory
+// for wall time only. See docs/PERFORMANCE.md.
+package memo
+
+import (
+	"container/list"
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ctxEnable marks a context (sub)tree as memo-enabled or -bypassed.
+type ctxEnable struct{}
+
+// WithEnabled returns a context under which pipeline stages consult
+// and populate their memo caches.
+func WithEnabled(ctx context.Context) context.Context {
+	return context.WithValue(ctx, ctxEnable{}, true)
+}
+
+// WithBypass returns a context under which stages skip their caches
+// even inside an enabled tree — full recomputation, no lookups, no
+// stores.
+func WithBypass(ctx context.Context) context.Context {
+	return context.WithValue(ctx, ctxEnable{}, false)
+}
+
+// Enabled reports whether stages under ctx should use their caches.
+func Enabled(ctx context.Context) bool {
+	v, _ := ctx.Value(ctxEnable{}).(bool)
+	return v
+}
+
+// Cache is a named, byte-bounded, concurrency-safe LRU cache with
+// optional TTL expiry and hit/miss/eviction accounting.
+type Cache struct {
+	name string
+	max  int64
+	ttl  time.Duration
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	index map[string]*list.Element
+	bytes int64
+
+	hits, misses, evictions atomic.Int64
+
+	// now is the clock; replaced by TTL tests.
+	now func() time.Time
+}
+
+type entry struct {
+	key  string
+	val  any
+	size int64
+	at   time.Time
+}
+
+// New returns an empty cache bounded to maxBytes of caller-estimated
+// entry sizes (maxBytes <= 0 disables storage entirely: every Get
+// misses and Put is a no-op). A non-zero ttl expires entries that old
+// at lookup time. The cache is not registered for metrics exposition;
+// call Register for process-global caches that /metrics should report.
+func New(name string, maxBytes int64, ttl time.Duration) *Cache {
+	return &Cache{
+		name:  name,
+		max:   maxBytes,
+		ttl:   ttl,
+		ll:    list.New(),
+		index: map[string]*list.Element{},
+		now:   time.Now,
+	}
+}
+
+// Name returns the cache's registered name.
+func (c *Cache) Name() string { return c.name }
+
+// Get returns the value stored under key and marks it most recently
+// used. An expired entry counts as both an eviction and a miss.
+func (c *Cache) Get(key string) (any, bool) {
+	if c == nil || c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.index[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if c.ttl > 0 && c.now().Sub(e.at) > c.ttl {
+		c.removeLocked(el)
+		c.mu.Unlock()
+		c.evictions.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	v := e.val
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put stores val under key, charging size bytes against the bound
+// (sizes < 1 are clamped to 1) and evicting least-recently-used
+// entries to fit. A value larger than the whole bound is not stored.
+func (c *Cache) Put(key string, val any, size int64) {
+	if c == nil || c.max <= 0 {
+		return
+	}
+	if size < 1 {
+		size = 1
+	}
+	if size > c.max {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.index[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += size - e.size
+		e.val, e.size, e.at = val, size, c.now()
+		c.ll.MoveToFront(el)
+	} else {
+		c.index[key] = c.ll.PushFront(&entry{key: key, val: val, size: size, at: c.now()})
+		c.bytes += size
+	}
+	for c.bytes > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions.Add(1)
+	}
+	c.mu.Unlock()
+}
+
+// Invalidate removes the entry stored under key, reporting whether one
+// existed. Explicit invalidation does not count as an eviction.
+func (c *Cache) Invalidate(key string) bool {
+	if c == nil || c.max <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		return false
+	}
+	c.removeLocked(el)
+	return true
+}
+
+// Purge empties the cache. Counters are preserved (they are lifetime
+// totals, not occupancy).
+func (c *Cache) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.ll.Init()
+	c.index = map[string]*list.Element{}
+	c.bytes = 0
+	c.mu.Unlock()
+}
+
+// removeLocked unlinks el; the caller holds c.mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.index, e.key)
+	c.bytes -= e.size
+}
+
+// Stats is a point-in-time view of one cache's accounting.
+type Stats struct {
+	Name                    string
+	Hits, Misses, Evictions int64
+	Bytes, Entries          int64
+	MaxBytes                int64
+}
+
+// Stats returns the cache's current accounting.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	bytes, entries := c.bytes, int64(c.ll.Len())
+	c.mu.Unlock()
+	return Stats{
+		Name:      c.name,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Bytes:     bytes,
+		Entries:   entries,
+		MaxBytes:  c.max,
+	}
+}
+
+// registry collects the process-global stage caches for metrics
+// exposition (serve's /metrics injects every registered cache's stats
+// at scrape time).
+var registry struct {
+	mu     sync.Mutex
+	caches []*Cache
+}
+
+// Register adds c to the process-global cache list reported by
+// Snapshot. Meant for package-level stage caches; per-instance caches
+// (e.g. one server's result cache) report their stats directly.
+func Register(c *Cache) *Cache {
+	registry.mu.Lock()
+	registry.caches = append(registry.caches, c)
+	registry.mu.Unlock()
+	return c
+}
+
+// Snapshot returns the stats of every registered cache, sorted by name.
+func Snapshot() []Stats {
+	registry.mu.Lock()
+	caches := append([]*Cache(nil), registry.caches...)
+	registry.mu.Unlock()
+	out := make([]Stats, len(caches))
+	for i, c := range caches {
+		out[i] = c.Stats()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// PurgeAll empties every registered cache — the explicit global
+// invalidation hook (tests, and operators who changed on-disk state a
+// cached stage implicitly depends on).
+func PurgeAll() {
+	registry.mu.Lock()
+	caches := append([]*Cache(nil), registry.caches...)
+	registry.mu.Unlock()
+	for _, c := range caches {
+		c.Purge()
+	}
+}
+
+// Key builds a canonical cache key by hashing a typed, length-prefixed
+// encoding of each field (FNV-1a 128). Two keys collide only if their
+// full field sequences are identical, so field order, omitted-default
+// normalization and float bit patterns are all part of the identity.
+type Key struct {
+	h   hash.Hash
+	buf [9]byte
+}
+
+// Field type tags keep adjacent fields from re-associating (e.g. the
+// string "ab" followed by "c" hashes differently from "a" then "bc").
+const (
+	tagStr   = 0x01
+	tagInt   = 0x02
+	tagFloat = 0x03
+	tagBool  = 0x04
+)
+
+// NewKey starts a key in the given domain; unrelated caches use
+// distinct domains (with a version suffix) so identical field
+// sequences can never cross cache kinds.
+func NewKey(domain string) *Key {
+	k := &Key{h: fnv.New128a()}
+	return k.Str(domain)
+}
+
+func (k *Key) tagged(tag byte, payload []byte) *Key {
+	k.buf[0] = tag
+	binary.LittleEndian.PutUint64(k.buf[1:], uint64(len(payload)))
+	k.h.Write(k.buf[:])
+	k.h.Write(payload)
+	return k
+}
+
+// Str appends a string field.
+func (k *Key) Str(s string) *Key { return k.tagged(tagStr, []byte(s)) }
+
+// I64 appends an integer field.
+func (k *Key) I64(v int64) *Key {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return k.tagged(tagInt, b[:])
+}
+
+// Int appends an int field.
+func (k *Key) Int(v int) *Key { return k.I64(int64(v)) }
+
+// Ints appends an int-slice field (length included).
+func (k *Key) Ints(vs []int) *Key {
+	k.I64(int64(len(vs)))
+	for _, v := range vs {
+		k.I64(int64(v))
+	}
+	return k
+}
+
+// F64 appends a float field by exact bit pattern.
+func (k *Key) F64(v float64) *Key {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return k.tagged(tagFloat, b[:])
+}
+
+// F64s appends a float-slice field (length included).
+func (k *Key) F64s(vs []float64) *Key {
+	k.I64(int64(len(vs)))
+	for _, v := range vs {
+		k.F64(v)
+	}
+	return k
+}
+
+// Bool appends a boolean field.
+func (k *Key) Bool(v bool) *Key {
+	b := []byte{0}
+	if v {
+		b[0] = 1
+	}
+	return k.tagged(tagBool, b)
+}
+
+// Sum finalizes the key as a hex digest. The Key must not be used
+// after Sum.
+func (k *Key) Sum() string {
+	return hex.EncodeToString(k.h.Sum(nil))
+}

@@ -1,0 +1,243 @@
+package memo
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGetPutLRUOrder(t *testing.T) {
+	c := New("t", 30, 0)
+	c.Put("a", 1, 10)
+	c.Put("b", 2, 10)
+	c.Put("c", 3, 10)
+	// Touch "a" so "b" is now least recently used.
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	c.Put("d", 4, 10) // exceeds 30 bytes: evicts "b"
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes != 30 || st.Entries != 3 {
+		t.Fatalf("bytes/entries = %d/%d, want 30/3", st.Bytes, st.Entries)
+	}
+}
+
+func TestPutReplaceAdjustsBytes(t *testing.T) {
+	c := New("t", 100, 0)
+	c.Put("a", 1, 10)
+	c.Put("a", 2, 30)
+	st := c.Stats()
+	if st.Bytes != 30 || st.Entries != 1 {
+		t.Fatalf("bytes/entries = %d/%d, want 30/1", st.Bytes, st.Entries)
+	}
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatalf("replace did not take: %v", v)
+	}
+}
+
+func TestOversizedValueNotStored(t *testing.T) {
+	c := New("t", 10, 0)
+	c.Put("big", 1, 11)
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("oversized value must not be stored")
+	}
+	if st := c.Stats(); st.Bytes != 0 {
+		t.Fatalf("bytes = %d, want 0", st.Bytes)
+	}
+}
+
+func TestDisabledCache(t *testing.T) {
+	c := New("t", 0, 0)
+	c.Put("a", 1, 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("maxBytes <= 0 must disable storage")
+	}
+	var nilCache *Cache
+	nilCache.Put("a", 1, 1) // must not panic
+	if _, ok := nilCache.Get("a"); ok {
+		t.Fatal("nil cache Get must miss")
+	}
+}
+
+func TestInvalidateAndPurge(t *testing.T) {
+	c := New("t", 100, 0)
+	c.Put("a", 1, 10)
+	c.Put("b", 2, 10)
+	if !c.Invalidate("a") {
+		t.Fatal("Invalidate(a) should report true")
+	}
+	if c.Invalidate("a") {
+		t.Fatal("second Invalidate(a) should report false")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should be gone")
+	}
+	c.Purge()
+	if st := c.Stats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Fatalf("purge left bytes/entries = %d/%d", st.Bytes, st.Entries)
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatalf("invalidate/purge must not count as evictions, got %d", st.Evictions)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := New("t", 100, time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.Put("a", 1, 10)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("fresh entry should hit")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("expired entry should miss")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 0 {
+		t.Fatalf("expiry accounting: evictions=%d entries=%d", st.Evictions, st.Entries)
+	}
+}
+
+// TestByteBoundUnderConcurrentLoad hammers one small cache from many
+// goroutines and checks the byte bound is never exceeded (observed at
+// quiescence and spot-checked during the run) and accounting stays
+// consistent. Run with -race.
+func TestByteBoundUnderConcurrentLoad(t *testing.T) {
+	const maxBytes = 1 << 10
+	c := New("t", maxBytes, 0)
+	stop := make(chan struct{})
+	samplerDone := make(chan struct{})
+	// Sampler: the bound must hold mid-flight, not just at quiescence.
+	go func() {
+		defer close(samplerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if st := c.Stats(); st.Bytes > maxBytes {
+				t.Errorf("bytes %d exceeds bound %d", st.Bytes, maxBytes)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("k%d", rng.Intn(64))
+				switch rng.Intn(4) {
+				case 0:
+					c.Put(k, i, int64(1+rng.Intn(200)))
+				case 1:
+					c.Invalidate(k)
+				default:
+					c.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-samplerDone
+	st := c.Stats()
+	if st.Bytes > maxBytes {
+		t.Fatalf("final bytes %d exceeds bound %d", st.Bytes, maxBytes)
+	}
+	if st.Entries < 0 || st.Bytes < 0 {
+		t.Fatalf("negative accounting: %+v", st)
+	}
+}
+
+func TestKeyInjectivity(t *testing.T) {
+	// Adjacent fields must not re-associate.
+	a := NewKey("d").Str("ab").Str("c").Sum()
+	b := NewKey("d").Str("a").Str("bc").Sum()
+	if a == b {
+		t.Fatal("string fields re-associated")
+	}
+	// Type tags separate equal byte patterns: this float's bit pattern
+	// is exactly the integer 1's encoding.
+	if NewKey("d").I64(1).Sum() == NewKey("d").F64(math.Float64frombits(1)).Sum() {
+		t.Fatal("int and float fields collided")
+	}
+	// Domains separate identical field sequences.
+	if NewKey("d1").Int(7).Sum() == NewKey("d2").Int(7).Sum() {
+		t.Fatal("domains collided")
+	}
+	// Slice lengths are part of the identity.
+	if NewKey("d").Ints([]int{1, 2}).Ints([]int{3}).Sum() == NewKey("d").Ints([]int{1}).Ints([]int{2, 3}).Sum() {
+		t.Fatal("int slices re-associated")
+	}
+	// Same sequence, same key.
+	if NewKey("d").Str("x").F64(2.5).Bool(true).Sum() != NewKey("d").Str("x").F64(2.5).Bool(true).Sum() {
+		t.Fatal("identical sequences should produce identical keys")
+	}
+}
+
+func TestContextEnable(t *testing.T) {
+	ctx := context.Background()
+	if Enabled(ctx) {
+		t.Fatal("memo must default off")
+	}
+	on := WithEnabled(ctx)
+	if !Enabled(on) {
+		t.Fatal("WithEnabled should enable")
+	}
+	if !Enabled(context.WithValue(on, "k", "v")) { //nolint:staticcheck // deliberate derived ctx
+		t.Fatal("enable must survive derived contexts")
+	}
+	off := WithBypass(on)
+	if Enabled(off) {
+		t.Fatal("WithBypass should win inside an enabled tree")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	c1 := Register(New("zz_test_b", 100, 0))
+	c2 := Register(New("zz_test_a", 100, 0))
+	c1.Put("x", 1, 10)
+	c2.Put("y", 2, 20)
+	c2.Get("y")
+	snap := Snapshot()
+	var sawA, sawB bool
+	lastName := ""
+	for _, st := range snap {
+		if st.Name < lastName {
+			t.Fatalf("snapshot not sorted: %q after %q", st.Name, lastName)
+		}
+		lastName = st.Name
+		switch st.Name {
+		case "zz_test_a":
+			sawA = true
+			if st.Hits != 1 || st.Bytes != 20 {
+				t.Fatalf("zz_test_a stats: %+v", st)
+			}
+		case "zz_test_b":
+			sawB = true
+		}
+	}
+	if !sawA || !sawB {
+		t.Fatal("registered caches missing from snapshot")
+	}
+}

@@ -92,6 +92,11 @@ func seriesKey(name string, labels Labels) string {
 	return b.String()
 }
 
+// SeriesKey renders a metric name plus label set exactly as snapshot
+// maps and the Prometheus exposition key it — for callers that inject
+// externally-maintained series into a MetricsSnapshot before writing.
+func SeriesKey(name string, labels Labels) string { return seriesKey(name, labels) }
+
 // baseName strips the label set off a series key.
 func baseName(key string) string {
 	if i := strings.IndexByte(key, '{'); i >= 0 {

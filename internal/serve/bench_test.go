@@ -26,7 +26,10 @@ func TestBenchServe(t *testing.T) {
 	requests := envInt("BENCH_SERVE_REQUESTS", 160)
 	bits := envInt("BENCH_SERVE_BITS", 6)
 
-	srv := New(Options{Addr: "127.0.0.1:0", MaxInFlight: clients, Logger: quietLogger()})
+	// The load benchmark measures generation throughput, so the result
+	// cache is disabled — every request must pay the full pipeline.
+	// Cache-path performance has its own harness in bench_cache_test.go.
+	srv := New(Options{Addr: "127.0.0.1:0", MaxInFlight: clients, CacheMaxBytes: -1, Logger: quietLogger()})
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	served := make(chan error, 1)

@@ -1,0 +1,245 @@
+// Serve-side result caching (docs/PERFORMANCE.md, "Serve-side result
+// cache"): a byte-bounded LRU of finished generate results keyed by the
+// canonicalized request, fronted by a singleflight layer that collapses
+// concurrent identical requests into one generation.
+//
+// Cancellation semantics: the generation runs detached from any single
+// request's context, bounded only by the server's RequestTimeout. A
+// client that gives up merely unsubscribes; the flight is aborted only
+// when its last subscriber leaves, so a canceled leader hands the work
+// off to the followers instead of poisoning them with its cancellation.
+package serve
+
+import (
+	"context"
+
+	"ccdac"
+	"ccdac/internal/memo"
+	"ccdac/internal/obs"
+)
+
+// cachedResult is the cacheable portion of a generate response: the
+// deterministic outputs, none of the per-request envelope.
+type cachedResult struct {
+	Metrics  ccdac.Metrics
+	Warnings []string
+}
+
+// bytes estimates the entry's cache charge.
+func (c *cachedResult) bytes() int64 {
+	n := int64(320) + int64(len(c.Metrics.ParallelWires))*8
+	for _, w := range c.Warnings {
+		n += int64(len(w)) + 16
+	}
+	return n
+}
+
+// genOutcome is what one generate execution path hands the HTTP layer.
+type genOutcome struct {
+	metrics  ccdac.Metrics
+	warnings []string
+	// counters is the run's private counter snapshot, nil when no
+	// generation ran on behalf of this request (cache hit, shared
+	// flight) — responses must not report counters that were merged
+	// into the global registry by some other request's run.
+	counters map[string]int64
+	status   string // "" | "cold" | "hit" | "shared" | "bypass"
+}
+
+// flight is one in-progress generation shared by every concurrent
+// request for the same canonical key.
+type flight struct {
+	done   chan struct{} // closed after out/err are set and the flight left the map
+	cancel context.CancelFunc
+	subs   int // subscriber count, guarded by Server.flightMu
+	out    *genOutcome
+	err    error
+}
+
+// cacheKey canonicalizes a generate request into a content-addressed
+// key: defaults are made explicit, fields the selected style ignores
+// are zeroed, and fields that cannot change the result (worker budget,
+// cache directive) are excluded — so bodies that differ only in JSON
+// field order, omitted defaults, or irrelevant knobs share one entry.
+func cacheKey(req GenerateRequest) string {
+	n := req
+	n.Workers = 0 // results are identical at any worker count
+	n.Cache = ""
+	if n.Style == "" {
+		n.Style = string(ccdac.Spiral)
+	}
+	if n.TechNode == "" {
+		n.TechNode = "finfet12"
+	}
+	if n.SkipNonlinearity {
+		n.ThetaSteps = 0 // theta sweep never runs
+	} else if n.ThetaSteps == 0 {
+		n.ThetaSteps = 8 // pipeline default
+	}
+	if n.MaxParallel <= 1 {
+		n.MaxParallel = 0 // both mean "parallel routing off"
+	}
+	if n.BestBC {
+		// GenerateBestBC forces the style and sweeps the structure grid
+		// itself; the request's style and BC fields are ignored.
+		n.Style = string(ccdac.BlockChessboard)
+		n.CoreBits, n.BlockCells = 0, 0
+	}
+	if n.Style != string(ccdac.BlockChessboard) {
+		n.CoreBits, n.BlockCells = 0, 0
+	}
+	if n.Style != string(ccdac.Annealed) {
+		n.AnnealSeed, n.AnnealMoves = 0, 0
+	}
+	return memo.NewKey("serve/generate/v1").
+		Int(n.Bits).Str(n.Style).Int(n.CoreBits).Int(n.BlockCells).
+		Int(n.MaxParallel).I64(n.AnnealSeed).Int(n.AnnealMoves).
+		Int(n.ThetaSteps).Bool(n.SkipNonlinearity).Str(n.TechNode).
+		Bool(n.BestBC).Sum()
+}
+
+// generate routes one request through the cache and singleflight
+// layers. ri (may be nil) receives the root span ID of whatever run
+// this request observes, for access-log correlation.
+func (s *Server) generate(ctx context.Context, req GenerateRequest, cfg ccdac.Config, ri *reqInfo) (*genOutcome, error) {
+	if s.cache == nil {
+		// Caching disabled server-wide: the pre-cache behavior, verbatim.
+		return s.run(ctx, req, cfg, "", ri)
+	}
+	if req.Cache == "bypass" {
+		// An explicit bypass recomputes for real: no result cache, no
+		// flight sharing, no stage memoization.
+		return s.run(ctx, req, cfg, "bypass", ri)
+	}
+	key := cacheKey(req)
+	if v, ok := s.cache.Get(key); ok {
+		cr := v.(*cachedResult)
+		return &genOutcome{metrics: cr.Metrics, warnings: cr.Warnings, status: "hit"}, nil
+	}
+
+	s.flightMu.Lock()
+	if f, ok := s.flights[key]; ok {
+		f.subs++
+		s.flightMu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, f.err
+			}
+			s.reg.Counter("ccdac_serve_singleflight_shared_total", nil).Inc()
+			return &genOutcome{metrics: f.out.metrics, warnings: f.out.warnings, status: "shared"}, nil
+		case <-ctx.Done():
+			s.leave(key, f)
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{}), subs: 1}
+	// The flight is deliberately detached from the leader's context: it
+	// must survive the leader canceling while followers still wait. The
+	// server's per-request timeout bounds it instead.
+	fctx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
+	f.cancel = cancel
+	s.flights[key] = f
+	s.flightMu.Unlock()
+
+	go s.runFlight(fctx, key, f, req, cfg, ri)
+
+	select {
+	case <-f.done:
+		return f.out, f.err
+	case <-ctx.Done():
+		s.leave(key, f)
+		return nil, ctx.Err()
+	}
+}
+
+// leave unsubscribes one waiter from a flight; the last one out aborts
+// the generation and frees the key for future requests.
+func (s *Server) leave(key string, f *flight) {
+	s.flightMu.Lock()
+	f.subs--
+	if f.subs == 0 {
+		if s.flights[key] == f {
+			delete(s.flights, key)
+		}
+		f.cancel()
+	}
+	s.flightMu.Unlock()
+}
+
+// runFlight executes the shared generation. Completion order matters:
+// the result is cached before the flight leaves the map (a request
+// arriving in between finds the cache entry), and the flight leaves
+// the map before done is closed (a waiter that saw done closed never
+// races a half-finished map entry).
+func (s *Server) runFlight(ctx context.Context, key string, f *flight, req GenerateRequest, cfg ccdac.Config, ri *reqInfo) {
+	defer f.cancel()
+	// Cold flights arm the stage caches: overlapping configurations
+	// (same placement under different theta counts, same layout under a
+	// different tech node) reuse intermediates across flights.
+	cfg.Memo = true
+	out, err := s.run(ctx, req, cfg, "cold", ri)
+	if err == nil {
+		cr := &cachedResult{Metrics: out.metrics, Warnings: out.warnings}
+		s.cache.Put(key, cr, cr.bytes())
+	}
+	f.out, f.err = out, err
+	s.flightMu.Lock()
+	if s.flights[key] == f {
+		delete(s.flights, key)
+	}
+	s.flightMu.Unlock()
+	close(f.done)
+}
+
+// run executes one generation under its own request-private trace and
+// folds the trace's metrics into the process registry — on success, on
+// pipeline failure, and on cancellation alike, so partial effort is
+// never invisible to /metrics.
+func (s *Server) run(ctx context.Context, req GenerateRequest, cfg ccdac.Config, status string, ri *reqInfo) (*genOutcome, error) {
+	tr := obs.New(obs.Options{PprofLabels: true})
+	ctx = obs.WithTrace(ctx, tr)
+	ctx, root := obs.StartSpan(ctx, "serve.generate")
+	if ri != nil {
+		root.SetAttr("request_id", ri.id)
+		ri.spanID.Store(root.ID())
+	}
+	if status != "" {
+		root.SetAttr("cache", status)
+	}
+
+	var res *ccdac.Result
+	var err error
+	if req.BestBC {
+		res, _, err = ccdac.GenerateBestBCContext(ctx, cfg)
+	} else {
+		res, err = ccdac.GenerateContext(ctx, cfg)
+	}
+
+	root.Fail(err)
+	root.End()
+	tr.Finish()
+	snap := tr.Registry().Snapshot()
+	s.reg.Merge(snap)
+	if s.onTrace != nil {
+		s.onTrace(tr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &genOutcome{
+		metrics:  res.Metrics,
+		warnings: res.Warnings,
+		counters: snap.Counters,
+		status:   status,
+	}, nil
+}
+
+// cacheStats surfaces the result cache and singleflight state for
+// /metrics injection and tests.
+func (s *Server) cacheStats() (memo.Stats, bool) {
+	if s.cache == nil {
+		return memo.Stats{}, false
+	}
+	return s.cache.Stats(), true
+}

@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"ccdac"
-	"ccdac/internal/obs"
 )
 
 // GenerateRequest is the JSON body of POST /v1/generate, mirroring
@@ -34,6 +33,12 @@ type GenerateRequest struct {
 	// BestBC sweeps the block-chessboard structure grid and returns the
 	// best candidate (GenerateBestBC) instead of one fixed structure.
 	BestBC bool `json:"best_bc,omitempty"`
+	// Cache selects the result-cache policy for this request: "" or
+	// "default" uses the server cache and singleflight; "bypass" forces
+	// a full recomputation (no cache read, no flight sharing, no stage
+	// memoization) — the knob for "I changed the binary, show me fresh
+	// numbers". Anything else is a 400.
+	Cache string `json:"cache,omitempty"`
 }
 
 func (g GenerateRequest) config() ccdac.Config {
@@ -57,23 +62,40 @@ func (g GenerateRequest) config() ccdac.Config {
 // registry (so clients — and the zero-dropped-merges test — can
 // reconcile per-request numbers against /metrics totals).
 type GenerateResponse struct {
-	RequestID      string           `json:"request_id"`
-	ElapsedSeconds float64          `json:"elapsed_seconds"`
-	Metrics        ccdac.Metrics    `json:"metrics"`
-	Warnings       []string         `json:"warnings,omitempty"`
-	Counters       map[string]int64 `json:"counters,omitempty"`
+	RequestID      string  `json:"request_id"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// CacheStatus reports how the result was produced: "cold" (this
+	// request ran the generation), "hit" (served from the result
+	// cache), "shared" (joined another request's in-flight generation),
+	// "bypass" (cache:"bypass" forced a recomputation), or "" (server
+	// cache disabled).
+	CacheStatus string           `json:"cache_status,omitempty"`
+	Metrics     ccdac.Metrics    `json:"metrics"`
+	Warnings    []string         `json:"warnings,omitempty"`
+	Counters    map[string]int64 `json:"counters,omitempty"`
 }
 
-// handleGenerate runs one generation under a request-private trace and
-// folds its metrics into the process registry — on success, on
-// pipeline failure, and on cancellation alike, so partial effort is
-// never invisible to /metrics.
+// validCacheDirective reports whether a request's cache field is one of
+// the accepted values.
+func validCacheDirective(c string) bool {
+	return c == "" || c == "default" || c == "bypass"
+}
+
+// handleGenerate decodes one request and routes it through the cache
+// and singleflight layers (see cache.go); the generation itself runs
+// under a request-private trace whose metrics fold into the process
+// registry.
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	var req GenerateRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("serve: decoding request body: %w", err))
+		return
+	}
+	if !validCacheDirective(req.Cache) {
+		s.writeError(w, r, http.StatusBadRequest,
+			fmt.Errorf("serve: unknown cache directive %q (want \"default\" or \"bypass\")", req.Cache))
 		return
 	}
 	cfg := req.config()
@@ -84,46 +106,19 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		cfg.Workers = req.Workers
 	}
 
-	tr := obs.New(obs.Options{PprofLabels: true})
-	ctx := obs.WithTrace(r.Context(), tr)
-	ctx, root := obs.StartSpan(ctx, "serve.generate")
-	root.SetAttr("request_id", RequestID(r.Context()))
-	if ri := requestInfo(r.Context()); ri != nil {
-		ri.spanID.Store(root.ID())
-	}
-
 	start := time.Now()
-	var res *ccdac.Result
-	var err error
-	if req.BestBC {
-		res, _, err = ccdac.GenerateBestBCContext(ctx, cfg)
-	} else {
-		res, err = ccdac.GenerateContext(ctx, cfg)
-	}
-	elapsed := time.Since(start)
-
-	// Close out the trace and merge before responding: a canceled or
-	// failed run still contributes its partial counters (runs started,
-	// stages completed, fallbacks taken) to the global registry.
-	root.Fail(err)
-	root.End()
-	tr.Finish()
-	snap := tr.Registry().Snapshot()
-	s.reg.Merge(snap)
-	if s.onTrace != nil {
-		s.onTrace(tr)
-	}
-
+	out, err := s.generate(r.Context(), req, cfg, requestInfo(r.Context()))
 	if err != nil {
 		s.writeError(w, r, statusOf(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, GenerateResponse{
 		RequestID:      RequestID(r.Context()),
-		ElapsedSeconds: elapsed.Seconds(),
-		Metrics:        res.Metrics,
-		Warnings:       res.Warnings,
-		Counters:       snap.Counters,
+		ElapsedSeconds: time.Since(start).Seconds(),
+		CacheStatus:    out.status,
+		Metrics:        out.metrics,
+		Warnings:       out.warnings,
+		Counters:       out.counters,
 	})
 }
 

@@ -5,19 +5,38 @@ import (
 	"runtime"
 	"time"
 
+	"ccdac/internal/memo"
 	"ccdac/internal/obs"
 )
 
 // handleMetrics exposes the global registry in the Prometheus text
 // format. Point-in-time process gauges (uptime, in-flight requests,
 // goroutines) are set at scrape time from their authoritative sources
-// rather than maintained on the request path.
+// rather than maintained on the request path; cache statistics are
+// likewise injected at scrape time from the caches' own counters
+// (absolute values, stateless — never merged, so never double-counted).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge("ccdac_serve_uptime_seconds", nil).Set(time.Since(s.start).Seconds())
 	s.reg.Gauge("ccdac_serve_inflight", nil).Set(float64(s.inflight.Load()))
 	s.reg.Gauge("ccdac_serve_goroutines", nil).Set(float64(runtime.NumGoroutine()))
+	snap := s.reg.Snapshot()
+	for _, st := range memo.Snapshot() {
+		labels := obs.Labels{"cache": st.Name}
+		snap.Counters[obs.SeriesKey("ccdac_memo_hits_total", labels)] = st.Hits
+		snap.Counters[obs.SeriesKey("ccdac_memo_misses_total", labels)] = st.Misses
+		snap.Counters[obs.SeriesKey("ccdac_memo_evictions_total", labels)] = st.Evictions
+		snap.Gauges[obs.SeriesKey("ccdac_memo_bytes", labels)] = float64(st.Bytes)
+		snap.Gauges[obs.SeriesKey("ccdac_memo_entries", labels)] = float64(st.Entries)
+	}
+	if st, ok := s.cacheStats(); ok {
+		snap.Counters["ccdac_serve_cache_hits_total"] = st.Hits
+		snap.Counters["ccdac_serve_cache_misses_total"] = st.Misses
+		snap.Counters["ccdac_serve_cache_evictions_total"] = st.Evictions
+		snap.Gauges["ccdac_serve_cache_bytes"] = float64(st.Bytes)
+		snap.Gauges["ccdac_serve_cache_entries"] = float64(st.Entries)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := obs.WritePrometheus(w, s.reg.Snapshot()); err != nil {
+	if err := obs.WritePrometheus(w, snap); err != nil {
 		// Headers are out; nothing to do but log — the scraper will see
 		// the truncated body fail to parse and retry.
 		s.log.Error("metrics write failed", "err", err)

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ccdac/internal/memo"
 	"ccdac/internal/obs"
 )
 
@@ -67,6 +68,19 @@ type Options struct {
 	// Logger receives the structured request log (default: JSON to
 	// stderr).
 	Logger *slog.Logger
+	// CacheMaxBytes bounds the server's result cache: identical
+	// canonicalized generate requests are answered from memory, and
+	// concurrent identical requests collapse into one generation
+	// (singleflight). 0 selects the 64 MiB default; negative disables
+	// both the cache and singleflight (every request recomputes, as for
+	// cache:"bypass"). See docs/PERFORMANCE.md.
+	CacheMaxBytes int64
+	// CacheTTL expires result-cache entries after this duration (0 =
+	// entries live until evicted by the byte bound).
+	CacheTTL time.Duration
+	// MaxBatch caps the number of sub-requests one POST /v1/batch may
+	// carry (default 64); larger batches are rejected with 400.
+	MaxBatch int
 }
 
 // Server is one daemon instance: the route mux, the process-level
@@ -82,6 +96,13 @@ type Server struct {
 	served   atomic.Int64
 	ready    atomic.Bool
 	start    time.Time
+
+	// cache answers repeat generate requests from memory (nil when
+	// Options.CacheMaxBytes < 0); flights collapses concurrent identical
+	// requests into one generation (see cache.go).
+	cache    *memo.Cache
+	flightMu sync.Mutex
+	flights  map[string]*flight
 
 	mu   sync.Mutex
 	addr string
@@ -116,17 +137,30 @@ func New(opts Options) *Server {
 	if opts.Logger == nil {
 		opts.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
+	if opts.CacheMaxBytes == 0 {
+		opts.CacheMaxBytes = 64 << 20
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 64
+	}
 	s := &Server{
-		opts:  opts,
-		log:   opts.Logger,
-		reg:   obs.NewRegistry(),
-		mux:   http.NewServeMux(),
-		sem:   make(chan struct{}, opts.MaxInFlight),
-		start: time.Now(),
+		opts:    opts,
+		log:     opts.Logger,
+		reg:     obs.NewRegistry(),
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, opts.MaxInFlight),
+		start:   time.Now(),
+		flights: map[string]*flight{},
+	}
+	if opts.CacheMaxBytes > 0 {
+		// Per-server, not globally registered: stats are injected into
+		// this server's /metrics by handleMetrics.
+		s.cache = memo.New("serve_results", opts.CacheMaxBytes, opts.CacheTTL)
 	}
 	s.ready.Store(true)
 
 	s.mux.Handle("POST /v1/generate", s.wrap("generate", true, http.HandlerFunc(s.handleGenerate)))
+	s.mux.Handle("POST /v1/batch", s.wrap("batch", true, http.HandlerFunc(s.handleBatch)))
 	s.mux.Handle("GET /metrics", s.wrap("metrics", false, http.HandlerFunc(s.handleMetrics)))
 	s.mux.Handle("GET /healthz", s.wrap("healthz", false, http.HandlerFunc(s.handleHealthz)))
 	s.mux.Handle("GET /readyz", s.wrap("readyz", false, http.HandlerFunc(s.handleReadyz)))

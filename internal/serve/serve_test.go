@@ -45,7 +45,10 @@ func postGenerate(t *testing.T, url, body string) (*http.Response, []byte) {
 // per-request snapshots each response reports.
 func TestConcurrentGenerateMergesAllMetrics(t *testing.T) {
 	const requests = 50
-	srv := New(Options{MaxInFlight: requests, Logger: quietLogger()})
+	// CacheMaxBytes < 0: this test reconciles per-request counter
+	// snapshots against global totals, so every request must really run
+	// — no result cache, no singleflight collapsing.
+	srv := New(Options{MaxInFlight: requests, CacheMaxBytes: -1, Logger: quietLogger()})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

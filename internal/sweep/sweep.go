@@ -111,6 +111,12 @@ func SensitivityContext(ctx context.Context, cfg core.Config, knob Knob, factors
 	}
 	out := make([]Point, 0, len(factors))
 	for _, f := range factors {
+		// With warm stage caches a point costs microseconds, so the
+		// per-stage checks inside RunContext may never observe a late
+		// cancellation; check once per point explicitly.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t, err := ScaledTech(base, knob, f)
 		if err != nil {
 			return nil, err
@@ -289,6 +295,11 @@ func StudyViaR(bits int, factors []float64) (*ViaRStudy, error) {
 func StudyViaRContext(ctx context.Context, bits int, factors []float64) (*ViaRStudy, error) {
 	s := &ViaRStudy{Factors: append([]float64(nil), factors...)}
 	for _, f := range factors {
+		// Same rationale as SensitivityContext: memoized points are too
+		// fast for in-run cancellation checks to be reliable.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t, err := ScaledTech(tech.FinFET12(), KnobViaR, f)
 		if err != nil {
 			return nil, err

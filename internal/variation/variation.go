@@ -25,10 +25,65 @@ import (
 	"ccdac/internal/ccmatrix"
 	"ccdac/internal/geom"
 	"ccdac/internal/linalg"
+	"ccdac/internal/memo"
 	"ccdac/internal/obs"
 	"ccdac/internal/par"
 	"ccdac/internal/tech"
 )
+
+// Memoization (opt-in via memo.WithEnabled / core.Config.Memo): the
+// covariance matrices depend only on unit-cell geometry and the
+// (sigma_u, rho_u, L_c) mismatch parameters — not on resistances,
+// gradients or angles — so theta sweeps, Monte-Carlo/yield runs and
+// electrical-knob sweeps over one geometry share a single build. The
+// capacitor-level matrix is tiny ((N+1)²) but costs ~n² pair
+// evaluations to build; the unit-level Cholesky factor is O(n³) to
+// compute and n² floats to keep, hence the larger bound.
+var (
+	covCache  = memo.Register(memo.New("variation_cov", 8<<20, 0))
+	cholCache = memo.Register(memo.New("variation_chol", 256<<20, 0))
+)
+
+// mismatchKey appends the mismatch parameters a covariance consumes.
+func mismatchKey(k *memo.Key, t *tech.Technology) *memo.Key {
+	return k.F64(t.SigmaU()).F64(t.Mis.RhoU).F64(t.Mis.LcUm)
+}
+
+// covKeyOf identifies a capacitor-level covariance: every unit-cell
+// position grouped by capacitor, plus the mismatch parameters.
+func covKeyOf(g *cellGeom, t *tech.Technology) string {
+	k := memo.NewKey("variation/cov/v1").Int(len(g.cells))
+	for _, cells := range g.cells {
+		k.Int(len(cells))
+		for _, p := range cells {
+			k.F64(p.X).F64(p.Y)
+		}
+	}
+	return mismatchKey(k, t).Sum()
+}
+
+// covarianceMemo is covariance behind the memo cache: a hit returns
+// the shared (immutable) matrix; a miss builds, records the rho-memo
+// counters, and populates the cache when the context opts in.
+func covarianceMemo(ctx context.Context, g *cellGeom, t *tech.Technology) (*linalg.Dense, error) {
+	key := ""
+	if memo.Enabled(ctx) {
+		key = covKeyOf(g, t)
+		if v, ok := covCache.Get(key); ok {
+			return v.(*linalg.Dense), nil
+		}
+	}
+	cov, calls, fetches, err := covariance(ctx, g, t)
+	if err != nil {
+		return nil, err
+	}
+	obs.Count(ctx, "ccdac_variation_rho_calls_total", calls)
+	obs.Count(ctx, "ccdac_variation_rho_memo_hits_total", calls-fetches)
+	if key != "" {
+		covCache.Put(key, cov, int64(len(cov.Data))*8+64)
+	}
+	return cov, nil
+}
 
 // Positioner maps a placement cell to its physical center in microns;
 // the routed layout provides this (channel widths shift columns).
@@ -240,13 +295,11 @@ func AnalyzeContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, t *
 		CStar:    gradientCStar(g, t, thetaRad),
 		Counts:   g.counts,
 	}
-	cov, calls, fetches, err := covariance(ctx, g, t)
+	cov, err := covarianceMemo(ctx, g, t)
 	if err != nil {
 		return nil, err
 	}
 	a.Cov = cov
-	obs.Count(ctx, "ccdac_variation_rho_calls_total", calls)
-	obs.Count(ctx, "ccdac_variation_rho_memo_hits_total", calls-fetches)
 	return a, nil
 }
 
@@ -276,12 +329,10 @@ func SweepThetaContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, 
 		return nil, fmt.Errorf("variation: %w", err)
 	}
 	g := gatherCells(m, pos)
-	cov, calls, fetches, err := covariance(ctx, g, t)
+	cov, err := covarianceMemo(ctx, g, t)
 	if err != nil {
 		return nil, err
 	}
-	obs.Count(ctx, "ccdac_variation_rho_calls_total", calls)
-	obs.Count(ctx, "ccdac_variation_rho_memo_hits_total", calls-fetches)
 	out := make([]*Analysis, nSteps)
 	err = par.ForN(par.Workers(ctx), nSteps, func(i int) error {
 		if err := ctx.Err(); err != nil {
@@ -336,31 +387,53 @@ func MonteCarloContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, 
 		}
 	}
 	n := len(units)
-	cov := linalg.NewDense(n)
 	sigmaU2 := t.SigmaU() * t.SigmaU()
-	rt := t.RhoTable()
 	workers := par.Workers(ctx)
-	if err := par.ForN(workers, n, func(i int) error {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("variation: unit covariance row %d: %w", i, err)
+	// The unit-level Cholesky factor depends only on unit positions and
+	// the mismatch parameters — not on samples, seed, angle or gradient
+	// — so memo-enabled yield/spec sweeps over one geometry factor the
+	// O(n³) decomposition exactly once.
+	cholKey := ""
+	var chol *linalg.Dense
+	if memo.Enabled(ctx) {
+		k := memo.NewKey("variation/chol/v1").Int(n)
+		for _, u := range units {
+			k.F64(u.p.X).F64(u.p.Y)
 		}
-		local := rt.Local()
-		for j := i; j < n; j++ {
-			dx, dy := units[i].p.X-units[j].p.X, units[i].p.Y-units[j].p.Y
-			c := sigmaU2 * local.RhoSq(dx*dx+dy*dy)
-			cov.Set(i, j, c)
-			cov.Set(j, i, c)
+		cholKey = mismatchKey(k, t).Sum()
+		if v, ok := cholCache.Get(cholKey); ok {
+			chol = v.(*linalg.Dense)
 		}
-		// Tiny jitter keeps the near-singular high-correlation matrix
-		// numerically positive definite.
-		cov.Add(i, i, sigmaU2*1e-9)
-		return nil
-	}); err != nil {
-		return nil, err
 	}
-	chol, err := linalg.Cholesky(cov)
-	if err != nil {
-		return nil, fmt.Errorf("variation: unit covariance: %w", err)
+	if chol == nil {
+		cov := linalg.NewDense(n)
+		rt := t.RhoTable()
+		if err := par.ForN(workers, n, func(i int) error {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("variation: unit covariance row %d: %w", i, err)
+			}
+			local := rt.Local()
+			for j := i; j < n; j++ {
+				dx, dy := units[i].p.X-units[j].p.X, units[i].p.Y-units[j].p.Y
+				c := sigmaU2 * local.RhoSq(dx*dx+dy*dy)
+				cov.Set(i, j, c)
+				cov.Set(j, i, c)
+			}
+			// Tiny jitter keeps the near-singular high-correlation matrix
+			// numerically positive definite.
+			cov.Add(i, i, sigmaU2*1e-9)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		var err error
+		chol, err = linalg.Cholesky(cov)
+		if err != nil {
+			return nil, fmt.Errorf("variation: unit covariance: %w", err)
+		}
+		if cholKey != "" {
+			cholCache.Put(cholKey, chol, int64(len(chol.Data))*8+64)
+		}
 	}
 	out := make([][]float64, samples)
 	if err := par.ForN(workers, samples, func(s int) error {

@@ -1,0 +1,80 @@
+package ccdac
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ccdac/internal/memo"
+)
+
+// resultPayload is the deterministic portion of a Result: everything
+// except the wall-clock timing fields, which legitimately differ
+// between a computed and a cached run.
+func resultPayload(t *testing.T, r *Result) string {
+	t.Helper()
+	m := r.Metrics
+	m.PlaceSeconds, m.RouteSeconds = 0, 0
+	data, err := json.Marshal(struct {
+		Metrics  Metrics
+		Warnings []string
+	}{m, r.Warnings})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestMemoBitwiseEquivalence is the caching correctness bar: for fixed
+// seeds, a memoized run must produce byte-identical results to an
+// unmemoized one — both when it populates the stage caches and when it
+// is served entirely from them, and even when unrelated configurations
+// share intermediates in between.
+func TestMemoBitwiseEquivalence(t *testing.T) {
+	configs := []Config{
+		{Bits: 6, MaxParallel: 2},
+		{Bits: 7, Style: Chessboard},
+		{Bits: 6, Style: Annealed, AnnealSeed: 42, AnnealMoves: 2000},
+		{Bits: 5, Style: BlockChessboard, CoreBits: 2, BlockCells: 2, SkipNonlinearity: true},
+	}
+	memo.PurgeAll()
+	for _, cfg := range configs {
+		cold, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%+v: cold run: %v", cfg, err)
+		}
+		want := resultPayload(t, cold)
+
+		warmCfg := cfg
+		warmCfg.Memo = true
+		first, err := Generate(warmCfg) // populates the stage caches
+		if err != nil {
+			t.Fatalf("%+v: first memo run: %v", cfg, err)
+		}
+		if got := resultPayload(t, first); got != want {
+			t.Errorf("%+v: cache-populating run differs from cold run:\ncold: %s\nmemo: %s", cfg, want, got)
+		}
+
+		// An overlapping configuration reuses the cached placement,
+		// layout and extraction; if any stage mutated a shared cached
+		// value, the replayed run below would see the corruption.
+		overlap := warmCfg
+		if overlap.SkipNonlinearity {
+			overlap.SkipNonlinearity = false
+			overlap.ThetaSteps = 4
+		} else {
+			overlap.ThetaSteps = 16
+		}
+		if _, err := Generate(overlap); err != nil {
+			t.Fatalf("%+v: overlapping memo run: %v", cfg, err)
+		}
+
+		second, err := Generate(warmCfg) // now served from the caches
+		if err != nil {
+			t.Fatalf("%+v: second memo run: %v", cfg, err)
+		}
+		if got := resultPayload(t, second); got != want {
+			t.Errorf("%+v: fully-cached run differs from cold run:\ncold: %s\nmemo: %s", cfg, want, got)
+		}
+	}
+	memo.PurgeAll()
+}
