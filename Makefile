@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz bench bench-analyze bench-smoke serve-bench bench-cache
+.PHONY: check fmt vet build test race fuzz bench bench-analyze bench-smoke serve-bench bench-cache bench-store store-smoke
 
 check: fmt vet build race
 
@@ -65,3 +65,16 @@ serve-bench:
 bench-cache:
 	BENCH_CACHE_OUT=$(CURDIR)/BENCH_cache.json $(GO) test \
 		-run '^TestBenchCache$$' -count=1 -v ./internal/serve
+
+# Durable-store benchmark: fsync-backed write throughput, verified-read
+# throughput, and the warm-restart hit rate, written to BENCH_store.json.
+# Asserts a perfect warm-restart hit rate; doubles as CI's store smoke
+# alongside scripts/store_smoke.sh (see docs/ROBUSTNESS.md).
+bench-store:
+	BENCH_STORE_OUT=$(CURDIR)/BENCH_store.json $(GO) test \
+		-run '^TestBenchStore$$' -count=1 -v ./internal/store
+
+# End-to-end crash drill: SIGKILL ccdacd mid-load against -store-dir,
+# then assert quarantine-free recovery with warm cache hits.
+store-smoke:
+	sh scripts/store_smoke.sh

@@ -29,6 +29,7 @@ import (
 	"ccdac/internal/obs"
 	"ccdac/internal/place"
 	"ccdac/internal/render"
+	"ccdac/internal/store"
 	"ccdac/internal/tech"
 )
 
@@ -165,6 +166,23 @@ type Result struct {
 	Trace *Trace
 
 	res *core.Result
+}
+
+// EnableMemoSpill backs the process-wide stage caches (Config.Memo)
+// with a durable spill tier rooted at dir: entries evicted under
+// memory pressure — annealed placements, covariance matrices, Cholesky
+// factors — are persisted content-addressed and restored on a later
+// miss instead of being recomputed, so long sweeps survive cache
+// eviction across both memory pressure and process restarts. Call once
+// at startup; spilled entries are verified by content hash on the way
+// back in (a corrupt spill is a miss, never a wrong result).
+func EnableMemoSpill(dir string) error {
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	core.EnableMemoSpill(store.Spiller{S: st})
+	return nil
 }
 
 // Generate runs the full constructive flow for one configuration.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -16,6 +17,7 @@ import (
 
 	"ccdac"
 	"ccdac/internal/obs"
+	"ccdac/internal/store"
 )
 
 func main() {
@@ -28,6 +30,7 @@ func main() {
 	skipNL := flag.Bool("fast", false, "skip the INL/DNL analysis")
 	workers := flag.Int("workers", 0, "analysis worker budget (0 = GOMAXPROCS, negative = serial)")
 	memoize := flag.Bool("memo", false, "memoize pipeline stages in the process-wide cache (see docs/PERFORMANCE.md)")
+	spillDir := flag.String("memo-spill-dir", "", "with -memo, spill evicted stage-cache entries to a durable store at this directory (restored on later misses)")
 	svgOut := flag.String("svg", "", "write the routed layout SVG to this file")
 	placeOut := flag.String("placement-svg", "", "write the placement SVG to this file")
 	gdsOut := flag.String("gds", "", "write the layout as a GDSII stream to this file")
@@ -40,6 +43,13 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit metrics as JSON")
 	flag.Parse()
 
+	if *spillDir != "" {
+		if err := ccdac.EnableMemoSpill(*spillDir); err != nil {
+			// Degrade, don't fail: the run is still correct without the
+			// spill tier, just slower on re-misses.
+			fmt.Fprintln(os.Stderr, "ccdac: warning: memo spill disabled:", err)
+		}
+	}
 	cfg := ccdac.Config{
 		Bits:             *bits,
 		Style:            ccdac.Style(*style),
@@ -119,14 +129,14 @@ func main() {
 
 	if *placeOut != "" {
 		title := fmt.Sprintf("%d-bit %s placement", *bits, res.Config.Style)
-		if err := os.WriteFile(*placeOut, []byte(res.SVGPlacement(title)), 0o644); err != nil {
+		if err := store.AtomicWriteFile(*placeOut, []byte(res.SVGPlacement(title)), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "ccdac:", err)
 			os.Exit(1)
 		}
 	}
 	if *svgOut != "" {
 		title := fmt.Sprintf("%d-bit %s routed layout", *bits, res.Config.Style)
-		if err := os.WriteFile(*svgOut, []byte(res.SVGLayout(title)), 0o644); err != nil {
+		if err := store.AtomicWriteFile(*svgOut, []byte(res.SVGLayout(title)), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "ccdac:", err)
 			os.Exit(1)
 		}
@@ -134,7 +144,7 @@ func main() {
 	if *gdsOut != "" {
 		data, err := res.GDS(fmt.Sprintf("ccdac_%dbit_%s", *bits, *style))
 		if err == nil {
-			err = os.WriteFile(*gdsOut, data, 0o644)
+			err = store.AtomicWriteFile(*gdsOut, data, 0o644)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccdac:", err)
@@ -144,7 +154,7 @@ func main() {
 	if *spiceOut != "" {
 		nl, err := res.SpiceNetlist(-1)
 		if err == nil {
-			err = os.WriteFile(*spiceOut, []byte(nl), 0o644)
+			err = store.AtomicWriteFile(*spiceOut, []byte(nl), 0o644)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccdac:", err)
@@ -154,7 +164,7 @@ func main() {
 	if *reportOut != "" {
 		html, err := res.HTMLReport()
 		if err == nil {
-			err = os.WriteFile(*reportOut, []byte(html), 0o644)
+			err = store.AtomicWriteFile(*reportOut, []byte(html), 0o644)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccdac:", err)
@@ -176,15 +186,16 @@ func main() {
 }
 
 // writeTraceFiles dumps the run's trace spans (JSONL) and metrics
-// (Prometheus text format) to the requested files.
+// (Prometheus text format) to the requested files. Output is rendered
+// in memory and written atomically (temp + fsync + rename with Close
+// checked), so a full disk or a crash mid-write surfaces as an error
+// instead of a silently truncated file.
 func writeTraceFiles(tr *ccdac.Trace, traceOut, metricsOut string) {
 	if traceOut != "" {
-		f, err := os.Create(traceOut)
+		var buf bytes.Buffer
+		err := tr.WriteJSONL(&buf)
 		if err == nil {
-			err = tr.WriteJSONL(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
+			err = store.AtomicWriteFile(traceOut, buf.Bytes(), 0o644)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccdac:", err)
@@ -197,12 +208,10 @@ func writeTraceFiles(tr *ccdac.Trace, traceOut, metricsOut string) {
 		// the aggregated process view, not a bare per-trace dump.
 		proc := obs.NewRegistry()
 		proc.Merge(tr.MetricsSnapshot())
-		f, err := os.Create(metricsOut)
+		var buf bytes.Buffer
+		err := obs.WritePrometheus(&buf, proc.Snapshot())
 		if err == nil {
-			err = obs.WritePrometheus(f, proc.Snapshot())
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
+			err = store.AtomicWriteFile(metricsOut, buf.Bytes(), 0o644)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccdac:", err)

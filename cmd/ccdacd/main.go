@@ -2,11 +2,12 @@
 // serves the constructive flow over HTTP with process-level metrics
 // aggregation, health/readiness probes, and pprof endpoints.
 //
-//	ccdacd -addr :8080 -max-inflight 16 -timeout 60s -cache-bytes 67108864
+//	ccdacd -addr :8080 -max-inflight 16 -timeout 60s -cache-bytes 67108864 -store-dir /var/lib/ccdac
 //
 //	curl -s localhost:8080/v1/generate -d '{"bits":8,"max_parallel":2}'
 //	curl -s localhost:8080/v1/generate -d '{"bits":8,"cache":"bypass"}'
 //	curl -s localhost:8080/v1/batch -d '{"requests":[{"bits":6},{"bits":8}]}'
+//	curl -s localhost:8080/v1/artifacts/<sha256>
 //	curl -s localhost:8080/metrics
 //	curl -s localhost:8080/healthz
 //	go tool pprof localhost:8080/debug/pprof/profile?seconds=10
@@ -41,6 +42,8 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "result-cache byte bound (0 = 64MiB default, negative = disable caching and singleflight)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "result-cache entry TTL (0 = no expiry, LRU eviction only)")
 	maxBatch := flag.Int("max-batch", 0, "max sub-requests per /v1/batch call (0 = 64)")
+	storeDir := flag.String("store-dir", "", "durable artifact store directory: persists the result cache across restarts and serves /v1/artifacts/{hash} (empty = memory only)")
+	storeQueue := flag.Int("store-queue", 0, "write-behind queue depth for store persists (0 = 256)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -60,6 +63,8 @@ func main() {
 		CacheMaxBytes:  *cacheBytes,
 		CacheTTL:       *cacheTTL,
 		MaxBatch:       *maxBatch,
+		StoreDir:       *storeDir,
+		StoreQueue:     *storeQueue,
 		Logger:         logger,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -16,6 +16,7 @@ import (
 	"ccdac/internal/place"
 	"ccdac/internal/render"
 	"ccdac/internal/route"
+	"ccdac/internal/store"
 	"ccdac/internal/tech"
 )
 
@@ -175,7 +176,7 @@ func fig6b(dir string) {
 
 func write(dir, name, content string) {
 	path := filepath.Join(dir, name)
-	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+	if err := store.AtomicWriteFile(path, []byte(content), 0o644); err != nil {
 		fatal(err)
 	}
 	fmt.Println("wrote", path)

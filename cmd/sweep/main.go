@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"ccdac/internal/core"
 	"ccdac/internal/obs"
 	"ccdac/internal/place"
+	"ccdac/internal/store"
 	"ccdac/internal/sweep"
 )
 
@@ -34,6 +36,7 @@ func main() {
 	parallel := flag.Int("parallel", 2, "parallel wires")
 	withNL := flag.Bool("nl", false, "include INL/DNL in knob sweeps (slower)")
 	memoize := flag.Bool("memo", false, "memoize pipeline stages across sweep points (see docs/PERFORMANCE.md)")
+	spillDir := flag.String("memo-spill-dir", "", "with -memo, spill evicted stage-cache entries to a durable store at this directory (restored on later misses)")
 	traceOut := flag.String("trace", "", "record an observability trace and write its spans as JSONL to this file")
 	metricsOut := flag.String("metrics", "", "record study metrics and write them in Prometheus text format to this file")
 	flag.Parse()
@@ -41,6 +44,15 @@ func main() {
 	factors, err := parseFactors(*factorsFlag)
 	if err != nil {
 		fatal(err)
+	}
+	if *spillDir != "" {
+		if st, err := store.Open(*spillDir, store.Options{}); err != nil {
+			// Degrade, don't fail: the sweep is still correct without the
+			// spill tier, just slower on re-misses.
+			fmt.Fprintln(os.Stderr, "sweep: warning: memo spill disabled:", err)
+		} else {
+			core.EnableMemoSpill(store.Spiller{S: st})
+		}
 	}
 	ctx := context.Background()
 	var tr *obs.Trace
@@ -139,16 +151,17 @@ func fatal(err error) {
 
 // dumpTrace writes the study's spans (JSONL) and metrics (Prometheus
 // text format) to the requested files and prints the stage-time tree to
-// stderr, keeping stdout reserved for the study tables.
+// stderr, keeping stdout reserved for the study tables. Files are
+// rendered in memory and written atomically, so a full disk or a crash
+// mid-write surfaces as an error, never a truncated file that parses
+// as a complete (wrong) study.
 func dumpTrace(tr *obs.Trace, traceOut, metricsOut string) {
 	spans := tr.Spans()
 	if traceOut != "" {
-		f, err := os.Create(traceOut)
+		var buf bytes.Buffer
+		err := obs.WriteJSONL(&buf, spans)
 		if err == nil {
-			err = obs.WriteJSONL(f, spans)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
+			err = store.AtomicWriteFile(traceOut, buf.Bytes(), 0o644)
 		}
 		if err != nil {
 			fatal(err)
@@ -160,12 +173,10 @@ func dumpTrace(tr *obs.Trace, traceOut, metricsOut string) {
 		// the repo is an aggregated registry view.
 		proc := obs.NewRegistry()
 		proc.Merge(tr.Registry().Snapshot())
-		f, err := os.Create(metricsOut)
+		var buf bytes.Buffer
+		err := obs.WritePrometheus(&buf, proc.Snapshot())
 		if err == nil {
-			err = obs.WritePrometheus(f, proc.Snapshot())
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
+			err = store.AtomicWriteFile(metricsOut, buf.Bytes(), 0o644)
 		}
 		if err != nil {
 			fatal(err)

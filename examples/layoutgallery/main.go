@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 
 	"ccdac"
+	"ccdac/internal/store"
 )
 
 func main() {
@@ -59,7 +60,7 @@ func main() {
 }
 
 func writeFile(dir, name, content string) {
-	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+	if err := store.AtomicWriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -6,9 +6,9 @@ package main
 import (
 	"fmt"
 	"log"
-	"os"
 
 	"ccdac"
+	"ccdac/internal/store"
 )
 
 func main() {
@@ -34,7 +34,7 @@ func main() {
 	fmt.Println("\nPlacement (top row first; numbers are capacitor indices):")
 	fmt.Print(res.PlacementASCII())
 
-	if err := os.WriteFile("quickstart_layout.svg", []byte(res.SVGLayout("8-bit spiral")), 0o644); err != nil {
+	if err := store.AtomicWriteFile("quickstart_layout.svg", []byte(res.SVGLayout("8-bit spiral")), 0o644); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nwrote quickstart_layout.svg")

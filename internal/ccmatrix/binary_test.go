@@ -1,0 +1,49 @@
+package ccmatrix
+
+import (
+	"reflect"
+	"testing"
+
+	"ccdac/internal/geom"
+)
+
+// TestBinaryRoundTrip: the spill encoding reproduces the matrix
+// exactly, including Dummy and Empty cells.
+func TestBinaryRoundTrip(t *testing.T) {
+	m := New(4, 4, 3, 2)
+	m.Set(geom.Cell{Row: 0, Col: 0}, 0)
+	m.Set(geom.Cell{Row: 0, Col: 1}, 3)
+	m.Set(geom.Cell{Row: 1, Col: 2}, Dummy)
+	m.Set(geom.Cell{Row: 3, Col: 3}, 1)
+
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Matrix
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, &got) {
+		t.Fatalf("round trip changed the matrix:\nwant %+v\ngot  %+v", m, &got)
+	}
+}
+
+// TestBinaryRejectsGarbage: truncated or inconsistent encodings are
+// errors, never a silently-wrong matrix.
+func TestBinaryRejectsGarbage(t *testing.T) {
+	good, _ := New(2, 2, 2, 1).MarshalBinary()
+	cases := map[string][]byte{
+		"empty":        nil,
+		"short_header": good[:16],
+		"ragged_tail":  good[:len(good)-3],
+		"cell_count":   good[:len(good)-8],
+		"zero_dims":    make([]byte, 32),
+	}
+	for name, data := range cases {
+		var m Matrix
+		if err := m.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: UnmarshalBinary accepted garbage", name)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"ccdac/internal/place"
 	"ccdac/internal/route"
 	"ccdac/internal/tech"
+	"ccdac/internal/variation"
 )
 
 // Process-global stage caches, registered for /metrics exposition.
@@ -40,6 +41,37 @@ var (
 	layoutCache  = memo.Register(memo.New("core_route", 128<<20, 0))
 	extractCache = memo.Register(memo.New("core_extract", 64<<20, 0))
 )
+
+// placeCodec spills placement matrices — the flat-encodable stage
+// value. Layouts and extractions hold deep pointer graphs (wire
+// geometry, RC networks) and are cheap relative to the annealed
+// placements and Cholesky factors, so they stay memory-only.
+var placeCodec = memo.Codec{
+	Encode: func(v any) ([]byte, bool) {
+		m, ok := v.(*ccmatrix.Matrix)
+		if !ok {
+			return nil, false
+		}
+		data, err := m.MarshalBinary()
+		return data, err == nil
+	},
+	Decode: func(data []byte) (any, int64, bool) {
+		m := new(ccmatrix.Matrix)
+		if m.UnmarshalBinary(data) != nil {
+			return nil, 0, false
+		}
+		return m, matrixBytes(m), true
+	},
+}
+
+// EnableMemoSpill attaches a durable spill tier (flag-gated by the
+// CLIs; see internal/store.Spiller) to the spillable stage caches here
+// and in internal/variation, so long sweeps survive memory pressure
+// without recomputing placements or refactoring covariances.
+func EnableMemoSpill(sp memo.Spill) {
+	placeCache.SetSpill(sp, placeCodec)
+	variation.EnableMemoSpill(sp)
+}
 
 // effectiveBC resolves the block-chessboard parameters Place actually
 // uses, applying the zero-value default.

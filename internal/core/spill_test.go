@@ -1,0 +1,91 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"ccdac/internal/memo"
+	"ccdac/internal/place"
+	"ccdac/internal/store"
+)
+
+// TestPlaceCodecRoundTrip: the production spill codec reproduces real
+// pipeline placements exactly — the correctness bar for reviving a
+// placement from disk instead of re-annealing it.
+func TestPlaceCodecRoundTrip(t *testing.T) {
+	spiral, err := place.NewSpiral(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annealed, err := place.NewAnnealed(6, place.DefaultAnnealConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]any{"spiral": spiral, "annealed": annealed} {
+		data, ok := placeCodec.Encode(m)
+		if !ok {
+			t.Fatalf("%s: Encode refused a real placement", name)
+		}
+		got, size, ok := placeCodec.Decode(data)
+		if !ok {
+			t.Fatalf("%s: Decode refused its own encoding", name)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%s: decoded placement differs from the original", name)
+		}
+		if size <= 0 {
+			t.Errorf("%s: decoded cache charge = %d, want > 0", name, size)
+		}
+	}
+	// Non-placement values are not encodable (they just don't spill).
+	if _, ok := placeCodec.Encode("not a matrix"); ok {
+		t.Error("Encode accepted a non-placement value")
+	}
+}
+
+// TestPlacementSpillThroughStore wires the production pieces together:
+// a placement evicted from a memo cache through store.Spiller revives
+// from the durable tier identical to the original — across a store
+// reopen, as after a daemon restart.
+func TestPlacementSpillThroughStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := place.NewSpiral(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := placeKey(Config{Bits: 6, Style: place.Spiral})
+
+	m7, err := place.NewSpiral(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bound fits either placement alone but not both, so the second
+	// insert evicts (and spills) the first.
+	c := memo.New("core_place_spill_test", matrixBytes(m7)+8, 0)
+	c.SetSpill(store.Spiller{S: st}, placeCodec)
+	c.Put(key, m, matrixBytes(m))
+	c.Put(placeKey(Config{Bits: 7, Style: place.Spiral}), m7, matrixBytes(m7))
+
+	// Same process: the evicted placement revives from the store.
+	got, ok := c.Get(key)
+	if !ok || !reflect.DeepEqual(m, got) {
+		t.Fatalf("spilled placement did not revive identically (ok=%v)", ok)
+	}
+
+	// Fresh process: a new store over the same directory serves it to a
+	// cold cache.
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := memo.New("core_place_spill_test", 1<<20, 0)
+	c2.SetSpill(store.Spiller{S: st2}, placeCodec)
+	got2, ok := c2.Get(key)
+	if !ok || !reflect.DeepEqual(m, got2) {
+		t.Fatalf("restarted spill revive failed (ok=%v)", ok)
+	}
+}

@@ -40,12 +40,24 @@ const (
 	StageLinalgCG = "linalg.cg"
 	// StageExpJob is one worker job of the experiment harness pool.
 	StageExpJob = "exp.job"
+
+	// Store checkpoints cover every IO edge of the durable artifact
+	// store (internal/store): the data write into the temp file, the
+	// fsync making it durable, the rename making it visible, the read
+	// back, and the content-hash verification of what was read.
+	StageStoreWrite  = "store.write"
+	StageStoreFsync  = "store.fsync"
+	StageStoreRename = "store.rename"
+	StageStoreRead   = "store.read"
+	StageStoreVerify = "store.verify"
 )
 
 // Stages lists every injection point threaded through the flow.
 func Stages() []string {
 	return []string{StageConfig, StagePlace, StageRoute, StageExtract,
-		StageAnalyze, StageLinalgCG, StageExpJob}
+		StageAnalyze, StageLinalgCG, StageExpJob,
+		StageStoreWrite, StageStoreFsync, StageStoreRename,
+		StageStoreRead, StageStoreVerify}
 }
 
 type point struct {

@@ -1,0 +1,52 @@
+package linalg
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestDenseBinaryRoundTrip: the spill encoding is exact — float bit
+// patterns, including negative zero and subnormals, survive unchanged.
+func TestDenseBinaryRoundTrip(t *testing.T) {
+	m := NewDense(3)
+	vals := []float64{1.5, -2.25, math.Copysign(0, -1), 1e-310, 3.14159, -7, 0.5, 42, 1e18}
+	copy(m.Data, vals)
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Dense
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 3 || len(got.Data) != 9 {
+		t.Fatalf("decoded shape %dx%d with %d elements", got.N, got.N, len(got.Data))
+	}
+	for i := range vals {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(vals[i]) {
+			t.Errorf("element %d: bit pattern changed (%v -> %v)", i, vals[i], got.Data[i])
+		}
+	}
+	if !reflect.DeepEqual(m, &got) {
+		t.Error("round trip changed the matrix")
+	}
+}
+
+// TestDenseBinaryRejectsGarbage: truncated or inconsistent encodings
+// are errors, never a silently-short matrix.
+func TestDenseBinaryRejectsGarbage(t *testing.T) {
+	good, _ := NewDense(2).MarshalBinary()
+	cases := map[string][]byte{
+		"empty":         nil,
+		"ragged":        good[:len(good)-5],
+		"short_payload": good[:len(good)-8],
+		"header_only":   good[:8],
+	}
+	for name, data := range cases {
+		var m Dense
+		if err := m.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: UnmarshalBinary accepted garbage", name)
+		}
+	}
+}

@@ -54,8 +54,32 @@ func Enabled(ctx context.Context) bool {
 	return v
 }
 
+// Spill persists evicted cache entries and restores them on a miss —
+// the second tier behind the in-memory LRU. internal/store.Spiller is
+// the durable implementation; spilling is always best-effort (a failed
+// restore is just a miss).
+type Spill interface {
+	// SpillPut stores the encoded entry evicted from the named cache.
+	SpillPut(cache, key string, data []byte)
+	// SpillGet returns the encoded entry previously spilled under key,
+	// if it is still available and intact.
+	SpillGet(cache, key string) ([]byte, bool)
+}
+
+// Codec translates a cache's values to and from spillable bytes. Both
+// directions report ok=false for values the codec does not cover
+// (those entries simply don't spill).
+type Codec struct {
+	// Encode serializes a cache value.
+	Encode func(v any) ([]byte, bool)
+	// Decode reverses Encode, also reporting the restored value's cache
+	// charge in bytes.
+	Decode func(data []byte) (v any, size int64, ok bool)
+}
+
 // Cache is a named, byte-bounded, concurrency-safe LRU cache with
-// optional TTL expiry and hit/miss/eviction accounting.
+// optional TTL expiry, hit/miss/eviction accounting, and an optional
+// spill tier for evicted entries.
 type Cache struct {
 	name string
 	max  int64
@@ -67,6 +91,13 @@ type Cache struct {
 	bytes int64
 
 	hits, misses, evictions atomic.Int64
+	spillPuts, spillHits    atomic.Int64
+
+	// spill/codec, when set via SetSpill, persist evicted entries and
+	// revive them on a miss. Guarded by mu for writes; reads take the
+	// pointer under mu and use it outside (IO never runs locked).
+	spill Spill
+	codec Codec
 
 	// now is the clock; replaced by TTL tests.
 	now func() time.Time
@@ -98,6 +129,20 @@ func New(name string, maxBytes int64, ttl time.Duration) *Cache {
 // Name returns the cache's registered name.
 func (c *Cache) Name() string { return c.name }
 
+// SetSpill attaches a spill tier: entries evicted by the byte bound
+// are encoded with codec and handed to s, and a Get miss consults s
+// before reporting absence. Spilling is disabled for TTL caches (a
+// revived entry would dodge expiry) and is always best-effort. Call
+// before the cache sees traffic.
+func (c *Cache) SetSpill(s Spill, codec Codec) {
+	if c == nil || c.ttl > 0 {
+		return
+	}
+	c.mu.Lock()
+	c.spill, c.codec = s, codec
+	c.mu.Unlock()
+}
+
 // Get returns the value stored under key and marks it most recently
 // used. An expired entry counts as both an eviction and a miss.
 func (c *Cache) Get(key string) (any, bool) {
@@ -107,9 +152,23 @@ func (c *Cache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	el, ok := c.index[key]
 	if !ok {
+		spill, codec := c.spill, c.codec
 		c.mu.Unlock()
 		c.misses.Add(1)
-		return nil, false
+		if spill == nil {
+			return nil, false
+		}
+		data, ok := spill.SpillGet(c.name, key)
+		if !ok {
+			return nil, false
+		}
+		v, size, ok := codec.Decode(data)
+		if !ok {
+			return nil, false
+		}
+		c.spillHits.Add(1)
+		c.Put(key, v, size)
+		return v, true
 	}
 	e := el.Value.(*entry)
 	if c.ttl > 0 && c.now().Sub(e.at) > c.ttl {
@@ -149,15 +208,27 @@ func (c *Cache) Put(key string, val any, size int64) {
 		c.index[key] = c.ll.PushFront(&entry{key: key, val: val, size: size, at: c.now()})
 		c.bytes += size
 	}
+	var spilled []*entry
 	for c.bytes > c.max {
 		back := c.ll.Back()
 		if back == nil {
 			break
 		}
+		if c.spill != nil {
+			spilled = append(spilled, back.Value.(*entry))
+		}
 		c.removeLocked(back)
 		c.evictions.Add(1)
 	}
+	spill, codec := c.spill, c.codec
 	c.mu.Unlock()
+	// Spill outside the lock: eviction IO must not serialize the cache.
+	for _, e := range spilled {
+		if data, ok := codec.Encode(e.val); ok {
+			c.spillPuts.Add(1)
+			spill.SpillPut(c.name, e.key, data)
+		}
+	}
 }
 
 // Invalidate removes the entry stored under key, reporting whether one
@@ -203,6 +274,9 @@ type Stats struct {
 	Hits, Misses, Evictions int64
 	Bytes, Entries          int64
 	MaxBytes                int64
+	// SpillPuts counts evicted entries persisted to the spill tier;
+	// SpillHits counts misses answered from it (both 0 without SetSpill).
+	SpillPuts, SpillHits int64
 }
 
 // Stats returns the cache's current accounting.
@@ -218,6 +292,8 @@ func (c *Cache) Stats() Stats {
 		Bytes:     bytes,
 		Entries:   entries,
 		MaxBytes:  c.max,
+		SpillPuts: c.spillPuts.Load(),
+		SpillHits: c.spillHits.Load(),
 	}
 }
 

@@ -1,0 +1,128 @@
+package memo
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeSpill is an in-memory Spill recording traffic.
+type fakeSpill struct {
+	mu   sync.Mutex
+	data map[string][]byte
+	puts int
+}
+
+func newFakeSpill() *fakeSpill { return &fakeSpill{data: map[string][]byte{}} }
+
+func (f *fakeSpill) SpillPut(cache, key string, data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.data[cache+"/"+key] = data
+	f.puts++
+}
+
+func (f *fakeSpill) SpillGet(cache, key string) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d, ok := f.data[cache+"/"+key]
+	return d, ok
+}
+
+var stringCodec = Codec{
+	Encode: func(v any) ([]byte, bool) {
+		s, ok := v.(string)
+		return []byte(s), ok
+	},
+	Decode: func(data []byte) (any, int64, bool) {
+		return string(data), int64(len(data)), true
+	},
+}
+
+// TestSpillEvictRevive: entries evicted by the byte bound land in the
+// spill tier and revive on a later Get, re-entering the cache.
+func TestSpillEvictRevive(t *testing.T) {
+	sp := newFakeSpill()
+	c := New("spill", 24, 0)
+	c.SetSpill(sp, stringCodec)
+
+	c.Put("a", "value-a", 20)
+	c.Put("b", "value-b", 20) // evicts a → spill
+	if sp.puts != 1 {
+		t.Fatalf("spill puts = %d, want 1 after eviction", sp.puts)
+	}
+	v, ok := c.Get("a")
+	if !ok || v.(string) != "value-a" {
+		t.Fatalf("Get(a) = %v, %v, want revived value", v, ok)
+	}
+	st := c.Stats()
+	// Reviving a re-inserted it, which evicted (and spilled) b — so two
+	// spill puts total, one spill hit.
+	if st.SpillPuts != 2 || st.SpillHits != 1 {
+		t.Errorf("stats = %+v, want SpillPuts 2, SpillHits 1", st)
+	}
+	// b was evicted by the revival insert — it must now revive too.
+	if v, ok := c.Get("b"); !ok || v.(string) != "value-b" {
+		t.Fatalf("Get(b) = %v, %v, want revived value", v, ok)
+	}
+}
+
+// TestSpillUncoveredValue: values the codec does not cover are simply
+// dropped on eviction, never handed to the spill tier.
+func TestSpillUncoveredValue(t *testing.T) {
+	sp := newFakeSpill()
+	c := New("spill_uncovered", 24, 0)
+	c.SetSpill(sp, stringCodec)
+	c.Put("n", 42, 20) // not a string: codec reports !ok
+	c.Put("s", "str", 20)
+	if sp.puts != 0 {
+		t.Errorf("spill puts = %d, want 0 (int entry is not encodable)", sp.puts)
+	}
+	if _, ok := c.Get("n"); ok {
+		t.Error("uncovered evicted entry revived, want plain miss")
+	}
+}
+
+// TestSpillTTLRefused: TTL caches must not spill — a revived entry
+// would dodge expiry.
+func TestSpillTTLRefused(t *testing.T) {
+	sp := newFakeSpill()
+	c := New("spill_ttl", 24, time.Minute)
+	c.SetSpill(sp, stringCodec)
+	c.Put("a", "value-a", 20)
+	c.Put("b", "value-b", 20)
+	if sp.puts != 0 {
+		t.Errorf("TTL cache spilled %d entries, want 0", sp.puts)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("TTL cache revived a spilled entry")
+	}
+}
+
+// TestSpillConcurrent hammers a spilling cache from many goroutines —
+// the -race bar for the unlock-before-IO path.
+func TestSpillConcurrent(t *testing.T) {
+	sp := newFakeSpill()
+	c := New("spill_conc", 64, 0)
+	c.SetSpill(sp, stringCodec)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keys := []string{"k0", "k1", "k2", "k3", "k4", "k5"}
+			for i := 0; i < 50; i++ {
+				k := keys[(w+i)%len(keys)]
+				if v, ok := c.Get(k); ok {
+					if v.(string) != "val-"+k {
+						t.Errorf("Get(%s) = %v, want val-%s", k, v, k)
+						return
+					}
+				} else {
+					c.Put(k, "val-"+k, 20)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"ccdac/internal/store"
+)
+
+// handleArtifact is GET /v1/artifacts/{hash}: it serves the raw bytes
+// of one stored artifact by content hash, after the store re-verifies
+// the hash on read. A blob that fails verification has just been
+// quarantined — the client gets an error, never corrupt bytes.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		s.writeError(w, r, http.StatusNotFound,
+			fmt.Errorf("serve: artifact store not configured (start with -store-dir)"))
+		return
+	}
+	hash := r.PathValue("hash")
+	if !validHash(hash) {
+		s.writeError(w, r, http.StatusBadRequest,
+			fmt.Errorf("serve: malformed artifact hash %q (want 64 hex characters)", hash))
+		return
+	}
+	data, err := s.store.Get(hash)
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		s.writeError(w, r, http.StatusNotFound, err)
+		return
+	case errors.Is(err, store.ErrCorrupt):
+		s.reg.Counter("ccdac_serve_artifact_corrupt_total", nil).Inc()
+		s.writeError(w, r, http.StatusBadGateway, err)
+		return
+	case err != nil:
+		s.writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("ETag", `"`+hash+`"`)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// validHash reports whether h looks like a SHA-256 content address.
+func validHash(h string) bool {
+	if len(h) != 64 {
+		return false
+	}
+	for _, c := range h {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -12,6 +12,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 
 	"ccdac"
 	"ccdac/internal/memo"
@@ -116,6 +117,11 @@ func (s *Server) generate(ctx context.Context, req GenerateRequest, cfg ccdac.Co
 		cr := v.(*cachedResult)
 		return &genOutcome{metrics: cr.Metrics, warnings: cr.Warnings, status: "hit"}, nil
 	}
+	if out, ok := s.storeLookup(key); ok {
+		// Warm restart: the durable tier has this result from a previous
+		// process. It re-enters the memory cache on the way out.
+		return out, nil
+	}
 
 	s.flightMu.Lock()
 	if f, ok := s.flights[key]; ok {
@@ -182,6 +188,12 @@ func (s *Server) runFlight(ctx context.Context, key string, f *flight, req Gener
 	if err == nil {
 		cr := &cachedResult{Metrics: out.metrics, Warnings: out.warnings}
 		s.cache.Put(key, cr, cr.bytes())
+		if s.persist != nil {
+			// Write-behind: durability happens off the request path; a
+			// full queue or a down disk costs persistence, never latency
+			// or the request itself.
+			s.persist.enqueue(persistJob{key: key, req: req, cr: cr})
+		}
 	}
 	f.out, f.err = out, err
 	s.flightMu.Lock()
@@ -242,4 +254,29 @@ func (s *Server) cacheStats() (memo.Stats, bool) {
 		return memo.Stats{}, false
 	}
 	return s.cache.Stats(), true
+}
+
+// storeLookup consults the durable tier for a previously persisted
+// result: index key → artifact hash → verified blob → cachedResult.
+// Any failure — missing, corrupt (the store quarantines it), or
+// unparseable — reports a miss and the pipeline recomputes; the store
+// can lose data safely, it can only never serve bad data.
+func (s *Server) storeLookup(key string) (*genOutcome, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	hash, ok := s.store.LookupIndex(key)
+	if !ok {
+		return nil, false
+	}
+	data, err := s.store.Get(hash)
+	if err != nil {
+		return nil, false
+	}
+	cr := new(cachedResult)
+	if json.Unmarshal(data, cr) != nil {
+		return nil, false
+	}
+	s.cache.Put(key, cr, cr.bytes())
+	return &genOutcome{metrics: cr.Metrics, warnings: cr.Warnings, status: "hit"}, true
 }

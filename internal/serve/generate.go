@@ -117,9 +117,31 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		ElapsedSeconds: time.Since(start).Seconds(),
 		CacheStatus:    out.status,
 		Metrics:        out.metrics,
-		Warnings:       out.warnings,
+		Warnings:       s.withStoreWarning(out.warnings),
 		Counters:       out.counters,
 	})
+}
+
+// withStoreWarning appends the structural degradation warning while
+// the artifact store is running memory-only — the same pattern as the
+// pipeline's CG→Cholesky fallback: the request succeeds, and the
+// response says what was given up (here, durability). The input slice
+// is never mutated (it may be shared with the result cache).
+func (s *Server) withStoreWarning(warnings []string) []string {
+	if s.store == nil {
+		return warnings
+	}
+	degraded, derr := s.store.Degraded()
+	if !degraded {
+		return warnings
+	}
+	msg := "store: degraded to memory-only operation (results are not persisted)"
+	if derr != nil {
+		msg += ": " + derr.Error()
+	}
+	out := make([]string, 0, len(warnings)+1)
+	out = append(out, warnings...)
+	return append(out, msg)
 }
 
 // statusOf maps a pipeline error to its HTTP status: invalid configs

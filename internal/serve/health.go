@@ -35,6 +35,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		snap.Gauges["ccdac_serve_cache_bytes"] = float64(st.Bytes)
 		snap.Gauges["ccdac_serve_cache_entries"] = float64(st.Entries)
 	}
+	if st, ok := s.StoreStats(); ok {
+		snap.Counters["ccdac_store_writes_total"] = st.Writes
+		snap.Counters["ccdac_store_reads_total"] = st.Reads
+		snap.Counters["ccdac_store_hits_total"] = st.Hits
+		snap.Counters["ccdac_store_retries_total"] = st.Retries
+		snap.Counters["ccdac_store_corruptions_quarantined_total"] = st.CorruptionsQuarantined
+		snap.Counters["ccdac_store_degraded_ops_total"] = st.DegradedOps
+		snap.Counters["ccdac_store_persist_dropped_total"] = s.persist.dropped.Load()
+		snap.Gauges["ccdac_store_index_entries"] = float64(st.IndexEntries)
+		snap.Gauges["ccdac_store_provenance_records"] = float64(st.ProvenanceRecords)
+		snap.Gauges["ccdac_store_mem_bytes"] = float64(st.MemBytes)
+		degraded := 0.0
+		if st.Degraded {
+			degraded = 1
+		}
+		snap.Gauges["ccdac_store_degraded"] = degraded
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := obs.WritePrometheus(w, snap); err != nil {
 		// Headers are out; nothing to do but log — the scraper will see

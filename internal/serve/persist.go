@@ -1,0 +1,137 @@
+// Durable result persistence (write-behind): cold generate results are
+// serialized and queued for the artifact store off the request path, so
+// a request never blocks on disk and a daemon restart finds the result
+// cache warm (docs/ROBUSTNESS.md, "Durable artifact store"). Each
+// persisted artifact also appends a hash-chained provenance record
+// (request config, seed, toolchain, code revision), making stored
+// results tamper-evident and reproducible.
+package serve
+
+import (
+	"encoding/json"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"ccdac/internal/store"
+)
+
+// persistJob is one finished cold generation awaiting durability.
+type persistJob struct {
+	key string
+	req GenerateRequest
+	cr  *cachedResult
+}
+
+// persister drains persist jobs through one background goroutine into
+// the artifact store. Enqueue never blocks: a full queue drops the job
+// (the result is still served and cached in memory; only durability is
+// lost) and counts the drop.
+type persister struct {
+	st      *store.Store
+	ch      chan persistJob
+	mu      sync.Mutex
+	closed  bool
+	pending sync.WaitGroup // in-queue jobs, for Flush
+	done    chan struct{}
+	dropped atomic.Int64
+}
+
+func newPersister(st *store.Store, queue int) *persister {
+	if queue <= 0 {
+		queue = 256
+	}
+	p := &persister{st: st, ch: make(chan persistJob, queue), done: make(chan struct{})}
+	go p.loop()
+	return p
+}
+
+func (p *persister) loop() {
+	defer close(p.done)
+	for job := range p.ch {
+		p.persist(job)
+		p.pending.Done()
+	}
+}
+
+// persist makes one result durable: artifact blob, index entry, and
+// provenance link. Store-level failures degrade inside the store (it
+// flips memory-only); nothing here can fail a request.
+func (p *persister) persist(job persistJob) {
+	data, err := json.Marshal(job.cr)
+	if err != nil {
+		return
+	}
+	hash, err := p.st.Put(data)
+	if err != nil {
+		return
+	}
+	if err := p.st.SetIndex(job.key, hash); err != nil {
+		return
+	}
+	cfg, _ := json.Marshal(job.req)
+	_, _ = p.st.AppendProvenance(store.ProvenanceRecord{
+		Key:        job.key,
+		Artifact:   hash,
+		ConfigJSON: string(cfg),
+		Seed:       job.req.AnnealSeed,
+		GoVersion:  runtime.Version(),
+		CodeHash:   codeHash(),
+	})
+}
+
+// enqueue queues one job, dropping (and counting) when the queue is
+// full or the persister is closed.
+func (p *persister) enqueue(job persistJob) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		p.dropped.Add(1)
+		return
+	}
+	p.pending.Add(1)
+	select {
+	case p.ch <- job:
+	default:
+		p.pending.Done()
+		p.dropped.Add(1)
+	}
+}
+
+// flush blocks until every queued job has been persisted.
+func (p *persister) flush() { p.pending.Wait() }
+
+// close flushes and stops the background goroutine. Safe to call more
+// than once; enqueues after close drop.
+func (p *persister) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.done
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.flush()
+	close(p.ch)
+	<-p.done
+}
+
+// codeHash identifies the running code revision from build info (VCS
+// stamp when built from a checkout, module version otherwise).
+func codeHash() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}

@@ -39,6 +39,7 @@ import (
 
 	"ccdac/internal/memo"
 	"ccdac/internal/obs"
+	"ccdac/internal/store"
 )
 
 // Options tunes one Server. The zero value is usable: every field has
@@ -81,6 +82,18 @@ type Options struct {
 	// MaxBatch caps the number of sub-requests one POST /v1/batch may
 	// carry (default 64); larger batches are rejected with 400.
 	MaxBatch int
+	// StoreDir, when non-empty, backs the result cache with a durable
+	// content-addressed artifact store at this directory: cold results
+	// persist via write-behind (the request path never blocks on disk),
+	// the cache restarts warm, and GET /v1/artifacts/{hash} serves
+	// stored blobs. If the directory is unusable the daemon still
+	// starts, degraded to memory-only, and says so in response
+	// warnings. See docs/ROBUSTNESS.md.
+	StoreDir string
+	// StoreQueue bounds the write-behind queue (default 256); when the
+	// disk cannot keep up, further results stay memory-only and a drop
+	// counter ticks rather than any request blocking.
+	StoreQueue int
 }
 
 // Server is one daemon instance: the route mux, the process-level
@@ -103,6 +116,11 @@ type Server struct {
 	cache    *memo.Cache
 	flightMu sync.Mutex
 	flights  map[string]*flight
+
+	// store is the durable artifact tier behind the result cache (nil
+	// without Options.StoreDir); persist is its write-behind queue.
+	store   *store.Store
+	persist *persister
 
 	mu   sync.Mutex
 	addr string
@@ -157,10 +175,27 @@ func New(opts Options) *Server {
 		// this server's /metrics by handleMetrics.
 		s.cache = memo.New("serve_results", opts.CacheMaxBytes, opts.CacheTTL)
 	}
+	if opts.StoreDir != "" {
+		st, err := store.Open(opts.StoreDir, store.Options{})
+		if err != nil {
+			// The daemon must come up even on a hostile disk: run
+			// memory-only, flag the degradation in /metrics and response
+			// warnings, and keep serving.
+			s.log.Warn("artifact store unavailable, degrading to memory-only",
+				"dir", opts.StoreDir, "err", err)
+			st = store.Degrade(err)
+		}
+		s.store = st
+		s.persist = newPersister(st, opts.StoreQueue)
+		if n := st.IndexLen(); n > 0 {
+			s.log.Info("artifact store opened", "dir", opts.StoreDir, "indexed_results", n)
+		}
+	}
 	s.ready.Store(true)
 
 	s.mux.Handle("POST /v1/generate", s.wrap("generate", true, http.HandlerFunc(s.handleGenerate)))
 	s.mux.Handle("POST /v1/batch", s.wrap("batch", true, http.HandlerFunc(s.handleBatch)))
+	s.mux.Handle("GET /v1/artifacts/{hash}", s.wrap("artifacts", false, http.HandlerFunc(s.handleArtifact)))
 	s.mux.Handle("GET /metrics", s.wrap("metrics", false, http.HandlerFunc(s.handleMetrics)))
 	s.mux.Handle("GET /healthz", s.wrap("healthz", false, http.HandlerFunc(s.handleHealthz)))
 	s.mux.Handle("GET /readyz", s.wrap("readyz", false, http.HandlerFunc(s.handleReadyz)))
@@ -219,7 +254,37 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 		if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			return err
 		}
+		// Flush the write-behind queue so results computed during the
+		// drain restart warm next boot.
+		s.Close()
 		s.log.Info("drained", "requests_served", s.served.Load())
 		return nil
 	}
+}
+
+// Close flushes and stops the durable-store write-behind queue. It is
+// called automatically at the end of a graceful drain; tests that use
+// Handler directly call it to make pending persists visible before
+// reopening the store directory.
+func (s *Server) Close() {
+	if s.persist != nil {
+		s.persist.close()
+	}
+}
+
+// FlushStore blocks until every queued result persist has reached the
+// store, without stopping the queue (tests).
+func (s *Server) FlushStore() {
+	if s.persist != nil {
+		s.persist.flush()
+	}
+}
+
+// StoreStats returns the artifact store's health accounting (zero
+// Stats and false when no store is configured).
+func (s *Server) StoreStats() (store.Stats, bool) {
+	if s.store == nil {
+		return store.Stats{}, false
+	}
+	return s.store.Stats(), true
 }

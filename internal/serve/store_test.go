@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ccdac/internal/store"
+)
+
+// TestWarmRestart is the durable-cache acceptance bar: a result
+// computed by one daemon process is served as a cache hit by the next
+// process over the same store directory — with metrics identical to
+// the cold run's.
+func TestWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"bits":5,"skip_nonlinearity":true}`
+
+	srv1 := New(Options{Logger: quietLogger(), StoreDir: dir})
+	ts1 := httptest.NewServer(srv1.Handler())
+	resp, data := postGenerate(t, ts1.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold request: status %d: %s", resp.StatusCode, data)
+	}
+	cold := decodeGenerate(t, data)
+	if cold.CacheStatus != "cold" {
+		t.Fatalf("first request cache_status = %q, want cold", cold.CacheStatus)
+	}
+	// Write-behind: make the persist visible, then "stop" the process.
+	srv1.Close()
+	ts1.Close()
+	st, ok := srv1.StoreStats()
+	if !ok || st.Writes == 0 || st.IndexEntries == 0 {
+		t.Fatalf("store stats after flush = %+v, want a persisted, indexed result", st)
+	}
+
+	// A fresh process over the same directory restarts warm.
+	srv2 := New(Options{Logger: quietLogger(), StoreDir: dir})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	defer srv2.Close()
+	resp, data = postGenerate(t, ts2.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm request: status %d: %s", resp.StatusCode, data)
+	}
+	warm := decodeGenerate(t, data)
+	if warm.CacheStatus != "hit" {
+		t.Fatalf("restarted request cache_status = %q, want hit (restored from store)", warm.CacheStatus)
+	}
+	if cm, wm := fmt.Sprintf("%+v", cold.Metrics), fmt.Sprintf("%+v", warm.Metrics); cm != wm {
+		t.Errorf("restored metrics differ from cold metrics:\ncold: %s\nwarm: %s", cm, wm)
+	}
+	// The restored entry re-entered the memory cache: a third request
+	// hits without touching the store again.
+	reads := mustStoreStats(t, srv2).Reads
+	resp, data = postGenerate(t, ts2.URL, body)
+	if got := decodeGenerate(t, data).CacheStatus; got != "hit" {
+		t.Fatalf("third request cache_status = %q, want hit", got)
+	}
+	if after := mustStoreStats(t, srv2).Reads; after != reads {
+		t.Errorf("memory-cached hit still read the store (%d -> %d reads)", reads, after)
+	}
+}
+
+func mustStoreStats(t *testing.T, s *Server) store.Stats {
+	t.Helper()
+	st, ok := s.StoreStats()
+	if !ok {
+		t.Fatal("server has no store")
+	}
+	return st
+}
+
+// TestArtifactEndpoint: GET /v1/artifacts/{hash} serves the stored
+// bytes verbatim for a good hash, 400s malformed hashes, 404s unknown
+// ones, and 502s (never serves) a corrupted blob.
+func TestArtifactEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(Options{Logger: quietLogger(), StoreDir: dir})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	body := `{"bits":5,"skip_nonlinearity":true}`
+	resp, data := postGenerate(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate: status %d: %s", resp.StatusCode, data)
+	}
+	srv.FlushStore()
+	var req GenerateRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	hash, ok := srv.store.LookupIndex(cacheKey(req))
+	if !ok {
+		t.Fatal("persisted result not indexed")
+	}
+
+	get := func(h string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/artifacts/" + h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, data
+	}
+
+	resp, data = get(hash)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("good artifact: status %d: %s", resp.StatusCode, data)
+	}
+	if et := resp.Header.Get("ETag"); et != `"`+hash+`"` {
+		t.Errorf("ETag = %q, want quoted content hash", et)
+	}
+	var cr cachedResult
+	if err := json.Unmarshal(data, &cr); err != nil {
+		t.Fatalf("artifact is not the serialized result: %v", err)
+	}
+
+	if resp, _ = get("not-a-hash"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed hash: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ = get(strings.Repeat("ab", 32)); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown hash: status %d, want 404", resp.StatusCode)
+	}
+
+	// Corrupt the blob on disk: the endpoint must refuse to serve it.
+	blobPath := filepath.Join(dir, "blobs", hash[:2], hash)
+	if err := os.WriteFile(blobPath, []byte("rotten"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, data = get(hash)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("corrupt artifact: status %d (%s), want 502", resp.StatusCode, data)
+	}
+	if strings.Contains(string(data), "rotten") {
+		t.Error("corrupt bytes leaked into the error response")
+	}
+	if n := mustStoreStats(t, srv).CorruptionsQuarantined; n != 1 {
+		t.Errorf("CorruptionsQuarantined = %d, want 1", n)
+	}
+
+	// A server without a store 404s with a hint instead of crashing.
+	srv2 := New(Options{Logger: quietLogger()})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	resp2, err := http.Get(ts2.URL + "/v1/artifacts/" + strings.Repeat("ab", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("storeless server: status %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestCorruptStoreRecomputes: a corrupted persisted result must not
+// poison the warm restart — the lookup misses, the pipeline recomputes,
+// and the client still gets a correct answer.
+func TestCorruptStoreRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"bits":5,"skip_nonlinearity":true}`
+	srv1 := New(Options{Logger: quietLogger(), StoreDir: dir})
+	ts1 := httptest.NewServer(srv1.Handler())
+	postGenerate(t, ts1.URL, body)
+	srv1.Close()
+	ts1.Close()
+	var req GenerateRequest
+	json.Unmarshal([]byte(body), &req)
+	hash, ok := srv1.store.LookupIndex(cacheKey(req))
+	if !ok {
+		t.Fatal("result not indexed")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "blobs", hash[:2], hash), []byte("bitrot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := New(Options{Logger: quietLogger(), StoreDir: dir})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	defer srv2.Close()
+	resp, data := postGenerate(t, ts2.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request over corrupt store: status %d: %s", resp.StatusCode, data)
+	}
+	if got := decodeGenerate(t, data).CacheStatus; got != "cold" {
+		t.Errorf("cache_status = %q, want cold (corrupt entry quarantined, recomputed)", got)
+	}
+	if n := mustStoreStats(t, srv2).CorruptionsQuarantined; n != 1 {
+		t.Errorf("CorruptionsQuarantined = %d, want 1", n)
+	}
+}
+
+// TestStoreDegradedWarning: an unusable store directory must not stop
+// the daemon — it starts memory-only, says so in response warnings, and
+// flags it in /metrics.
+func TestStoreDegradedWarning(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{Logger: quietLogger(), StoreDir: filepath.Join(file, "store")})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	resp, data := postGenerate(t, ts.URL, `{"bits":5,"skip_nonlinearity":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded daemon: status %d: %s", resp.StatusCode, data)
+	}
+	gr := decodeGenerate(t, data)
+	found := false
+	for _, w := range gr.Warnings {
+		if strings.Contains(w, "store: degraded to memory-only") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("warnings = %v, want a store-degradation warning", gr.Warnings)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdata, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mdata), "ccdac_store_degraded 1") {
+		t.Error("/metrics does not report ccdac_store_degraded 1")
+	}
+}
+
+// TestPersistProvenance: every persisted result appends a verifiable
+// provenance record binding the request to the artifact.
+func TestPersistProvenance(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(Options{Logger: quietLogger(), StoreDir: dir})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	postGenerate(t, ts.URL, `{"bits":5,"skip_nonlinearity":true}`)
+	postGenerate(t, ts.URL, `{"bits":6,"skip_nonlinearity":true}`)
+	srv.FlushStore()
+
+	n, err := srv.store.VerifyProvenance()
+	if err != nil || n != 2 {
+		t.Fatalf("VerifyProvenance = %d, %v, want 2 clean records", n, err)
+	}
+	recs, err := srv.store.Provenance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.ConfigJSON == "" || r.GoVersion == "" || r.Artifact == "" || r.Key == "" {
+			t.Errorf("provenance record %d missing fields: %+v", r.Seq, r)
+		}
+		if h, ok := srv.store.LookupIndex(r.Key); !ok || h != r.Artifact {
+			t.Errorf("record %d artifact %s not resolvable via its key", r.Seq, r.Artifact)
+		}
+	}
+
+	// /metrics carries the store counters.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdata, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"ccdac_store_writes_total", "ccdac_store_index_entries 2",
+		"ccdac_store_provenance_records 2", "ccdac_store_degraded 0",
+	} {
+		if !strings.Contains(string(mdata), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Filesystem backend: blobs are files under a root directory, and
+// every write is temp-file + fsync + atomic rename, so a crash at any
+// instant leaves either the old blob, the new blob, or an invisible
+// temp file — never a partially-visible artifact. The same discipline
+// is exported as AtomicWriteFile for CLIs writing GDS/SPICE/SVG/JSON
+// outputs directly.
+package store
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ccdac/internal/fault"
+)
+
+// AtomicWriteFile writes data to path so that path is never observed
+// partially written: the bytes go to a temp file in the same directory,
+// are fsynced to media, and are renamed over path in one atomic step;
+// the containing directory is then fsynced so the rename itself
+// survives a crash. Close errors are checked (a full disk surfaces as
+// an error, not a silent truncation), and the temp file is removed on
+// every failure path.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp file in %s: %w", dir, err)
+	}
+	tmp := f.Name()
+	fail := func(op string, err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: %s %s: %w", op, path, err)
+	}
+	if err := fault.Check(fault.StageStoreWrite); err != nil {
+		return fail("writing", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail("writing", err)
+	}
+	if err := fault.Check(fault.StageStoreFsync); err != nil {
+		return fail("syncing", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("syncing", err)
+	}
+	if err := f.Chmod(perm); err != nil {
+		return fail("chmodding", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: closing %s: %w", path, err)
+	}
+	if err := fault.Check(fault.StageStoreRename); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: renaming %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: renaming %s: %w", path, err)
+	}
+	// Sync the directory so the rename is durable, not just ordered.
+	// Failure here is reported but the visible file is already complete
+	// and verifiable.
+	if d, err := os.Open(dir); err == nil {
+		serr := d.Sync()
+		cerr := d.Close()
+		if serr != nil {
+			return fmt.Errorf("store: syncing directory %s: %w", dir, serr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("store: closing directory %s: %w", dir, cerr)
+		}
+	}
+	return nil
+}
+
+// FS is the filesystem Backend: keys are slash-separated paths rooted
+// at a directory. All writes are atomic (AtomicWriteFile), so readers
+// — including a process that crashed and restarted — never observe a
+// torn blob.
+type FS struct {
+	root string
+}
+
+// NewFS opens (creating if needed) a filesystem backend rooted at dir,
+// sweeping any temp files a crashed writer left behind: they were
+// never visible as blobs, and removing them makes recovery leave the
+// directory exactly as a clean shutdown would have.
+func NewFS(dir string) (*FS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating root %s: %w", dir, err)
+	}
+	b := &FS{root: dir}
+	b.sweepTemps()
+	return b, nil
+}
+
+// sweepTemps removes in-progress temp files abandoned by a crash.
+// Best-effort: a sweep failure costs disk space, never correctness.
+func (b *FS) sweepTemps() {
+	_ = filepath.WalkDir(b.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if name := d.Name(); strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp") {
+			_ = os.Remove(p)
+		}
+		return nil
+	})
+}
+
+// Root returns the backend's root directory.
+func (b *FS) Root() string { return b.root }
+
+// path maps a key to its on-disk location, rejecting traversal.
+func (b *FS) path(key string) (string, error) {
+	if key == "" || strings.Contains(key, "..") || strings.HasPrefix(key, "/") {
+		return "", fmt.Errorf("store: invalid key %q", key)
+	}
+	return filepath.Join(b.root, filepath.FromSlash(key)), nil
+}
+
+// Put atomically stores data under key, creating parent directories as
+// needed.
+func (b *FS) Put(key string, data []byte) error {
+	p, err := b.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("store: creating %s: %w", filepath.Dir(p), err)
+	}
+	return AtomicWriteFile(p, data, 0o644)
+}
+
+// Get returns the blob stored under key; a missing key reports
+// fs.ErrNotExist.
+func (b *FS) Get(key string) ([]byte, error) {
+	p, err := b.path(key)
+	if err != nil {
+		return nil, err
+	}
+	if err := fault.Check(fault.StageStoreRead); err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", key, err)
+	}
+	return os.ReadFile(p)
+}
+
+// Delete removes key; deleting a missing key is not an error.
+func (b *FS) Delete(key string) error {
+	p, err := b.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: deleting %s: %w", key, err)
+	}
+	return nil
+}
+
+// List returns every stored key with the given prefix, sorted. Temp
+// files left by a crash mid-write are invisible (they never count as
+// blobs) — List is how recovery enumerates only fully-written state.
+func (b *FS) List(prefix string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(b.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp") {
+			return nil // invisible in-progress write
+		}
+		rel, err := filepath.Rel(b.root, p)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) {
+			out = append(out, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: listing %s: %w", prefix, err)
+	}
+	sort.Strings(out)
+	return out, nil
+}

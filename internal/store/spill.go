@@ -1,0 +1,47 @@
+// Spill adapter: lets internal/memo caches persist evicted entries as
+// store artifacts and restore them on a later miss, so long sweeps
+// survive memory pressure without recomputing placements or Cholesky
+// factors. The adapter satisfies memo.Spill structurally — memo
+// defines the interface, store stays import-free of it.
+package store
+
+// Spiller adapts a Store to the memo.Spill interface. Spilled entries
+// are ordinary content-addressed blobs plus an index mapping
+// "memo/<cache>/<key>" to the blob hash, so they ride the same
+// crash-safety, verification and degradation machinery as every other
+// artifact.
+type Spiller struct {
+	S *Store
+}
+
+// SpillPut persists one evicted entry. Failures degrade silently (the
+// entry is simply recomputed on a future miss) — spilling is an
+// optimization, never a correctness edge.
+func (sp Spiller) SpillPut(cache, key string, data []byte) {
+	if sp.S == nil {
+		return
+	}
+	hash, err := sp.S.Put(data)
+	if err != nil {
+		return
+	}
+	_ = sp.S.SetIndex("memo/"+cache+"/"+key, hash)
+}
+
+// SpillGet restores a previously spilled entry, verifying its content
+// hash on the way back in. Corrupt spills report absent: the caller
+// recomputes.
+func (sp Spiller) SpillGet(cache, key string) ([]byte, bool) {
+	if sp.S == nil {
+		return nil, false
+	}
+	hash, ok := sp.S.LookupIndex("memo/" + cache + "/" + key)
+	if !ok {
+		return nil, false
+	}
+	data, err := sp.S.Get(hash)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}

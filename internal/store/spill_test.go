@@ -1,0 +1,104 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ccdac/internal/memo"
+)
+
+// passCodec spills string values verbatim — enough to exercise the
+// memo ↔ store wiring without dragging pipeline types in.
+var passCodec = memo.Codec{
+	Encode: func(v any) ([]byte, bool) {
+		s, ok := v.(string)
+		return []byte(s), ok
+	},
+	Decode: func(data []byte) (any, int64, bool) {
+		return string(data), int64(len(data)), true
+	},
+}
+
+// TestSpillerRoundTrip: an entry evicted from a memo cache is restored
+// from the store on a later miss — the durable second tier behind the
+// in-memory LRU.
+func TestSpillerRoundTrip(t *testing.T) {
+	s, _ := openTest(t)
+	c := memo.New("spill_test", 24, 0)
+	c.SetSpill(Spiller{S: s}, passCodec)
+
+	c.Put("alpha", "placement-artifact-a", 20)
+	// A second large entry evicts the first into the store.
+	c.Put("beta", "placement-artifact-b", 20)
+	if _, ok := c.Get("beta"); !ok {
+		t.Fatal("resident entry missing")
+	}
+	// alpha was evicted from memory but revives from the spill tier.
+	v, ok := c.Get("alpha")
+	if !ok || v.(string) != "placement-artifact-a" {
+		t.Fatalf("spilled entry Get = %v, %v, want restored value", v, ok)
+	}
+	st := c.Stats()
+	if st.SpillPuts == 0 || st.SpillHits == 0 {
+		t.Errorf("spill accounting = %+v, want puts and hits > 0", st)
+	}
+}
+
+// TestSpillerSurvivesRestart: spilled entries are ordinary store
+// artifacts, so a fresh store over the same directory serves them to a
+// fresh cache — stage memoization survives a process restart.
+func TestSpillerSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := memo.New("spill_restart", 24, 0)
+	c.SetSpill(Spiller{S: s}, passCodec)
+	c.Put("alpha", "survives-restart", 20)
+	c.Put("beta", "evictor", 20) // spill alpha
+
+	s2, err := Open(dir, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := memo.New("spill_restart", 24, 0)
+	c2.SetSpill(Spiller{S: s2}, passCodec)
+	v, ok := c2.Get("alpha")
+	if !ok || v.(string) != "survives-restart" {
+		t.Fatalf("restarted Get = %v, %v, want spilled value restored", v, ok)
+	}
+}
+
+// TestSpillerCorruptIsMiss: a corrupt spilled blob must read as a miss
+// (the stage recomputes), never as a wrong value.
+func TestSpillerCorruptIsMiss(t *testing.T) {
+	s, b := openTest(t)
+	sp := Spiller{S: s}
+	sp.SpillPut("cache", "key", []byte("good bytes"))
+	hash, ok := s.LookupIndex("memo/cache/key")
+	if !ok {
+		t.Fatal("spill left no index entry")
+	}
+	path := filepath.Join(b.Root(), filepath.FromSlash(blobKey(hash)))
+	if err := os.WriteFile(path, []byte("rotten bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := sp.SpillGet("cache", "key"); ok {
+		t.Fatalf("SpillGet returned corrupt data %q, want miss", data)
+	}
+	if got := s.Stats().CorruptionsQuarantined; got != 1 {
+		t.Errorf("CorruptionsQuarantined = %d, want 1", got)
+	}
+}
+
+// TestSpillerNil: a nil-store Spiller is inert, matching the
+// degrade-don't-fail contract end to end.
+func TestSpillerNil(t *testing.T) {
+	var sp Spiller
+	sp.SpillPut("c", "k", []byte("x"))
+	if _, ok := sp.SpillGet("c", "k"); ok {
+		t.Fatal("nil Spiller reported a hit")
+	}
+}

@@ -44,6 +44,36 @@ var (
 	cholCache = memo.Register(memo.New("variation_chol", 256<<20, 0))
 )
 
+// denseCodec spills *linalg.Dense values (covariances and Cholesky
+// factors — the entries whose recomputation is the O(n²)/O(n³) cost
+// the caches exist to avoid).
+var denseCodec = memo.Codec{
+	Encode: func(v any) ([]byte, bool) {
+		m, ok := v.(*linalg.Dense)
+		if !ok {
+			return nil, false
+		}
+		data, err := m.MarshalBinary()
+		return data, err == nil
+	},
+	Decode: func(data []byte) (any, int64, bool) {
+		m := new(linalg.Dense)
+		if m.UnmarshalBinary(data) != nil {
+			return nil, 0, false
+		}
+		return m, int64(len(m.Data))*8 + 64, true
+	},
+}
+
+// EnableMemoSpill attaches a spill tier to the variation stage caches:
+// Cholesky factors and covariances evicted under memory pressure are
+// persisted through sp and restored on a later miss instead of being
+// refactored at O(n³). Call once at startup, before traffic.
+func EnableMemoSpill(sp memo.Spill) {
+	covCache.SetSpill(sp, denseCodec)
+	cholCache.SetSpill(sp, denseCodec)
+}
+
 // mismatchKey appends the mismatch parameters a covariance consumes.
 func mismatchKey(k *memo.Key, t *tech.Technology) *memo.Key {
 	return k.F64(t.SigmaU()).F64(t.Mis.RhoU).F64(t.Mis.LcUm)

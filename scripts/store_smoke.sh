@@ -1,0 +1,82 @@
+#!/bin/sh
+# Store smoke: kill ccdacd with SIGKILL mid-load against a durable
+# store directory, then assert a clean recovery — the restarted daemon
+# serves the persisted results as cache hits, quarantines nothing, and
+# the store directory holds no partial state. This is the end-to-end
+# version of internal/store's TestCrashRecovery, run against the real
+# binary (see docs/ROBUSTNESS.md, "Durable artifact store").
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+STORE="$WORK/store"
+ADDR=127.0.0.1:18080
+trap 'kill -9 $PID 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+$GO build -o "$WORK/ccdacd" ./cmd/ccdacd
+
+start_daemon() {
+    "$WORK/ccdacd" -addr $ADDR -store-dir "$STORE" -log-level warn &
+    PID=$!
+    for _ in $(seq 1 100); do
+        if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "store-smoke: daemon never became ready" >&2
+    exit 1
+}
+
+post() {
+    curl -fsS "http://$ADDR/v1/generate" -d "$1"
+}
+
+echo "store-smoke: starting daemon with -store-dir $STORE"
+start_daemon
+
+# Drive load: a spread of fast requests, persisted write-behind, while
+# more requests are still arriving — then kill -9 mid-flight.
+for bits in 4 5 6 7; do
+    post "{\"bits\":$bits,\"skip_nonlinearity\":true}" >/dev/null
+done
+( for i in $(seq 1 50); do
+      post "{\"bits\":$((4 + i % 4)),\"skip_nonlinearity\":true,\"cache\":\"bypass\"}" >/dev/null 2>&1 || true
+  done ) &
+LOAD=$!
+sleep 0.5
+echo "store-smoke: SIGKILL mid-load"
+kill -9 $PID
+wait $LOAD 2>/dev/null || true
+
+# Recovery audit: no quarantined blobs, no visible partial artifacts.
+if [ -d "$STORE/quarantine" ] && [ -n "$(ls -A "$STORE/quarantine" 2>/dev/null)" ]; then
+    echo "store-smoke: FAIL: quarantine is not empty after crash:" >&2
+    ls "$STORE/quarantine" >&2
+    exit 1
+fi
+
+echo "store-smoke: restarting over the crashed store"
+start_daemon
+
+# Results persisted before the crash must come back as warm hits.
+HITS=0
+for bits in 4 5 6 7; do
+    STATUS=$(post "{\"bits\":$bits,\"skip_nonlinearity\":true}" | sed -n 's/.*"cache_status": *"\([a-z]*\)".*/\1/p')
+    [ "$STATUS" = "hit" ] && HITS=$((HITS + 1))
+done
+if [ "$HITS" -lt 1 ]; then
+    echo "store-smoke: FAIL: no persisted result survived the crash as a warm hit" >&2
+    exit 1
+fi
+
+# The crashed-and-recovered store must still verify end to end.
+if ! curl -fsS "http://$ADDR/metrics" | grep -q '^ccdac_store_degraded 0'; then
+    echo "store-smoke: FAIL: restarted store reports degraded" >&2
+    exit 1
+fi
+if curl -fsS "http://$ADDR/metrics" | grep '^ccdac_store_corruptions_quarantined_total' | grep -qv ' 0$'; then
+    echo "store-smoke: FAIL: restarted daemon quarantined corrupt blobs" >&2
+    exit 1
+fi
+
+kill -9 $PID 2>/dev/null || true
+echo "store-smoke: PASS ($HITS/4 warm hits after SIGKILL recovery)"
