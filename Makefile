@@ -2,8 +2,10 @@
 # change must pass; the individual targets exist for quick iteration.
 
 GO ?= go
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS = -ldflags "-X ccdac.Version=$(VERSION)"
 
-.PHONY: check fmt vet build test race fuzz bench bench-analyze bench-smoke serve-bench bench-cache bench-store store-smoke
+.PHONY: check fmt vet build test race fuzz bench bench-obs bench-analyze bench-smoke serve-bench bench-cache bench-store store-smoke install
 
 check: fmt vet build race
 
@@ -29,11 +31,19 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzGenerate -fuzztime=30s -run '^$$' .
 
-# Observability benchmark: tracing overhead (disabled vs traced) plus a
-# per-stage wall-time report written to BENCH_obs.json.
-bench:
+# Observability benchmark: tracing overhead (disabled vs traced vs the
+# full telemetry pipeline — span bus with a live subscriber plus flight
+# recorder) and a per-stage wall-time report written to BENCH_obs.json.
+bench-obs:
 	BENCH_OBS_OUT=BENCH_obs.json $(GO) test -run '^TestBenchObs$$' \
 		-bench '^BenchmarkTraceOverhead$$' -benchtime 5x .
+
+# Back-compat alias for bench-obs.
+bench: bench-obs
+
+# Version-stamped binaries (ccdac_build_info / healthz version field).
+install:
+	$(GO) install $(LDFLAGS) ./cmd/...
 
 # Analysis hot-path benchmark: times the memoized parallel covariance
 # build against a seed-style serial reference and the binned coupling

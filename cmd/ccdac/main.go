@@ -38,10 +38,17 @@ func main() {
 	runDRC := flag.Bool("drc", false, "run the design-rule checker and report violations")
 	reportOut := flag.String("report", "", "write a self-contained HTML design report to this file")
 	traceOut := flag.String("trace", "", "record an observability trace and write its spans as JSONL to this file")
+	otlpOut := flag.String("trace-otlp", "", "record an observability trace and write it as OTLP/JSON to this file (importable into Jaeger/Tempo)")
 	metricsOut := flag.String("metrics", "", "record run metrics and write them in Prometheus text format to this file")
 	traceMem := flag.Bool("trace-mem", false, "with -trace/-metrics, also record per-span heap-allocation deltas (slower)")
 	asJSON := flag.Bool("json", false, "emit metrics as JSON")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("ccdac", ccdac.Version)
+		return
+	}
 
 	if *spillDir != "" {
 		if err := ccdac.EnableMemoSpill(*spillDir); err != nil {
@@ -60,7 +67,7 @@ func main() {
 		SkipNonlinearity: *skipNL,
 		Workers:          *workers,
 		Memo:             *memoize,
-		Trace:            *traceOut != "" || *metricsOut != "",
+		Trace:            *traceOut != "" || *otlpOut != "" || *metricsOut != "",
 		TraceMemStats:    *traceMem,
 	}
 	var res *ccdac.Result
@@ -92,7 +99,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccdac: warning:", w)
 	}
 	if res.Trace != nil {
-		writeTraceFiles(res.Trace, *traceOut, *metricsOut)
+		writeTraceFiles(res.Trace, *traceOut, *otlpOut, *metricsOut)
 		// Keep stdout parseable under -json: the stage tree goes to
 		// stderr there, stdout otherwise.
 		if *asJSON {
@@ -185,17 +192,28 @@ func main() {
 	}
 }
 
-// writeTraceFiles dumps the run's trace spans (JSONL) and metrics
-// (Prometheus text format) to the requested files. Output is rendered
-// in memory and written atomically (temp + fsync + rename with Close
-// checked), so a full disk or a crash mid-write surfaces as an error
-// instead of a silently truncated file.
-func writeTraceFiles(tr *ccdac.Trace, traceOut, metricsOut string) {
+// writeTraceFiles dumps the run's trace spans (JSONL and/or OTLP/JSON)
+// and metrics (Prometheus text format) to the requested files. Output
+// is rendered in memory and written atomically (temp + fsync + rename
+// with Close checked), so a full disk or a crash mid-write surfaces as
+// an error instead of a silently truncated file.
+func writeTraceFiles(tr *ccdac.Trace, traceOut, otlpOut, metricsOut string) {
 	if traceOut != "" {
 		var buf bytes.Buffer
 		err := tr.WriteJSONL(&buf)
 		if err == nil {
 			err = store.AtomicWriteFile(traceOut, buf.Bytes(), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccdac:", err)
+			os.Exit(1)
+		}
+	}
+	if otlpOut != "" {
+		var buf bytes.Buffer
+		err := tr.WriteOTLP(&buf, "ccdac")
+		if err == nil {
+			err = store.AtomicWriteFile(otlpOut, buf.Bytes(), 0o644)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccdac:", err)

@@ -10,6 +10,9 @@
 //	curl -s localhost:8080/v1/artifacts/<sha256>
 //	curl -s localhost:8080/metrics
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/debug/traces
+//	curl -s localhost:8080/debug/traces/<id>?format=otlp
+//	curl -N  localhost:8080/v1/events?request_id=<id>   # live SSE span stream
 //	go tool pprof localhost:8080/debug/pprof/profile?seconds=10
 //
 // Every request runs under its own observability trace; its metrics
@@ -30,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"ccdac"
 	"ccdac/internal/serve"
 )
 
@@ -44,8 +48,18 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "max sub-requests per /v1/batch call (0 = 64)")
 	storeDir := flag.String("store-dir", "", "durable artifact store directory: persists the result cache across restarts and serves /v1/artifacts/{hash} (empty = memory only)")
 	storeQueue := flag.Int("store-queue", 0, "write-behind queue depth for store persists (0 = 256)")
+	traceCap := flag.Int("trace-capacity", 0, "flight-recorder traces kept per retention class (0 = 32, negative = disable /debug/traces)")
+	traceSlowQ := flag.Float64("trace-slow-quantile", 0, "latency quantile above which healthy traces are tail-sampled as slow (0 = 0.99)")
+	slowRequest := flag.Duration("slow-request", 0, "log WARN with trace correlation for requests slower than this (0 = disabled)")
+	eventBuffer := flag.Int("event-buffer", 0, "per-subscriber buffer for /v1/events SSE streams (0 = 256)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("ccdacd", ccdac.Version)
+		return
+	}
 
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -55,17 +69,21 @@ func main() {
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	srv := serve.New(serve.Options{
-		Addr:           *addr,
-		MaxInFlight:    *maxInflight,
-		Workers:        *workers,
-		RequestTimeout: *timeout,
-		DrainTimeout:   *drain,
-		CacheMaxBytes:  *cacheBytes,
-		CacheTTL:       *cacheTTL,
-		MaxBatch:       *maxBatch,
-		StoreDir:       *storeDir,
-		StoreQueue:     *storeQueue,
-		Logger:         logger,
+		Addr:              *addr,
+		MaxInFlight:       *maxInflight,
+		Workers:           *workers,
+		RequestTimeout:    *timeout,
+		DrainTimeout:      *drain,
+		CacheMaxBytes:     *cacheBytes,
+		CacheTTL:          *cacheTTL,
+		MaxBatch:          *maxBatch,
+		StoreDir:          *storeDir,
+		StoreQueue:        *storeQueue,
+		TraceCapacity:     *traceCap,
+		TraceSlowQuantile: *traceSlowQ,
+		SlowRequest:       *slowRequest,
+		EventBuffer:       *eventBuffer,
+		Logger:            logger,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -38,6 +38,7 @@ func main() {
 	memoize := flag.Bool("memo", false, "memoize pipeline stages across sweep points (see docs/PERFORMANCE.md)")
 	spillDir := flag.String("memo-spill-dir", "", "with -memo, spill evicted stage-cache entries to a durable store at this directory (restored on later misses)")
 	traceOut := flag.String("trace", "", "record an observability trace and write its spans as JSONL to this file")
+	otlpOut := flag.String("trace-otlp", "", "record an observability trace and write it as OTLP/JSON to this file (importable into Jaeger/Tempo)")
 	metricsOut := flag.String("metrics", "", "record study metrics and write them in Prometheus text format to this file")
 	flag.Parse()
 
@@ -56,7 +57,7 @@ func main() {
 	}
 	ctx := context.Background()
 	var tr *obs.Trace
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *otlpOut != "" || *metricsOut != "" {
 		tr = obs.New(obs.Options{PprofLabels: true})
 		ctx = obs.WithTrace(ctx, tr)
 		var root *obs.Span
@@ -64,7 +65,7 @@ func main() {
 		defer func() {
 			root.End()
 			tr.Finish()
-			dumpTrace(tr, *traceOut, *metricsOut)
+			dumpTrace(tr, *traceOut, *otlpOut, *metricsOut)
 		}()
 	}
 	switch *study {
@@ -149,19 +150,29 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// dumpTrace writes the study's spans (JSONL) and metrics (Prometheus
-// text format) to the requested files and prints the stage-time tree to
-// stderr, keeping stdout reserved for the study tables. Files are
-// rendered in memory and written atomically, so a full disk or a crash
-// mid-write surfaces as an error, never a truncated file that parses
-// as a complete (wrong) study.
-func dumpTrace(tr *obs.Trace, traceOut, metricsOut string) {
+// dumpTrace writes the study's spans (JSONL and/or OTLP/JSON) and
+// metrics (Prometheus text format) to the requested files and prints
+// the stage-time tree to stderr, keeping stdout reserved for the study
+// tables. Files are rendered in memory and written atomically, so a
+// full disk or a crash mid-write surfaces as an error, never a
+// truncated file that parses as a complete (wrong) study.
+func dumpTrace(tr *obs.Trace, traceOut, otlpOut, metricsOut string) {
 	spans := tr.Spans()
 	if traceOut != "" {
 		var buf bytes.Buffer
 		err := obs.WriteJSONL(&buf, spans)
 		if err == nil {
 			err = store.AtomicWriteFile(traceOut, buf.Bytes(), 0o644)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if otlpOut != "" {
+		var buf bytes.Buffer
+		err := obs.WriteOTLP(&buf, "sweep", tr.ID(), spans)
+		if err == nil {
+			err = store.AtomicWriteFile(otlpOut, buf.Bytes(), 0o644)
 		}
 		if err != nil {
 			fatal(err)

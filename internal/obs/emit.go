@@ -47,6 +47,25 @@ func WriteJSONL(w io.Writer, spans []SpanRecord) error {
 // WritePrometheus renders a metrics snapshot in the Prometheus text
 // exposition format, series sorted by name for stable output.
 func WritePrometheus(w io.Writer, m MetricsSnapshot) error {
+	return writeExposition(w, m, false)
+}
+
+// WriteOpenMetrics renders a metrics snapshot in the OpenMetrics text
+// format: the same series as WritePrometheus plus bucket exemplars
+// (`# {trace_id="..."} value timestamp` suffixes linking latency
+// buckets to retained traces), counter TYPE metadata with the _total
+// suffix stripped per the spec, and the mandatory `# EOF` trailer.
+// Serve it under Content-Type application/openmetrics-text; Prometheus
+// requests it via Accept when exemplar ingestion is on.
+func WriteOpenMetrics(w io.Writer, m MetricsSnapshot) error {
+	if err := writeExposition(w, m, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func writeExposition(w io.Writer, m MetricsSnapshot, openMetrics bool) error {
 	typed := map[string]string{}
 	keys := make([]string, 0, len(m.Counters)+len(m.Gauges)+len(m.Histograms))
 	for k := range m.Counters {
@@ -67,7 +86,13 @@ func WritePrometheus(w io.Writer, m MetricsSnapshot) error {
 		base := baseName(k)
 		if !seenType[base] {
 			seenType[base] = true
-			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, typed[base]); err != nil {
+			meta := base
+			if openMetrics && typed[base] == "counter" {
+				// OpenMetrics names the metric family without the
+				// _total sample suffix.
+				meta = strings.TrimSuffix(base, "_total")
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", meta, typed[base]); err != nil {
 				return err
 			}
 		}
@@ -78,7 +103,7 @@ func WritePrometheus(w io.Writer, m MetricsSnapshot) error {
 		case typed[base] == "gauge":
 			_, err = fmt.Fprintf(w, "%s %s\n", k, formatFloat(m.Gauges[k]))
 		default:
-			err = writePromHistogram(w, k, m.Histograms[k])
+			err = writePromHistogram(w, k, m.Histograms[k], openMetrics)
 		}
 		if err != nil {
 			return err
@@ -88,29 +113,37 @@ func WritePrometheus(w io.Writer, m MetricsSnapshot) error {
 }
 
 // writePromHistogram emits the cumulative _bucket/_sum/_count series of
-// one histogram, splicing the le label into any existing label set.
-func writePromHistogram(w io.Writer, key string, h HistogramSnapshot) error {
+// one histogram, splicing the le label into any existing label set. In
+// OpenMetrics mode, buckets holding an exemplar get it appended.
+func writePromHistogram(w io.Writer, key string, h HistogramSnapshot, openMetrics bool) error {
 	base, labels := baseName(key), ""
 	if i := strings.IndexByte(key, '{'); i >= 0 {
 		labels = key[i+1 : len(key)-1]
 	}
-	bucket := func(le string, n uint64) error {
+	bucket := func(i int, le string, n uint64) error {
 		ls := `le="` + le + `"`
 		if labels != "" {
 			ls = labels + "," + ls
 		}
-		_, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, ls, n)
+		ex := ""
+		if openMetrics && i < len(h.Exemplars) && h.Exemplars[i] != nil {
+			e := h.Exemplars[i]
+			ex = fmt.Sprintf(" # {trace_id=\"%s\"} %s %s",
+				labelEscaper.Replace(e.TraceID), formatFloat(e.Value),
+				formatFloat(float64(e.Time.UnixNano())/1e9))
+		}
+		_, err := fmt.Fprintf(w, "%s_bucket{%s} %d%s\n", base, ls, n, ex)
 		return err
 	}
 	cum := uint64(0)
 	for i, b := range h.Bounds {
 		cum += h.Counts[i]
-		if err := bucket(formatFloat(b), cum); err != nil {
+		if err := bucket(i, formatFloat(b), cum); err != nil {
 			return err
 		}
 	}
 	cum += h.Counts[len(h.Bounds)]
-	if err := bucket("+Inf", cum); err != nil {
+	if err := bucket(len(h.Bounds), "+Inf", cum); err != nil {
 		return err
 	}
 	suffix := ""

@@ -1,0 +1,165 @@
+// Span event bus: a low-overhead publish/subscribe hook that streams
+// span start/end and counter-delta events out of in-flight traces, so
+// a caller (the serve daemon's SSE endpoint, a progress bar) can watch
+// a run while it is still going instead of reading Result.Trace after
+// the fact.
+//
+// Cost model: a trace with no bus attached pays one nil check per
+// instrumentation site on top of the armed-trace work; a bus with no
+// subscribers pays one atomic load. Publishing never blocks — a
+// subscriber whose buffer is full loses events (counted per subscriber
+// and bus-wide), so a stalled SSE client can never stall the pipeline.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventType discriminates bus events.
+type EventType string
+
+const (
+	// EventSpanStart is published when a span opens.
+	EventSpanStart EventType = "span_start"
+	// EventSpanEnd is published when a span closes; it carries the
+	// span's duration, error, and attributes.
+	EventSpanEnd EventType = "span_end"
+	// EventCounter is published for each counter increment recorded
+	// through the context helpers, carrying the delta.
+	EventCounter EventType = "counter"
+	// EventTraceFinish is published when the trace's Finish runs: no
+	// further events for that trace ID will follow.
+	EventTraceFinish EventType = "trace_finish"
+)
+
+// Event is one live-telemetry record. Seq is bus-global and strictly
+// increasing in publish order, so any subscriber can re-order or detect
+// gaps (dropped events) by sequence number.
+type Event struct {
+	Seq     uint64    `json:"seq"`
+	TraceID string    `json:"trace_id"`
+	Tag     string    `json:"tag,omitempty"`
+	Type    EventType `json:"type"`
+	Time    time.Time `json:"time"`
+
+	SpanID   uint64            `json:"span_id,omitempty"`
+	ParentID uint64            `json:"parent_id,omitempty"`
+	Name     string            `json:"name,omitempty"`
+	DurNS    int64             `json:"dur_ns,omitempty"`
+	Err      string            `json:"err,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Delta    int64             `json:"delta,omitempty"`
+}
+
+// Bus fans trace events out to its subscribers. The zero value is not
+// usable; construct with NewBus. All methods are safe for concurrent
+// use.
+type Bus struct {
+	nsubs     atomic.Int64 // fast-path guard: publishers bail when zero
+	published atomic.Int64
+	dropped   atomic.Int64
+
+	mu   sync.Mutex
+	seq  uint64
+	subs map[*Subscription]struct{}
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: map[*Subscription]struct{}{}}
+}
+
+// Subscription is one subscriber's bounded event feed.
+type Subscription struct {
+	bus     *Bus
+	filter  string
+	ch      chan Event
+	dropped atomic.Int64
+	closed  bool // guarded by bus.mu
+}
+
+// Subscribe registers a subscriber. filter narrows delivery to events
+// whose TraceID or Tag equals filter ("" receives everything). buffer
+// bounds the undelivered-event queue; events published while the queue
+// is full are dropped for this subscriber, never retried, never
+// blocking the publisher.
+func (b *Bus) Subscribe(filter string, buffer int) *Subscription {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	s := &Subscription{bus: b, filter: filter, ch: make(chan Event, buffer)}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	b.nsubs.Add(1)
+	return s
+}
+
+// Events returns the subscriber's feed. The channel is closed by
+// Close, never by the bus.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// Dropped reports how many events this subscriber lost to a full
+// buffer.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// Close unsubscribes and closes the feed channel. Idempotent.
+func (s *Subscription) Close() {
+	s.bus.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		delete(s.bus.subs, s)
+		s.bus.nsubs.Add(-1)
+		// Publishing holds the same lock, so nothing can be sending on
+		// the channel when it closes.
+		close(s.ch)
+	}
+	s.bus.mu.Unlock()
+}
+
+// HasSubscribers reports whether any subscriber is registered — the
+// one-atomic-load fast path publishers consult before building events.
+func (b *Bus) HasSubscribers() bool { return b.nsubs.Load() > 0 }
+
+// publish assigns the event's sequence number and fans it out. Sends
+// are non-blocking: a full subscriber buffer drops the event for that
+// subscriber only.
+func (b *Bus) publish(ev Event) {
+	b.mu.Lock()
+	b.seq++
+	ev.Seq = b.seq
+	for s := range b.subs {
+		if s.filter != "" && s.filter != ev.TraceID && s.filter != ev.Tag {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped.Add(1)
+			b.dropped.Add(1)
+		}
+	}
+	b.mu.Unlock()
+	b.published.Add(1)
+}
+
+// BusStats is the bus's lifetime accounting.
+type BusStats struct {
+	// Published counts events accepted by the bus (before fan-out).
+	Published int64
+	// Dropped counts per-subscriber deliveries lost to full buffers.
+	Dropped int64
+	// Subscribers is the current subscriber count.
+	Subscribers int64
+}
+
+// Stats returns the bus's counters.
+func (b *Bus) Stats() BusStats {
+	return BusStats{
+		Published:   b.published.Load(),
+		Dropped:     b.dropped.Load(),
+		Subscribers: b.nsubs.Load(),
+	}
+}

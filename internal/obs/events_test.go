@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect drains a subscription until trace_finish (or the channel
+// closes), returning the events received.
+func collect(sub *Subscription) []Event {
+	var out []Event
+	for ev := range sub.Events() {
+		out = append(out, ev)
+		if ev.Type == EventTraceFinish {
+			break
+		}
+	}
+	return out
+}
+
+func TestBusDeliversOrderedSpanEvents(t *testing.T) {
+	bus := NewBus()
+	sub := bus.Subscribe("", 64)
+	defer sub.Close()
+
+	tr := New(Options{})
+	tr.SetTag("req-1")
+	tr.AttachBus(bus)
+	ctx := WithTrace(t.Context(), tr)
+
+	ctx, root := StartSpan(ctx, "outer")
+	_, inner := StartSpan(ctx, "inner")
+	Count(ctx, "ccdac_test_total", 3)
+	inner.End()
+	root.Fail(errors.New("boom"))
+	root.End()
+	tr.Finish()
+
+	evs := collect(sub)
+	want := []struct {
+		typ  EventType
+		name string
+	}{
+		{EventSpanStart, "outer"},
+		{EventSpanStart, "inner"},
+		{EventCounter, "ccdac_test_total"},
+		{EventSpanEnd, "inner"},
+		{EventSpanEnd, "outer"},
+		{EventTraceFinish, ""},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(evs), len(want), evs)
+	}
+	var lastSeq uint64
+	for i, ev := range evs {
+		if ev.Type != want[i].typ || ev.Name != want[i].name {
+			t.Errorf("event %d: got (%s, %q), want (%s, %q)", i, ev.Type, ev.Name, want[i].typ, want[i].name)
+		}
+		if ev.TraceID != tr.ID() {
+			t.Errorf("event %d: trace ID %q, want %q", i, ev.TraceID, tr.ID())
+		}
+		if ev.Tag != "req-1" {
+			t.Errorf("event %d: tag %q, want req-1", i, ev.Tag)
+		}
+		if ev.Seq <= lastSeq {
+			t.Errorf("event %d: seq %d not increasing past %d", i, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+	}
+	if evs[2].Delta != 3 {
+		t.Errorf("counter delta = %d, want 3", evs[2].Delta)
+	}
+	if evs[4].Err != "boom" {
+		t.Errorf("outer span_end err = %q, want boom", evs[4].Err)
+	}
+	if evs[3].DurNS < 0 {
+		t.Errorf("negative span duration %d", evs[3].DurNS)
+	}
+}
+
+func TestBusFilterByTagAndTraceID(t *testing.T) {
+	bus := NewBus()
+	byTag := bus.Subscribe("req-A", 64)
+	defer byTag.Close()
+
+	trA := New(Options{})
+	trA.SetTag("req-A")
+	trA.AttachBus(bus)
+	trB := New(Options{})
+	trB.SetTag("req-B")
+	trB.AttachBus(bus)
+
+	byID := bus.Subscribe(trB.ID(), 64)
+	defer byID.Close()
+
+	ctxA := WithTrace(t.Context(), trA)
+	_, sA := StartSpan(ctxA, "a")
+	sA.End()
+	ctxB := WithTrace(t.Context(), trB)
+	_, sB := StartSpan(ctxB, "b")
+	sB.End()
+	trA.Finish()
+	trB.Finish()
+
+	for _, ev := range collect(byTag) {
+		if ev.Tag != "req-A" {
+			t.Errorf("tag-filtered subscriber saw %+v", ev)
+		}
+	}
+	for _, ev := range collect(byID) {
+		if ev.TraceID != trB.ID() {
+			t.Errorf("ID-filtered subscriber saw %+v", ev)
+		}
+	}
+}
+
+// TestBusBackpressureDropsNeverBlocks is the backpressure contract: a
+// subscriber that never drains loses events but the publishing
+// pipeline finishes promptly.
+func TestBusBackpressureDropsNeverBlocks(t *testing.T) {
+	bus := NewBus()
+	stalled := bus.Subscribe("", 2) // tiny buffer, never read
+	defer stalled.Close()
+
+	tr := New(Options{})
+	tr.AttachBus(bus)
+	ctx := WithTrace(t.Context(), tr)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_, s := StartSpan(ctx, "spin")
+			s.End()
+		}
+		tr.Finish()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("publisher blocked on a stalled subscriber")
+	}
+	if stalled.Dropped() == 0 {
+		t.Error("expected dropped events on a stalled subscriber")
+	}
+	st := bus.Stats()
+	if st.Dropped == 0 || st.Published == 0 {
+		t.Errorf("bus stats = %+v, want published and dropped > 0", st)
+	}
+}
+
+func TestBusNoSubscribersIsCheapAndSilent(t *testing.T) {
+	bus := NewBus()
+	tr := New(Options{})
+	tr.AttachBus(bus)
+	ctx := WithTrace(t.Context(), tr)
+	_, s := StartSpan(ctx, "quiet")
+	s.End()
+	tr.Finish()
+	if st := bus.Stats(); st.Published != 0 {
+		t.Errorf("published %d events with no subscribers", st.Published)
+	}
+}
+
+// TestBusSubscribeChurnUnderLoad exercises concurrent subscribe /
+// consume / disconnect against live publishers — the SSE churn shape —
+// under the race detector.
+func TestBusSubscribeChurnUnderLoad(t *testing.T) {
+	bus := NewBus()
+	stop := make(chan struct{})
+	var pubs sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		pubs.Add(1)
+		go func(p int) {
+			defer pubs.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr := New(Options{})
+				tr.SetTag(fmt.Sprintf("pub-%d", p))
+				tr.AttachBus(bus)
+				ctx := WithTrace(t.Context(), tr)
+				_, s := StartSpan(ctx, "work")
+				Count(ctx, "ccdac_churn_total", 1)
+				s.End()
+				tr.Finish()
+			}
+		}(p)
+	}
+	var subs sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		subs.Add(1)
+		go func(c int) {
+			defer subs.Done()
+			for i := 0; i < 50; i++ {
+				sub := bus.Subscribe(fmt.Sprintf("pub-%d", c%4), 8)
+				// Drain a handful, then disconnect mid-stream.
+				for j := 0; j < 4; j++ {
+					select {
+					case <-sub.Events():
+					case <-time.After(time.Millisecond):
+					}
+				}
+				sub.Close()
+			}
+		}(c)
+	}
+	subs.Wait()
+	close(stop)
+	pubs.Wait()
+	if st := bus.Stats(); st.Subscribers != 0 {
+		t.Errorf("%d subscribers leaked", st.Subscribers)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Labels attaches dimensions to a metric (e.g. stage="routing"). Nil
@@ -126,16 +127,28 @@ func (g *GaugeValue) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // Value returns the stored value.
 func (g *GaugeValue) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// Exemplar links one histogram bucket to the trace that produced a
+// recent sample in it — the OpenMetrics mechanism that lets a latency
+// dashboard jump from a bucket straight to a retained trace.
+type Exemplar struct {
+	// Value is the observed sample; TraceID identifies the trace that
+	// produced it; Time is when it was observed.
+	Value   float64
+	TraceID string
+	Time    time.Time
+}
+
 // Histogram is a fixed-bucket distribution: Observe files v under the
 // first bucket whose upper bound is >= v (an implicit +Inf bucket
 // catches the rest), and tracks the sum and count for mean queries.
 type Histogram struct {
 	bounds []float64
 
-	mu     sync.Mutex
-	counts []uint64 // len(bounds)+1; last is the +Inf overflow
-	sum    float64
-	n      uint64
+	mu        sync.Mutex
+	counts    []uint64 // len(bounds)+1; last is the +Inf overflow
+	sum       float64
+	n         uint64
+	exemplars []*Exemplar // lazily allocated, len(bounds)+1; last-write-wins per bucket
 }
 
 // Observe records one sample.
@@ -148,6 +161,22 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Unlock()
 }
 
+// ObserveExemplar records one sample and attaches an exemplar linking
+// the sample's bucket to traceID (last write per bucket wins).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	ex := &Exemplar{Value: v, TraceID: traceID, Time: time.Now()}
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	if h.exemplars == nil {
+		h.exemplars = make([]*Exemplar, len(h.counts))
+	}
+	h.exemplars[i] = ex
+	h.mu.Unlock()
+}
+
 // Bounds returns the bucket upper bounds (excluding +Inf).
 func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
 
@@ -155,12 +184,18 @@ func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return HistogramSnapshot{
+	s := HistogramSnapshot{
 		Bounds: append([]float64(nil), h.bounds...),
 		Counts: append([]uint64(nil), h.counts...),
 		Sum:    h.sum,
 		Count:  h.n,
 	}
+	if h.exemplars != nil {
+		// Exemplar values are immutable once stored (ObserveExemplar
+		// replaces the pointer), so sharing them is safe.
+		s.Exemplars = append([]*Exemplar(nil), h.exemplars...)
+	}
+	return s
 }
 
 // Counter returns (creating on first use) the named counter series.
@@ -212,6 +247,10 @@ type HistogramSnapshot struct {
 	Counts []uint64  // per-bucket counts; last entry is the +Inf bucket
 	Sum    float64
 	Count  uint64
+	// Exemplars is index-aligned with Counts when any bucket carries
+	// one (nil entries mean no exemplar for that bucket), nil when the
+	// series never recorded exemplars.
+	Exemplars []*Exemplar
 }
 
 // MetricsSnapshot is a frozen, map-backed view of a registry, keyed by
@@ -268,6 +307,19 @@ func (h *Histogram) merge(s HistogramSnapshot) {
 	if same {
 		for i, n := range s.Counts {
 			h.counts[i] += n
+		}
+		// Exemplars merge newest-wins per bucket; they are dropped on a
+		// re-bucketing merge (the bucket association is gone).
+		for i, ex := range s.Exemplars {
+			if ex == nil {
+				continue
+			}
+			if h.exemplars == nil {
+				h.exemplars = make([]*Exemplar, len(h.counts))
+			}
+			if cur := h.exemplars[i]; cur == nil || ex.Time.After(cur.Time) {
+				h.exemplars[i] = ex
+			}
 		}
 	} else {
 		for i, n := range s.Counts {
@@ -353,6 +405,9 @@ func (s MetricsSnapshot) Delta(prev MetricsSnapshot) MetricsSnapshot {
 			Counts: make([]uint64, len(h.Counts)),
 			Sum:    h.Sum - p.Sum,
 			Count:  h.Count - p.Count,
+			// Exemplars are point-in-time links, not cumulative state:
+			// the current snapshot's carry through unchanged.
+			Exemplars: h.Exemplars,
 		}
 		for i := range h.Counts {
 			dh.Counts[i] = h.Counts[i] - p.Counts[i]

@@ -27,6 +27,9 @@ package obs
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"runtime"
 	"runtime/pprof"
 	"sync"
@@ -58,6 +61,17 @@ type Options struct {
 type Trace struct {
 	opts Options
 
+	// id is the 16-byte (32 hex character) trace identifier, unique
+	// within the process and OTLP-shaped for export.
+	id string
+	// tag is an optional caller-assigned correlation label (the serve
+	// daemon tags traces with the request ID); bus subscribers can
+	// filter on it. Set before the trace is shared across goroutines.
+	tag string
+	// bus, when attached, receives live span start/end and counter
+	// events as the trace runs. Attach before the trace is shared.
+	bus *Bus
+
 	mu       sync.Mutex
 	spans    []*Span
 	finished bool
@@ -69,12 +83,61 @@ type Trace struct {
 	now func() time.Time
 }
 
+// traceIDSeed is a per-process random prefix; combined with a counter
+// it yields unique 16-byte trace IDs without per-trace entropy reads.
+var (
+	traceIDSeed [8]byte
+	traceIDSeq  atomic.Uint64
+)
+
+func init() {
+	// A failed read leaves the zero seed: IDs stay unique within the
+	// process, only cross-process collision resistance degrades.
+	_, _ = rand.Read(traceIDSeed[:])
+}
+
+func newTraceID() string {
+	var b [16]byte
+	copy(b[:8], traceIDSeed[:])
+	binary.BigEndian.PutUint64(b[8:], traceIDSeq.Add(1))
+	return hex.EncodeToString(b[:])
+}
+
 // New returns a live trace. Every New must be paired with Finish:
 // the count of live traces is what arms the package-wide fast path.
 func New(opts Options) *Trace {
-	t := &Trace{opts: opts, reg: NewRegistry(), now: time.Now}
+	t := &Trace{opts: opts, id: newTraceID(), reg: NewRegistry(), now: time.Now}
 	active.Add(1)
 	return t
+}
+
+// ID returns the trace's 32-hex-character identifier.
+func (t *Trace) ID() string { return t.id }
+
+// SetTag labels the trace with a caller correlation key (e.g. an HTTP
+// request ID); bus events carry it and subscribers can filter on it.
+// Call before the trace is shared across goroutines.
+func (t *Trace) SetTag(tag string) { t.tag = tag }
+
+// Tag returns the trace's correlation label ("" if unset).
+func (t *Trace) Tag() string { return t.tag }
+
+// AttachBus streams this trace's span start/end and counter events to
+// b as they happen. Call before the trace is shared across goroutines.
+// The trace publishes nothing while b has no subscribers.
+func (t *Trace) AttachBus(b *Bus) { t.bus = b }
+
+// emitting reports whether event construction is worth the work: a bus
+// is attached and someone is listening.
+func (t *Trace) emitting() bool {
+	return t.bus != nil && t.bus.HasSubscribers()
+}
+
+// emit stamps the trace identity onto ev and publishes it.
+func (t *Trace) emit(ev Event) {
+	ev.TraceID = t.id
+	ev.Tag = t.tag
+	t.bus.publish(ev)
 }
 
 // Finish marks the trace complete and disarms it. Idempotent. Spans
@@ -86,6 +149,9 @@ func (t *Trace) Finish() {
 	t.mu.Unlock()
 	if !done {
 		active.Add(-1)
+		if t.emitting() {
+			t.emit(Event{Type: EventTraceFinish, Time: t.now()})
+		}
 	}
 }
 
@@ -189,6 +255,12 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if tr.opts.MemStats {
 		runtime.ReadMemStats(&s.memStart)
 	}
+	if tr.emitting() {
+		tr.emit(Event{
+			Type: EventSpanStart, Time: s.start,
+			SpanID: s.id, ParentID: s.parent, Name: name,
+		})
+	}
 	return ctx, s
 }
 
@@ -250,6 +322,15 @@ func (s *Span) End() {
 		s.tr.spans = append(s.tr.spans, s)
 	}
 	s.tr.mu.Unlock()
+	if s.tr.emitting() {
+		// attrs are immutable once End has run (SetAttr contract), so
+		// sharing the map with subscribers is safe.
+		s.tr.emit(Event{
+			Type: EventSpanEnd, Time: s.end,
+			SpanID: s.id, ParentID: s.parent, Name: s.name,
+			DurNS: s.end.Sub(s.start).Nanoseconds(), Err: s.err, Attrs: s.attrs,
+		})
+	}
 }
 
 func (s *Span) record() SpanRecord {
@@ -280,6 +361,13 @@ func CountL(ctx context.Context, name string, labels Labels, delta int64) {
 	}
 	if tr := traceOf(ctx); tr != nil {
 		tr.reg.Counter(name, labels).Add(delta)
+		if tr.emitting() {
+			tr.emit(Event{
+				Type: EventCounter, Time: tr.now(),
+				SpanID: CurrentSpan(ctx).ID(),
+				Name:   seriesKey(name, labels), Delta: delta,
+			})
+		}
 	}
 }
 

@@ -1,0 +1,133 @@
+// Dependency-free OTLP/JSON trace export: renders a span tree in the
+// OpenTelemetry protocol's JSON encoding (the proto3 JSON mapping of
+// ExportTraceServiceRequest), so ccdac traces load straight into any
+// OTLP-speaking backend — Jaeger, Tempo, an OpenTelemetry collector —
+// without this module importing any of them:
+//
+//	curl -X POST http://localhost:4318/v1/traces \
+//	     -H 'Content-Type: application/json' --data-binary @trace.json
+//
+// Per the OTLP spec, trace IDs are 32 lowercase hex characters, span
+// IDs 16 (hex is the JSON special case; proto bytes fields elsewhere
+// use base64), and uint64 nanosecond timestamps are JSON strings.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+type otlpExport struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKV `json:"attributes"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpSpan struct {
+	TraceID      string     `json:"traceId"`
+	SpanID       string     `json:"spanId"`
+	ParentSpanID string     `json:"parentSpanId,omitempty"`
+	Name         string     `json:"name"`
+	Kind         int        `json:"kind"`
+	StartNano    string     `json:"startTimeUnixNano"`
+	EndNano      string     `json:"endTimeUnixNano"`
+	Attributes   []otlpKV   `json:"attributes,omitempty"`
+	Status       otlpStatus `json:"status"`
+}
+
+type otlpKV struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+type otlpValue struct {
+	StringValue *string `json:"stringValue,omitempty"`
+	// IntValue is a string per the proto3 JSON mapping of int64.
+	IntValue *string `json:"intValue,omitempty"`
+}
+
+func otlpStr(s string) otlpValue { return otlpValue{StringValue: &s} }
+func otlpInt(v uint64) otlpValue { i := strconv.FormatUint(v, 10); return otlpValue{IntValue: &i} }
+
+type otlpStatus struct {
+	// Code 2 is STATUS_CODE_ERROR; the zero value (UNSET) marshals to
+	// an empty object, which OTLP reads as "no status set".
+	Code    int    `json:"code,omitempty"`
+	Message string `json:"message,omitempty"`
+}
+
+// otlpSpanKindInternal is SPAN_KIND_INTERNAL: every pipeline span is
+// an in-process operation.
+const otlpSpanKindInternal = 1
+
+// spanIDHex renders a trace-local span ID in OTLP's 8-byte hex form.
+func spanIDHex(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// WriteOTLP renders spans as one OTLP/JSON export request under the
+// given service name and 32-hex trace ID. Span attributes are sorted
+// by key and spans keep their input (completion) order, so output is
+// deterministic given deterministic spans.
+func WriteOTLP(w io.Writer, service, traceID string, spans []SpanRecord) error {
+	out := make([]otlpSpan, len(spans))
+	for i, s := range spans {
+		os := otlpSpan{
+			TraceID:   traceID,
+			SpanID:    spanIDHex(s.ID),
+			Name:      s.Name,
+			Kind:      otlpSpanKindInternal,
+			StartNano: strconv.FormatInt(s.Start.UnixNano(), 10),
+			EndNano:   strconv.FormatInt(s.Start.Add(s.Duration).UnixNano(), 10),
+		}
+		if s.ParentID != 0 {
+			os.ParentSpanID = spanIDHex(s.ParentID)
+		}
+		if s.Err != "" {
+			os.Status = otlpStatus{Code: 2, Message: s.Err}
+		}
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			os.Attributes = append(os.Attributes, otlpKV{Key: k, Value: otlpStr(s.Attrs[k])})
+		}
+		if s.AllocBytes != 0 || s.AllocObjects != 0 {
+			os.Attributes = append(os.Attributes,
+				otlpKV{Key: "alloc.bytes", Value: otlpInt(s.AllocBytes)},
+				otlpKV{Key: "alloc.objects", Value: otlpInt(s.AllocObjects)})
+		}
+		out[i] = os
+	}
+	req := otlpExport{ResourceSpans: []otlpResourceSpans{{
+		Resource: otlpResource{Attributes: []otlpKV{
+			{Key: "service.name", Value: otlpStr(service)},
+		}},
+		ScopeSpans: []otlpScopeSpans{{
+			Scope: otlpScope{Name: "ccdac/internal/obs"},
+			Spans: out,
+		}},
+	}}}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(req)
+}

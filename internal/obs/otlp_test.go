@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteOTLPStructure(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	spans := []SpanRecord{
+		{
+			ID: 2, ParentID: 1, Name: "child",
+			Start: base.Add(time.Millisecond), Duration: 2 * time.Millisecond,
+			Err:   "stage failed",
+			Attrs: map[string]string{"zeta": "z", "alpha": "a"},
+		},
+		{
+			ID: 1, Name: "root",
+			Start: base, Duration: 10 * time.Millisecond,
+			AllocBytes: 4096, AllocObjects: 7,
+		},
+	}
+	traceID := strings.Repeat("ab", 16)
+	var buf bytes.Buffer
+	if err := WriteOTLP(&buf, "ccdacd", traceID, spans); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		ResourceSpans []struct {
+			Resource struct {
+				Attributes []struct {
+					Key   string `json:"key"`
+					Value struct {
+						StringValue string `json:"stringValue"`
+					} `json:"value"`
+				} `json:"attributes"`
+			} `json:"resource"`
+			ScopeSpans []struct {
+				Scope struct {
+					Name string `json:"name"`
+				} `json:"scope"`
+				Spans []map[string]any `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.ResourceSpans) != 1 || len(doc.ResourceSpans[0].ScopeSpans) != 1 {
+		t.Fatalf("unexpected shape: %s", buf.String())
+	}
+	res := doc.ResourceSpans[0]
+	if res.Resource.Attributes[0].Key != "service.name" || res.Resource.Attributes[0].Value.StringValue != "ccdacd" {
+		t.Errorf("service.name attribute wrong: %+v", res.Resource.Attributes)
+	}
+	out := res.ScopeSpans[0].Spans
+	if len(out) != 2 {
+		t.Fatalf("got %d spans, want 2", len(out))
+	}
+
+	hex32 := regexp.MustCompile(`^[0-9a-f]{32}$`)
+	hex16 := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	child, root := out[0], out[1]
+
+	for i, s := range out {
+		if id, _ := s["traceId"].(string); !hex32.MatchString(id) {
+			t.Errorf("span %d traceId %q not 32-hex", i, id)
+		}
+		if id, _ := s["spanId"].(string); !hex16.MatchString(id) {
+			t.Errorf("span %d spanId %q not 16-hex", i, id)
+		}
+		if k, _ := s["kind"].(float64); k != 1 {
+			t.Errorf("span %d kind = %v, want 1 (INTERNAL)", i, s["kind"])
+		}
+		// Nanosecond timestamps must be JSON strings per proto3 mapping.
+		if _, ok := s["startTimeUnixNano"].(string); !ok {
+			t.Errorf("span %d startTimeUnixNano not a string", i)
+		}
+	}
+	if child["parentSpanId"] != spanIDHex(1) {
+		t.Errorf("child parentSpanId = %v, want %s", child["parentSpanId"], spanIDHex(1))
+	}
+	if _, ok := root["parentSpanId"]; ok {
+		t.Error("root span must omit parentSpanId")
+	}
+	// Errored span carries status code 2 (STATUS_CODE_ERROR).
+	status, _ := child["status"].(map[string]any)
+	if code, _ := status["code"].(float64); code != 2 {
+		t.Errorf("child status = %v, want code 2", child["status"])
+	}
+	if status["message"] != "stage failed" {
+		t.Errorf("child status message = %v", status["message"])
+	}
+	if rootStatus, _ := root["status"].(map[string]any); len(rootStatus) != 0 {
+		t.Errorf("healthy root status = %v, want unset", root["status"])
+	}
+	// Attributes sorted by key; alloc counters rendered as intValue.
+	attrs, _ := child["attributes"].([]any)
+	if len(attrs) != 2 {
+		t.Fatalf("child attrs = %v", attrs)
+	}
+	first, _ := attrs[0].(map[string]any)
+	if first["key"] != "alpha" {
+		t.Errorf("attributes not sorted: first key %v", first["key"])
+	}
+	rootAttrs, _ := root["attributes"].([]any)
+	foundAlloc := false
+	for _, a := range rootAttrs {
+		kv, _ := a.(map[string]any)
+		if kv["key"] == "alloc.bytes" {
+			foundAlloc = true
+			val, _ := kv["value"].(map[string]any)
+			if val["intValue"] != "4096" {
+				t.Errorf("alloc.bytes = %v, want string \"4096\"", val)
+			}
+		}
+	}
+	if !foundAlloc {
+		t.Error("alloc.bytes attribute missing from root span")
+	}
+}
+
+// TestWriteOTLPFromLiveTrace round-trips an actual traced run through
+// the exporter: every recorded span must appear, parented consistently.
+func TestWriteOTLPFromLiveTrace(t *testing.T) {
+	tr := New(Options{})
+	ctx := WithTrace(t.Context(), tr)
+	ctx, root := StartSpan(ctx, "root")
+	_, child := StartSpan(ctx, "child")
+	child.SetAttr("k", "v")
+	child.End()
+	root.End()
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteOTLP(&buf, "test", tr.ID(), tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"name": "root"`) || !strings.Contains(s, `"name": "child"`) {
+		t.Errorf("span names missing:\n%s", s)
+	}
+	if !strings.Contains(s, tr.ID()) {
+		t.Errorf("trace ID %s missing from export", tr.ID())
+	}
+}

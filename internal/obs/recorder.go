@@ -1,0 +1,272 @@
+// Flight recorder: a bounded in-memory buffer of recently completed
+// traces with a tail-sampling policy. Head sampling (decide at start)
+// cannot know which runs will turn out interesting; the recorder
+// decides at completion, when the error, the degradation warnings, and
+// the latency are known — so the errored run, the degraded run, and
+// the slowest-percentile run survive even when thousands of healthy
+// requests churn through, while the steady state costs one ring slot
+// per trace.
+//
+// Each retention class (error, degraded, slow, recent) has its own
+// FIFO ring, so a burst of routine traffic can only ever evict other
+// routine traces — the interesting 1% is never displaced by load.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// RetainReason classifies why the recorder kept a trace.
+type RetainReason string
+
+const (
+	// ReasonError marks traces whose run failed.
+	ReasonError RetainReason = "error"
+	// ReasonDegraded marks traces whose run succeeded with degradation
+	// warnings (solver fallbacks, abandoned promotions).
+	ReasonDegraded RetainReason = "degraded"
+	// ReasonSlow marks traces in the slowest percentile of the
+	// recorder's recent-duration window.
+	ReasonSlow RetainReason = "slow"
+	// ReasonRecent marks ordinary traces, kept only until the recent
+	// ring cycles past them.
+	ReasonRecent RetainReason = "recent"
+)
+
+// retainReasons orders the classes for stable stats and listings.
+var retainReasons = []RetainReason{ReasonError, ReasonDegraded, ReasonSlow, ReasonRecent}
+
+// RecordedTrace is one completed trace as the recorder stores it.
+type RecordedTrace struct {
+	// ID is the trace's 32-hex identifier; Tag is its correlation
+	// label (the serve daemon's request ID).
+	ID, Tag string
+	// Name labels the root operation (e.g. "serve.generate").
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	// Err is the run's failure ("" on success); Warnings counts its
+	// graceful degradations.
+	Err      string
+	Warnings int
+	// Reason is filled by Offer.
+	Reason RetainReason
+	// Spans is the full span tree, completion order.
+	Spans []SpanRecord
+}
+
+// RecorderOptions tunes a Recorder; the zero value selects defaults.
+type RecorderOptions struct {
+	// Capacity bounds each retention class's ring (default 32): the
+	// recorder holds at most 4×Capacity traces.
+	Capacity int
+	// SlowQuantile is the duration quantile above which a healthy
+	// trace is retained as slow (default 0.99).
+	SlowQuantile float64
+	// Window is how many recent durations feed the slow threshold
+	// (default 512).
+	Window int
+}
+
+func (o RecorderOptions) withDefaults() RecorderOptions {
+	if o.Capacity <= 0 {
+		o.Capacity = 32
+	}
+	if o.SlowQuantile <= 0 || o.SlowQuantile >= 1 {
+		o.SlowQuantile = 0.99
+	}
+	if o.Window <= 0 {
+		o.Window = 512
+	}
+	return o
+}
+
+// minSlowSamples is how many durations the window needs before the
+// slow classifier arms; below it every healthy trace is just recent.
+const minSlowSamples = 16
+
+// slowRecomputeEvery caps how often the threshold is re-sorted: once
+// per this many offers, amortizing the O(W log W) sort.
+const slowRecomputeEvery = 16
+
+// Recorder is the flight recorder. All methods are safe for
+// concurrent use.
+type Recorder struct {
+	opts RecorderOptions
+
+	mu       sync.Mutex
+	rings    map[RetainReason][]*RecordedTrace // FIFO per class
+	index    map[string]*RecordedTrace         // id → entry
+	window   []float64                         // circular duration window, seconds
+	winPos   int
+	winLen   int
+	offered  int64
+	retained map[RetainReason]int64
+	evicted  int64
+	slowSec  float64 // cached slow threshold, seconds
+}
+
+// NewRecorder returns an empty flight recorder.
+func NewRecorder(opts RecorderOptions) *Recorder {
+	opts = opts.withDefaults()
+	return &Recorder{
+		opts:     opts,
+		rings:    map[RetainReason][]*RecordedTrace{},
+		index:    map[string]*RecordedTrace{},
+		window:   make([]float64, opts.Window),
+		retained: map[RetainReason]int64{},
+	}
+}
+
+// Offer classifies and retains one completed trace, returning the
+// retention reason. Every offered trace is kept at least in the recent
+// ring; errored, degraded, and slowest-percentile traces go to their
+// own rings where routine churn cannot evict them.
+func (r *Recorder) Offer(t RecordedTrace) RetainReason {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.offered++
+
+	sec := t.Duration.Seconds()
+	switch {
+	case t.Err != "":
+		t.Reason = ReasonError
+	case t.Warnings > 0:
+		t.Reason = ReasonDegraded
+	// Strictly above the bar: with a uniform window the quantile
+	// equals the common duration, and >= would tag every routine
+	// trace as slow.
+	case r.winLen >= minSlowSamples && sec > r.slowThresholdLocked():
+		t.Reason = ReasonSlow
+	default:
+		t.Reason = ReasonRecent
+	}
+
+	// The window tracks every offer (including errored runs: a failure
+	// storm should raise the bar, not freeze it).
+	r.window[r.winPos] = sec
+	r.winPos = (r.winPos + 1) % len(r.window)
+	if r.winLen < len(r.window) {
+		r.winLen++
+	}
+	if r.offered%slowRecomputeEvery == 0 || r.winLen <= minSlowSamples {
+		r.slowSec = r.computeThresholdLocked()
+	}
+
+	ring := r.rings[t.Reason]
+	if len(ring) >= r.opts.Capacity {
+		old := ring[0]
+		ring = ring[1:]
+		delete(r.index, old.ID)
+		r.evicted++
+	}
+	entry := &t
+	r.rings[t.Reason] = append(ring, entry)
+	r.index[t.ID] = entry
+	r.retained[t.Reason]++
+	return t.Reason
+}
+
+// slowThresholdLocked returns the cached threshold, computing it on
+// first use.
+func (r *Recorder) slowThresholdLocked() float64 {
+	if r.slowSec == 0 {
+		r.slowSec = r.computeThresholdLocked()
+	}
+	return r.slowSec
+}
+
+// computeThresholdLocked sorts the live window and takes the
+// configured quantile.
+func (r *Recorder) computeThresholdLocked() float64 {
+	if r.winLen == 0 {
+		return 0
+	}
+	tmp := make([]float64, r.winLen)
+	copy(tmp, r.window[:r.winLen])
+	sort.Float64s(tmp)
+	i := int(float64(r.winLen) * r.opts.SlowQuantile)
+	if i >= r.winLen {
+		i = r.winLen - 1
+	}
+	return tmp[i]
+}
+
+// TraceSummary is one index row of the recorder's contents.
+type TraceSummary struct {
+	ID       string        `json:"trace_id"`
+	Tag      string        `json:"tag,omitempty"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"-"`
+	// DurationSeconds duplicates Duration for JSON consumers.
+	DurationSeconds float64      `json:"duration_seconds"`
+	Err             string       `json:"error,omitempty"`
+	Warnings        int          `json:"warnings,omitempty"`
+	Reason          RetainReason `json:"reason"`
+	Spans           int          `json:"spans"`
+}
+
+// List returns summaries of every retained trace, newest start first.
+func (r *Recorder) List() []TraceSummary {
+	r.mu.Lock()
+	out := make([]TraceSummary, 0, len(r.index))
+	for _, reason := range retainReasons {
+		for _, t := range r.rings[reason] {
+			out = append(out, TraceSummary{
+				ID: t.ID, Tag: t.Tag, Name: t.Name,
+				Start: t.Start, Duration: t.Duration,
+				DurationSeconds: t.Duration.Seconds(),
+				Err:             t.Err, Warnings: t.Warnings,
+				Reason: t.Reason, Spans: len(t.Spans),
+			})
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.After(out[j].Start)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Get returns the full retained trace by ID.
+func (r *Recorder) Get(id string) (RecordedTrace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.index[id]
+	if !ok {
+		return RecordedTrace{}, false
+	}
+	return *t, true
+}
+
+// RecorderStats is the recorder's lifetime accounting.
+type RecorderStats struct {
+	// Offered counts traces seen; Evicted counts traces cycled out of
+	// their rings; Retained counts per-class admissions.
+	Offered, Evicted int64
+	Retained         map[RetainReason]int64
+	// Live is the number of traces currently held.
+	Live int
+	// SlowThresholdSeconds is the current slowest-percentile bar.
+	SlowThresholdSeconds float64
+}
+
+// Stats returns the recorder's counters.
+func (r *Recorder) Stats() RecorderStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ret := make(map[RetainReason]int64, len(r.retained))
+	for k, v := range r.retained {
+		ret[k] = v
+	}
+	return RecorderStats{
+		Offered: r.offered, Evicted: r.evicted, Retained: ret,
+		Live: len(r.index), SlowThresholdSeconds: r.slowSec,
+	}
+}

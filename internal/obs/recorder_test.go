@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func rec(id string, dur time.Duration, err string, warnings int) RecordedTrace {
+	return RecordedTrace{
+		ID: id, Name: "test", Start: time.Unix(0, 0),
+		Duration: dur, Err: err, Warnings: warnings,
+	}
+}
+
+func TestRecorderClassification(t *testing.T) {
+	r := NewRecorder(RecorderOptions{})
+	if got := r.Offer(rec("e1", time.Millisecond, "boom", 0)); got != ReasonError {
+		t.Errorf("errored trace retained as %q, want error", got)
+	}
+	if got := r.Offer(rec("d1", time.Millisecond, "", 2)); got != ReasonDegraded {
+		t.Errorf("degraded trace retained as %q, want degraded", got)
+	}
+	// Errors outrank degradations.
+	if got := r.Offer(rec("ed", time.Millisecond, "boom", 2)); got != ReasonError {
+		t.Errorf("errored+degraded trace retained as %q, want error", got)
+	}
+	if got := r.Offer(rec("r1", time.Millisecond, "", 0)); got != ReasonRecent {
+		t.Errorf("healthy trace retained as %q, want recent (window not armed)", got)
+	}
+	for _, id := range []string{"e1", "d1", "ed", "r1"} {
+		if _, ok := r.Get(id); !ok {
+			t.Errorf("trace %s not retrievable", id)
+		}
+	}
+}
+
+// TestRecorderTailSamplingKeepsSlowest feeds a uniform load with one
+// outlier: the outlier must land in the slow ring once the duration
+// window is armed.
+func TestRecorderTailSamplingKeepsSlowest(t *testing.T) {
+	r := NewRecorder(RecorderOptions{Capacity: 8, SlowQuantile: 0.9})
+	for i := 0; i < 100; i++ {
+		r.Offer(rec(fmt.Sprintf("n%d", i), 10*time.Millisecond, "", 0))
+	}
+	if got := r.Offer(rec("slow", time.Second, "", 0)); got != ReasonSlow {
+		t.Fatalf("outlier retained as %q, want slow", got)
+	}
+	// A flood of routine traffic must not evict it.
+	for i := 0; i < 100; i++ {
+		r.Offer(rec(fmt.Sprintf("m%d", i), 10*time.Millisecond, "", 0))
+	}
+	got, ok := r.Get("slow")
+	if !ok {
+		t.Fatal("slow outlier evicted by routine churn")
+	}
+	if got.Reason != ReasonSlow {
+		t.Errorf("reason = %q, want slow", got.Reason)
+	}
+	if st := r.Stats(); st.SlowThresholdSeconds <= 0 {
+		t.Errorf("slow threshold not armed: %+v", st)
+	}
+}
+
+func TestRecorderRingBounded(t *testing.T) {
+	const cap = 4
+	r := NewRecorder(RecorderOptions{Capacity: cap})
+	for i := 0; i < 20; i++ {
+		r.Offer(rec(fmt.Sprintf("e%d", i), time.Millisecond, "boom", 0))
+	}
+	st := r.Stats()
+	if st.Live != cap {
+		t.Errorf("live = %d, want %d", st.Live, cap)
+	}
+	if st.Evicted != 20-cap {
+		t.Errorf("evicted = %d, want %d", st.Evicted, 20-cap)
+	}
+	// Oldest gone, newest retrievable.
+	if _, ok := r.Get("e0"); ok {
+		t.Error("oldest entry survived past capacity")
+	}
+	if _, ok := r.Get("e19"); !ok {
+		t.Error("newest entry missing")
+	}
+}
+
+func TestRecorderListNewestFirst(t *testing.T) {
+	r := NewRecorder(RecorderOptions{})
+	base := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		tr := rec(fmt.Sprintf("t%d", i), time.Millisecond, "", 0)
+		tr.Start = base.Add(time.Duration(i) * time.Second)
+		r.Offer(tr)
+	}
+	list := r.List()
+	if len(list) != 5 {
+		t.Fatalf("list has %d entries, want 5", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i].Start.After(list[i-1].Start) {
+			t.Errorf("list not newest-first at %d: %v after %v", i, list[i].Start, list[i-1].Start)
+		}
+	}
+	if list[0].ID != "t4" {
+		t.Errorf("newest = %s, want t4", list[0].ID)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(RecorderOptions{Capacity: 16})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				err := ""
+				if i%7 == 0 {
+					err = "boom"
+				}
+				r.Offer(rec(fmt.Sprintf("g%d-%d", g, i), time.Duration(i)*time.Microsecond, err, i%5))
+				r.List()
+				r.Stats()
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if st := r.Stats(); st.Offered != 800 {
+		t.Errorf("offered = %d, want 800", st.Offered)
+	}
+}

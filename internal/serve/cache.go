@@ -11,8 +11,11 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"time"
 
 	"ccdac"
 	"ccdac/internal/memo"
@@ -207,10 +210,19 @@ func (s *Server) runFlight(ctx context.Context, key string, f *flight, req Gener
 // run executes one generation under its own request-private trace and
 // folds the trace's metrics into the process registry — on success, on
 // pipeline failure, and on cancellation alike, so partial effort is
-// never invisible to /metrics.
+// never invisible to /metrics. The finished trace is offered to the
+// flight recorder (tail sampling decides whether it survives) and, when
+// retained for cause, persisted to the artifact store as an OTLP blob.
 func (s *Server) run(ctx context.Context, req GenerateRequest, cfg ccdac.Config, status string, ri *reqInfo) (*genOutcome, error) {
 	tr := obs.New(obs.Options{PprofLabels: true})
+	if ri != nil {
+		// The request ID is the trace's correlation tag: it is what
+		// /v1/events subscribers filter on.
+		tr.SetTag(ri.id)
+	}
+	tr.AttachBus(s.bus)
 	ctx = obs.WithTrace(ctx, tr)
+	start := time.Now()
 	ctx, root := obs.StartSpan(ctx, "serve.generate")
 	if ri != nil {
 		root.SetAttr("request_id", ri.id)
@@ -233,6 +245,7 @@ func (s *Server) run(ctx context.Context, req GenerateRequest, cfg ccdac.Config,
 	tr.Finish()
 	snap := tr.Registry().Snapshot()
 	s.reg.Merge(snap)
+	s.record(tr, req, start, err, res, ri)
 	if s.onTrace != nil {
 		s.onTrace(tr)
 	}
@@ -245,6 +258,40 @@ func (s *Server) run(ctx context.Context, req GenerateRequest, cfg ccdac.Config,
 		counters: snap.Counters,
 		status:   status,
 	}, nil
+}
+
+// record offers the finished trace to the flight recorder, publishes
+// the retention decision to the request (for exemplars and the slow-
+// request log), and queues interesting traces — anything retained for
+// cause, not merely recency — for durable OTLP persistence.
+func (s *Server) record(tr *obs.Trace, req GenerateRequest, start time.Time, err error, res *ccdac.Result, ri *reqInfo) {
+	if s.recorder == nil {
+		return
+	}
+	rt := obs.RecordedTrace{
+		ID: tr.ID(), Tag: tr.Tag(), Name: "serve.generate",
+		Start: start, Duration: time.Since(start),
+		Spans: tr.Spans(),
+	}
+	if err != nil {
+		rt.Err = err.Error()
+		var pe *ccdac.PipelineError
+		if errors.As(err, &pe) {
+			rt.Warnings = len(pe.Warnings)
+		}
+	} else if res != nil {
+		rt.Warnings = len(res.Warnings)
+	}
+	reason := s.recorder.Offer(rt)
+	if ri != nil {
+		ri.trace.Store(&traceRef{id: rt.ID, reason: reason})
+	}
+	if s.persist != nil && reason != obs.ReasonRecent {
+		var buf bytes.Buffer
+		if obs.WriteOTLP(&buf, "ccdacd", rt.ID, rt.Spans) == nil {
+			s.persist.enqueue(persistJob{traceID: rt.ID, trace: buf.Bytes(), req: req})
+		}
+	}
 }
 
 // cacheStats surfaces the result cache and singleflight state for

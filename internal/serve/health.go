@@ -3,8 +3,10 @@ package serve
 import (
 	"net/http"
 	"runtime"
+	"strings"
 	"time"
 
+	"ccdac"
 	"ccdac/internal/memo"
 	"ccdac/internal/obs"
 )
@@ -19,6 +21,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge("ccdac_serve_uptime_seconds", nil).Set(time.Since(s.start).Seconds())
 	s.reg.Gauge("ccdac_serve_inflight", nil).Set(float64(s.inflight.Load()))
 	s.reg.Gauge("ccdac_serve_goroutines", nil).Set(float64(runtime.NumGoroutine()))
+	s.reg.Gauge("ccdac_build_info",
+		obs.Labels{"version": ccdac.Version, "go_version": runtime.Version()}).Set(1)
 	snap := s.reg.Snapshot()
 	for _, st := range memo.Snapshot() {
 		labels := obs.Labels{"cache": st.Name}
@@ -52,6 +56,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		snap.Gauges["ccdac_store_degraded"] = degraded
 	}
+	if s.recorder != nil {
+		st := s.recorder.Stats()
+		snap.Counters["ccdac_obs_traces_offered_total"] = st.Offered
+		snap.Counters["ccdac_obs_traces_evicted_total"] = st.Evicted
+		for reason, n := range st.Retained {
+			snap.Counters[obs.SeriesKey("ccdac_obs_traces_retained_total",
+				obs.Labels{"reason": string(reason)})] = n
+		}
+		snap.Gauges["ccdac_obs_traces_live"] = float64(st.Live)
+		snap.Gauges["ccdac_obs_trace_slow_threshold_seconds"] = st.SlowThresholdSeconds
+	}
+	bst := s.bus.Stats()
+	snap.Counters["ccdac_obs_events_published_total"] = int64(bst.Published)
+	snap.Counters["ccdac_obs_events_dropped_total"] = int64(bst.Dropped)
+	snap.Gauges["ccdac_obs_event_subscribers"] = float64(bst.Subscribers)
+
+	// Content negotiation: scrapers asking for OpenMetrics (Prometheus
+	// does, when exemplar ingestion is on) get the exemplar-bearing
+	// exposition; everyone else gets the classic text format.
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		if err := obs.WriteOpenMetrics(w, snap); err != nil {
+			s.log.Error("metrics write failed", "err", err)
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := obs.WritePrometheus(w, snap); err != nil {
 		// Headers are out; nothing to do but log — the scraper will see
@@ -64,6 +94,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // is what it has been doing.
 type healthzResponse struct {
 	Status        string  `json:"status"`
+	Version       string  `json:"version"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	InFlight      int64   `json:"inflight"`
 	Served        int64   `json:"served"`
@@ -74,6 +105,7 @@ type healthzResponse struct {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthzResponse{
 		Status:        "ok",
+		Version:       ccdac.Version,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		InFlight:      s.inflight.Load(),
 		Served:        s.served.Load(),

@@ -19,11 +19,20 @@ import (
 )
 
 // reqInfo rides the request context: the request ID assigned by wrap
-// and, for generate requests, the root span ID the handler publishes
-// so the access log can correlate to the span tree.
+// and, for generate requests, the root span ID and retained-trace
+// reference the handler publishes so the access log can correlate to
+// the span tree and the latency histogram can carry exemplars.
 type reqInfo struct {
 	id     string
 	spanID atomic.Uint64
+	trace  atomic.Pointer[traceRef]
+}
+
+// traceRef is the flight recorder's verdict on this request's trace,
+// set by run() once the trace is offered.
+type traceRef struct {
+	id     string
+	reason obs.RetainReason
 }
 
 type reqInfoKey struct{}
@@ -75,6 +84,14 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(b)
 	w.bytes += int64(n)
 	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming handlers (the
+// /v1/events SSE stream) work through the middleware wrapper.
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
 }
 
 // wrap is the middleware chain applied to every route: request-ID
@@ -136,11 +153,28 @@ func (s *Server) wrap(route string, limited bool, h http.Handler) http.Handler {
 			s.served.Add(1)
 			code := strconv.Itoa(sw.code)
 			s.reg.Counter("ccdac_serve_requests_total", obs.Labels{"route": route, "code": code}).Inc()
-			s.reg.Histogram("ccdac_serve_request_seconds", obs.Labels{"route": route},
-				obs.DefaultDurationBuckets).Observe(d.Seconds())
+			hist := s.reg.Histogram("ccdac_serve_request_seconds", obs.Labels{"route": route},
+				obs.DefaultDurationBuckets)
+			tref := ri.trace.Load()
+			if tref != nil {
+				// Requests with a retained trace leave an exemplar on their
+				// latency bucket: the OpenMetrics link from "p99 spiked" to
+				// the exact trace at /debug/traces/{id}.
+				hist.ObserveExemplar(d.Seconds(), tref.id)
+			} else {
+				hist.Observe(d.Seconds())
+			}
 			level := slog.LevelInfo
 			if sw.code >= 500 {
 				level = slog.LevelError
+			}
+			msg := "request"
+			slow := s.opts.SlowRequest > 0 && d >= s.opts.SlowRequest
+			if slow {
+				msg = "slow request"
+				if level < slog.LevelWarn {
+					level = slog.LevelWarn
+				}
 			}
 			attrs := []slog.Attr{
 				slog.String("method", r.Method),
@@ -154,7 +188,15 @@ func (s *Server) wrap(route string, limited bool, h http.Handler) http.Handler {
 			if id := ri.spanID.Load(); id != 0 {
 				attrs = append(attrs, slog.Uint64("span_id", id))
 			}
-			s.log.LogAttrs(r.Context(), level, "request", attrs...)
+			if tref != nil {
+				attrs = append(attrs,
+					slog.String("trace_id", tref.id),
+					slog.String("trace_reason", string(tref.reason)))
+			}
+			if slow {
+				attrs = append(attrs, slog.String("slow_threshold", s.opts.SlowRequest.String()))
+			}
+			s.log.LogAttrs(r.Context(), level, msg, attrs...)
 		}()
 		h.ServeHTTP(sw, r)
 	})

@@ -17,11 +17,17 @@ import (
 	"ccdac/internal/store"
 )
 
-// persistJob is one finished cold generation awaiting durability.
+// persistJob is one finished cold generation — or one tail-sampled
+// trace (traceID set, key empty) — awaiting durability.
 type persistJob struct {
 	key string
 	req GenerateRequest
 	cr  *cachedResult
+
+	// traceID/trace carry a retained trace's OTLP blob instead of a
+	// result.
+	traceID string
+	trace   []byte
 }
 
 // persister drains persist jobs through one background goroutine into
@@ -59,6 +65,10 @@ func (p *persister) loop() {
 // provenance link. Store-level failures degrade inside the store (it
 // flips memory-only); nothing here can fail a request.
 func (p *persister) persist(job persistJob) {
+	if job.traceID != "" {
+		p.persistTrace(job)
+		return
+	}
 	data, err := json.Marshal(job.cr)
 	if err != nil {
 		return
@@ -73,6 +83,29 @@ func (p *persister) persist(job persistJob) {
 	cfg, _ := json.Marshal(job.req)
 	_, _ = p.st.AppendProvenance(store.ProvenanceRecord{
 		Key:        job.key,
+		Artifact:   hash,
+		ConfigJSON: string(cfg),
+		Seed:       job.req.AnnealSeed,
+		GoVersion:  runtime.Version(),
+		CodeHash:   codeHash(),
+	})
+}
+
+// persistTrace stores one tail-sampled trace's OTLP export: blob,
+// trace/<id> index entry, and a provenance record tying the trace to
+// the request config that produced it.
+func (p *persister) persistTrace(job persistJob) {
+	hash, err := p.st.Put(job.trace)
+	if err != nil {
+		return
+	}
+	key := traceIndexKey(job.traceID)
+	if err := p.st.SetIndex(key, hash); err != nil {
+		return
+	}
+	cfg, _ := json.Marshal(job.req)
+	_, _ = p.st.AppendProvenance(store.ProvenanceRecord{
+		Key:        key,
 		Artifact:   hash,
 		ConfigJSON: string(cfg),
 		Seed:       job.req.AnnealSeed,

@@ -10,11 +10,13 @@
 //
 // Endpoints:
 //
-//	POST /v1/generate   JSON config in, JSON metrics summary + warnings out
-//	GET  /metrics       Prometheus text exposition of the global registry
-//	GET  /healthz       liveness + uptime/inflight/request counts
-//	GET  /readyz        readiness (503 while draining)
-//	     /debug/pprof/  net/http/pprof profiles
+//	POST /v1/generate    JSON config in, JSON metrics summary + warnings out
+//	GET  /v1/events      SSE stream of live span events (?request_id= filters)
+//	GET  /metrics        Prometheus (or OpenMetrics, via Accept) exposition
+//	GET  /healthz        liveness + uptime/inflight/request counts + version
+//	GET  /readyz         readiness (503 while draining)
+//	GET  /debug/traces   flight-recorder index; /debug/traces/{id} full trace
+//	     /debug/pprof/   net/http/pprof profiles
 //
 // Request middleware (see wrap): request-ID generation, structured
 // slog JSON logging correlated to the root span ID, per-route latency
@@ -94,6 +96,23 @@ type Options struct {
 	// disk cannot keep up, further results stay memory-only and a drop
 	// counter ticks rather than any request blocking.
 	StoreQueue int
+	// TraceCapacity bounds each retention class of the flight recorder
+	// (error / degraded / slow / recent rings; see internal/obs): 0
+	// selects the default (32 per class), negative disables trace
+	// recording entirely — /debug/traces then 404s.
+	TraceCapacity int
+	// TraceSlowQuantile is the latency quantile above which a healthy
+	// request's trace is tail-sampled as "slow" (default 0.99).
+	TraceSlowQuantile float64
+	// SlowRequest, when positive, escalates the access log to WARN for
+	// requests slower than this threshold, tagging the entry with the
+	// root span ID and the retained trace ID for follow-up via
+	// /debug/traces/{id}.
+	SlowRequest time.Duration
+	// EventBuffer is the per-subscriber channel depth for GET /v1/events
+	// SSE streams (default 256). A subscriber that cannot keep up loses
+	// events — publishing never blocks the pipeline.
+	EventBuffer int
 }
 
 // Server is one daemon instance: the route mux, the process-level
@@ -121,6 +140,12 @@ type Server struct {
 	// without Options.StoreDir); persist is its write-behind queue.
 	store   *store.Store
 	persist *persister
+
+	// recorder is the flight recorder of recently completed request
+	// traces (nil when Options.TraceCapacity < 0); bus streams live span
+	// events to /v1/events subscribers.
+	recorder *obs.Recorder
+	bus      *obs.Bus
 
 	mu   sync.Mutex
 	addr string
@@ -191,11 +216,21 @@ func New(opts Options) *Server {
 			s.log.Info("artifact store opened", "dir", opts.StoreDir, "indexed_results", n)
 		}
 	}
+	if opts.TraceCapacity >= 0 {
+		s.recorder = obs.NewRecorder(obs.RecorderOptions{
+			Capacity:     opts.TraceCapacity,
+			SlowQuantile: opts.TraceSlowQuantile,
+		})
+	}
+	s.bus = obs.NewBus()
 	s.ready.Store(true)
 
 	s.mux.Handle("POST /v1/generate", s.wrap("generate", true, http.HandlerFunc(s.handleGenerate)))
 	s.mux.Handle("POST /v1/batch", s.wrap("batch", true, http.HandlerFunc(s.handleBatch)))
 	s.mux.Handle("GET /v1/artifacts/{hash}", s.wrap("artifacts", false, http.HandlerFunc(s.handleArtifact)))
+	s.mux.Handle("GET /v1/events", s.wrap("events", false, http.HandlerFunc(s.handleEvents)))
+	s.mux.Handle("GET /debug/traces", s.wrap("traces", false, http.HandlerFunc(s.handleTraceIndex)))
+	s.mux.Handle("GET /debug/traces/{id}", s.wrap("traces", false, http.HandlerFunc(s.handleTraceGet)))
 	s.mux.Handle("GET /metrics", s.wrap("metrics", false, http.HandlerFunc(s.handleMetrics)))
 	s.mux.Handle("GET /healthz", s.wrap("healthz", false, http.HandlerFunc(s.handleHealthz)))
 	s.mux.Handle("GET /readyz", s.wrap("readyz", false, http.HandlerFunc(s.handleReadyz)))

@@ -1,0 +1,174 @@
+// Trace introspection endpoints: the flight recorder's index and span
+// trees (GET /debug/traces, /debug/traces/{id}) and the live span event
+// stream (GET /v1/events, Server-Sent Events). The recorder holds the
+// recent past — errored, degraded, and slowest-percentile requests pinned
+// by the tail sampler — while the SSE stream shows the present: span
+// start/end and counter events of in-flight generations, published by
+// the span bus without ever blocking the pipeline.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ccdac/internal/obs"
+)
+
+// sseHeartbeat keeps idle event streams alive through proxies that
+// time out silent connections.
+const sseHeartbeat = 10 * time.Second
+
+// traceIndexResponse is the JSON body of GET /debug/traces.
+type traceIndexResponse struct {
+	Traces []obs.TraceSummary `json:"traces"`
+	Stats  traceIndexStats    `json:"stats"`
+}
+
+type traceIndexStats struct {
+	Offered              int64            `json:"offered"`
+	Evicted              int64            `json:"evicted"`
+	Retained             map[string]int64 `json:"retained"`
+	Live                 int              `json:"live"`
+	SlowThresholdSeconds float64          `json:"slow_threshold_seconds"`
+}
+
+// handleTraceIndex lists every retained trace, newest first, with its
+// retention reason — the entry point for "what went wrong recently".
+func (s *Server) handleTraceIndex(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("serve: trace recording disabled"))
+		return
+	}
+	st := s.recorder.Stats()
+	retained := make(map[string]int64, len(st.Retained))
+	for k, v := range st.Retained {
+		retained[string(k)] = v
+	}
+	writeJSON(w, http.StatusOK, traceIndexResponse{
+		Traces: s.recorder.List(),
+		Stats: traceIndexStats{
+			Offered: st.Offered, Evicted: st.Evicted, Retained: retained,
+			Live: st.Live, SlowThresholdSeconds: st.SlowThresholdSeconds,
+		},
+	})
+}
+
+// traceResponse is the JSON body of GET /debug/traces/{id}: the index
+// row plus the full span tree and, when the trace was persisted to the
+// artifact store, the content hash of its durable OTLP blob.
+type traceResponse struct {
+	TraceID         string           `json:"trace_id"`
+	Tag             string           `json:"tag,omitempty"`
+	Name            string           `json:"name"`
+	Start           time.Time        `json:"start"`
+	DurationSeconds float64          `json:"duration_seconds"`
+	Err             string           `json:"error,omitempty"`
+	Warnings        int              `json:"warnings,omitempty"`
+	Reason          obs.RetainReason `json:"reason"`
+	ArtifactHash    string           `json:"artifact_hash,omitempty"`
+	Spans           []obs.SpanRecord `json:"spans"`
+}
+
+// handleTraceGet returns one retained trace: the native span-tree JSON
+// by default, or an OTLP/JSON export (?format=otlp) ready to POST to a
+// collector's /v1/traces.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("serve: trace recording disabled"))
+		return
+	}
+	id := r.PathValue("id")
+	t, ok := s.recorder.Get(id)
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("serve: trace %q not retained (expired or never recorded)", id))
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "otlp":
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.WriteOTLP(w, "ccdacd", t.ID, t.Spans); err != nil {
+			s.log.Error("otlp write failed", "trace_id", id, "err", err)
+		}
+	case "", "json":
+		resp := traceResponse{
+			TraceID: t.ID, Tag: t.Tag, Name: t.Name, Start: t.Start,
+			DurationSeconds: t.Duration.Seconds(),
+			Err:             t.Err, Warnings: t.Warnings, Reason: t.Reason,
+			Spans: t.Spans,
+		}
+		if s.store != nil {
+			if hash, ok := s.store.LookupIndex(traceIndexKey(t.ID)); ok {
+				resp.ArtifactHash = hash
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		s.writeError(w, r, http.StatusBadRequest,
+			fmt.Errorf("serve: unknown trace format %q (want \"json\" or \"otlp\")", format))
+	}
+}
+
+// handleEvents streams live span events as Server-Sent Events:
+//
+//	curl -N 'http://localhost:8080/v1/events?request_id=abc123'
+//
+// Each event carries the bus sequence number as the SSE id (gaps mean
+// the stream fell behind and events were dropped — the bus never
+// blocks a request on a slow consumer), the event type (span_start,
+// span_end, counter, trace_finish) as the SSE event name, and the
+// obs.Event JSON as data. With a request_id filter the stream closes
+// itself after that trace's trace_finish; unfiltered streams run until
+// the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, r, http.StatusInternalServerError, fmt.Errorf("serve: streaming unsupported"))
+		return
+	}
+	filter := r.URL.Query().Get("request_id")
+	sub := s.bus.Subscribe(filter, s.opts.EventBuffer)
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+				return
+			}
+			fl.Flush()
+			if filter != "" && ev.Type == obs.EventTraceFinish {
+				// The subscribed request is done; nothing more will match.
+				return
+			}
+		}
+	}
+}
+
+// traceIndexKey is the store index key under which a retained trace's
+// OTLP blob is persisted.
+func traceIndexKey(id string) string { return "trace/" + id }

@@ -39,13 +39,18 @@ type SpanRecord struct {
 // histograms). See docs/OBSERVABILITY.md for the span model and the
 // metric naming convention.
 type Trace struct {
+	id      string
 	spans   []obs.SpanRecord
 	metrics obs.MetricsSnapshot
 }
 
 func newTrace(t *obs.Trace) *Trace {
-	return &Trace{spans: t.Spans(), metrics: t.Registry().Snapshot()}
+	return &Trace{id: t.ID(), spans: t.Spans(), metrics: t.Registry().Snapshot()}
 }
+
+// ID returns the run's 32-hex trace identifier (the OTLP trace ID used
+// by WriteOTLP).
+func (t *Trace) ID() string { return t.id }
 
 // Spans returns the finished spans in completion order.
 func (t *Trace) Spans() []SpanRecord {
@@ -87,6 +92,13 @@ func (t *Trace) MetricsSnapshot() obs.MetricsSnapshot { return t.metrics }
 
 // WriteJSONL emits the spans as JSON Lines, one span event per line.
 func (t *Trace) WriteJSONL(w io.Writer) error { return obs.WriteJSONL(w, t.spans) }
+
+// WriteOTLP emits the span tree as one OTLP/JSON export request under
+// the given service name, ready to POST to any OTLP collector
+// (Jaeger, Tempo, otel-collector) at /v1/traces.
+func (t *Trace) WriteOTLP(w io.Writer, service string) error {
+	return obs.WriteOTLP(w, service, t.id, t.spans)
+}
 
 // WritePrometheus emits the run's metrics in the Prometheus text
 // exposition format.

@@ -1,0 +1,10 @@
+package ccdac
+
+// Version identifies the build. It is "dev" for plain `go build` and
+// is stamped by the Makefile via
+//
+//	go build -ldflags "-X ccdac.Version=$(git describe --tags --always --dirty)"
+//
+// The serve daemon exposes it as the ccdac_build_info metric and the
+// /healthz version field; the CLIs print it under -version.
+var Version = "dev"
