@@ -5,7 +5,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X ccdac.Version=$(VERSION)"
 
-.PHONY: check fmt vet build test race fuzz bench bench-obs bench-analyze bench-smoke serve-bench bench-cache bench-store store-smoke install
+.PHONY: check fmt vet build test race fuzz bench bench-obs bench-analyze bench-smoke serve-bench bench-cache bench-store store-smoke bench-diff bench-update install
 
 check: fmt vet build race
 
@@ -88,3 +88,19 @@ bench-store:
 # then assert quarantine-free recovery with warm cache hits.
 store-smoke:
 	sh scripts/store_smoke.sh
+
+# Benchmark regression gate: wrap every BENCH_*.json into the canonical
+# benchfmt schema and compare against the latest same-suite entry in
+# the append-only BENCH_HISTORY.jsonl trajectory. Fails (exit 1) when a
+# gating metric moved the wrong way beyond BENCH_TOLERANCE (default 5%)
+# or vanished from a harness (see docs/PERFORMANCE.md).
+BENCH_TOLERANCE ?= 0.05
+bench-diff:
+	$(GO) run ./cmd/benchdiff -history BENCH_HISTORY.jsonl \
+		-tolerance $(BENCH_TOLERANCE) BENCH_*.json
+
+# Move the regression baseline: compare, then append the current
+# reports to the trajectory. Run after an intentional perf change.
+bench-update:
+	$(GO) run ./cmd/benchdiff -history BENCH_HISTORY.jsonl \
+		-tolerance $(BENCH_TOLERANCE) -update BENCH_*.json

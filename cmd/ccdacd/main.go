@@ -13,6 +13,7 @@
 //	curl -s localhost:8080/debug/traces
 //	curl -s localhost:8080/debug/traces/<id>?format=otlp
 //	curl -N  localhost:8080/v1/events?request_id=<id>   # live SSE span stream
+//	curl -sX POST 'localhost:8080/debug/profile?seconds=2'  # on-demand capture
 //	go tool pprof localhost:8080/debug/pprof/profile?seconds=10
 //
 // Every request runs under its own observability trace; its metrics
@@ -52,6 +53,10 @@ func main() {
 	traceSlowQ := flag.Float64("trace-slow-quantile", 0, "latency quantile above which healthy traces are tail-sampled as slow (0 = 0.99)")
 	slowRequest := flag.Duration("slow-request", 0, "log WARN with trace correlation for requests slower than this (0 = disabled)")
 	eventBuffer := flag.Int("event-buffer", 0, "per-subscriber buffer for /v1/events SSE streams (0 = 256)")
+	profileWindow := flag.Duration("profile-window", 0, "CPU-profile window for triggered/manual captures (0 = 2s, negative = disable profile capture)")
+	profileCooldown := flag.Duration("profile-cooldown", 0, "minimum gap between triggered profile captures (0 = 60s)")
+	numericInterval := flag.Duration("numeric-interval", 0, "minimum gap between numeric-health golden-check sweeps (0 = 1m, negative = disable)")
+	accessLogSample := flag.Int("access-log-sample", 1, "log 1-in-N healthy (2xx, INFO) access lines; WARN+ always logs (1 = log all)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -83,6 +88,10 @@ func main() {
 		TraceSlowQuantile: *traceSlowQ,
 		SlowRequest:       *slowRequest,
 		EventBuffer:       *eventBuffer,
+		ProfileWindow:     *profileWindow,
+		ProfileCooldown:   *profileCooldown,
+		NumericInterval:   *numericInterval,
+		AccessLogSample:   *accessLogSample,
 		Logger:            logger,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,355 @@
+// Package benchfmt is the canonical benchmark-report schema and the
+// regression comparator behind `make bench-diff`.
+//
+// The repo accumulated five BENCH_*.json files with five ad-hoc shapes
+// (nested objects, arrays of sweep points, counter maps keyed by
+// Prometheus series). Rather than rewrite every harness, benchfmt
+// adopts them: Wrap flattens any of those JSON documents into a flat
+// metric map under dot-paths (`coupling.1.speedup`,
+// `load.p99_seconds`), stamps it with a schema version and suite name,
+// and the result round-trips through the append-only
+// BENCH_HISTORY.jsonl trajectory. Diff then compares two reports
+// metric by metric, classifying each metric's improvement direction
+// from its name — the same suffix conventions the metric names already
+// follow (docs/OBSERVABILITY.md) — so `_seconds` regressing up and
+// `per_second` regressing down both fail, while `bits` or `gomaxprocs`
+// merely changing does not.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion is the current report schema. Diff refuses to compare
+// across versions: a silent cross-version comparison is exactly the
+// kind of apples-to-oranges result a regression gate must not produce.
+const SchemaVersion = 1
+
+// Report is one benchmark run in canonical form.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Suite         string `json:"suite"`
+	// UnixTime is when the run was recorded (set by the recorder, not
+	// by Wrap, so wrapping stays deterministic for tests).
+	UnixTime int64 `json:"unix_time,omitempty"`
+	// GoVersion and Host describe the environment for trajectory
+	// forensics; they do not participate in comparison.
+	GoVersion string `json:"go_version,omitempty"`
+	Host      string `json:"host,omitempty"`
+	// Metrics is the flat dot-path → value map.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Wrap flattens a raw benchmark JSON document into a canonical Report
+// for the given suite. Every numeric leaf becomes a metric under its
+// dot-joined path (array elements by index); booleans count as 0/1;
+// strings are dropped. A document that already carries schema_version
+// and metrics is loaded as-is (its embedded suite must match).
+func Wrap(suite string, raw []byte) (*Report, error) {
+	var probe struct {
+		SchemaVersion *int               `json:"schema_version"`
+		Suite         string             `json:"suite"`
+		Metrics       map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &probe); err == nil &&
+		probe.SchemaVersion != nil && probe.Metrics != nil {
+		var r Report
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, fmt.Errorf("benchfmt: canonical report: %w", err)
+		}
+		if r.Suite != suite {
+			return nil, fmt.Errorf("benchfmt: report suite %q, want %q", r.Suite, suite)
+		}
+		return &r, nil
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("benchfmt: suite %s: %w", suite, err)
+	}
+	r := &Report{SchemaVersion: SchemaVersion, Suite: suite, Metrics: map[string]float64{}}
+	flatten("", doc, r.Metrics)
+	if len(r.Metrics) == 0 {
+		return nil, fmt.Errorf("benchfmt: suite %s: no numeric metrics found", suite)
+	}
+	return r, nil
+}
+
+func flatten(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			flatten(join(prefix, k), t[k], out)
+		}
+	case []any:
+		for i, e := range t {
+			flatten(join(prefix, strconv.Itoa(i)), e, out)
+		}
+	case float64:
+		out[prefix] = t
+	case bool:
+		if t {
+			out[prefix] = 1
+		} else {
+			out[prefix] = 0
+		}
+	}
+}
+
+func join(prefix, k string) string {
+	if prefix == "" {
+		return k
+	}
+	return prefix + "." + k
+}
+
+// Direction is a metric's improvement direction.
+type Direction string
+
+const (
+	// HigherBetter metrics regress when they fall (throughput,
+	// speedups, hit rates).
+	HigherBetter Direction = "higher"
+	// LowerBetter metrics regress when they rise (durations,
+	// overheads, allocation counts, drops).
+	LowerBetter Direction = "lower"
+	// Info metrics describe the run (bits, worker counts, request
+	// totals) and never gate.
+	Info Direction = "info"
+)
+
+// higherMarks and lowerMarks classify metrics from the naming
+// conventions the harnesses already follow. Higher-better marks are
+// checked first: "writes_per_second" must classify as throughput even
+// though "writes" alone would be informational.
+var higherMarks = []string{
+	"per_second", "speedup", "hit_rate", "dedup", "mb_per_second",
+}
+
+var lowerMarks = []string{
+	"_seconds", "overhead", "ns_per_op", "allocs_per_op", "bytes_per_op",
+	"dropped", "errors", "shed", "scaling_exponent", "fallback",
+}
+
+// Classify derives a metric's improvement direction from its dot-path
+// name. Only the final path segment's conventions matter, but marks
+// are matched against the whole path so `load.p99_seconds` and
+// `stage_seconds.analysis` both classify as durations.
+func Classify(name string) Direction {
+	n := strings.ToLower(name)
+	for _, m := range higherMarks {
+		if strings.Contains(n, m) {
+			return HigherBetter
+		}
+	}
+	for _, m := range lowerMarks {
+		if strings.Contains(n, m) {
+			return LowerBetter
+		}
+	}
+	return Info
+}
+
+// Verdict is the outcome of one metric's comparison.
+type Verdict string
+
+const (
+	VerdictOK        Verdict = "ok"        // within tolerance
+	VerdictImproved  Verdict = "improved"  // beyond tolerance, right way
+	VerdictRegressed Verdict = "regressed" // beyond tolerance, wrong way
+	VerdictInfo      Verdict = "info"      // non-gating metric changed
+	VerdictMissing   Verdict = "missing"   // gating metric vanished
+	VerdictNew       Verdict = "new"       // metric absent from baseline
+)
+
+// MetricDiff is one metric's comparison.
+type MetricDiff struct {
+	Name      string    `json:"name"`
+	Direction Direction `json:"direction"`
+	Old       float64   `json:"old,omitempty"`
+	New       float64   `json:"new,omitempty"`
+	// Change is the signed relative change (new−old)/|old|, or the
+	// absolute delta when the baseline is ~0 (Absolute true).
+	Change   float64 `json:"change"`
+	Absolute bool    `json:"absolute,omitempty"`
+	Verdict  Verdict `json:"verdict"`
+}
+
+// DiffOptions tunes the comparator.
+type DiffOptions struct {
+	// Tolerance is the relative change beyond which a gating metric
+	// counts as regressed/improved (default 0.05 = 5%).
+	Tolerance float64
+}
+
+// DiffResult is the full comparison of one suite.
+type DiffResult struct {
+	Suite     string       `json:"suite"`
+	Tolerance float64      `json:"tolerance"`
+	Metrics   []MetricDiff `json:"metrics"`
+
+	Regressions, Improvements, Missing int
+}
+
+// OK reports whether the comparison gates clean: no regressions and no
+// vanished gating metrics.
+func (d *DiffResult) OK() bool { return d.Regressions == 0 && d.Missing == 0 }
+
+// Diff compares a current report against its baseline. It errors on
+// schema-version or suite mismatch rather than producing a verdict —
+// those are comparator misuse, not benchmark regressions.
+func Diff(baseline, current *Report, opts DiffOptions) (*DiffResult, error) {
+	if baseline.SchemaVersion != current.SchemaVersion {
+		return nil, fmt.Errorf("benchfmt: schema version mismatch: baseline v%d, current v%d",
+			baseline.SchemaVersion, current.SchemaVersion)
+	}
+	if baseline.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("benchfmt: unsupported schema version %d (comparator speaks v%d)",
+			baseline.SchemaVersion, SchemaVersion)
+	}
+	if baseline.Suite != current.Suite {
+		return nil, fmt.Errorf("benchfmt: suite mismatch: baseline %q, current %q",
+			baseline.Suite, current.Suite)
+	}
+	tol := opts.Tolerance
+	if tol <= 0 {
+		tol = 0.05
+	}
+	res := &DiffResult{Suite: current.Suite, Tolerance: tol}
+	names := make([]string, 0, len(baseline.Metrics)+len(current.Metrics))
+	for n := range baseline.Metrics {
+		names = append(names, n)
+	}
+	for n := range current.Metrics {
+		if _, ok := baseline.Metrics[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		md := MetricDiff{Name: name, Direction: Classify(name)}
+		oldV, hasOld := baseline.Metrics[name]
+		newV, hasNew := current.Metrics[name]
+		md.Old, md.New = oldV, newV
+		switch {
+		case !hasNew:
+			if md.Direction == Info {
+				md.Verdict = VerdictInfo
+			} else {
+				// A gating metric that vanished is a broken harness or a
+				// silently dropped measurement — fail loudly either way.
+				md.Verdict = VerdictMissing
+				res.Missing++
+			}
+		case !hasOld:
+			md.Verdict = VerdictNew
+		default:
+			md.Change, md.Absolute = change(oldV, newV)
+			md.Verdict = verdict(md.Direction, md.Change, tol)
+			switch md.Verdict {
+			case VerdictRegressed:
+				res.Regressions++
+			case VerdictImproved:
+				res.Improvements++
+			}
+		}
+		res.Metrics = append(res.Metrics, md)
+	}
+	return res, nil
+}
+
+// change computes the signed change from old to new: relative when the
+// baseline is nonzero, absolute otherwise (a counter ticking from 0 to
+// 1 is a one-unit move, not an infinite regression).
+func change(oldV, newV float64) (c float64, absolute bool) {
+	if math.Abs(oldV) > 1e-9 {
+		return (newV - oldV) / math.Abs(oldV), false
+	}
+	return newV - oldV, true
+}
+
+func verdict(dir Direction, chg, tol float64) Verdict {
+	if dir == Info {
+		if chg != 0 {
+			return VerdictInfo
+		}
+		return VerdictOK
+	}
+	if math.Abs(chg) <= tol {
+		return VerdictOK
+	}
+	worse := chg > 0
+	if dir == HigherBetter {
+		worse = chg < 0
+	}
+	if worse {
+		return VerdictRegressed
+	}
+	return VerdictImproved
+}
+
+// AppendHistory appends the report as one line to the JSONL trajectory
+// at path, creating the file if needed.
+func AppendHistory(path string, r *Report) error {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("benchfmt: encoding history entry: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("benchfmt: opening history: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("benchfmt: appending history: %w", err)
+	}
+	return f.Close()
+}
+
+// LatestInHistory scans the JSONL trajectory and returns the last
+// parseable entry for the suite, or (nil, nil) when the suite has no
+// history. A torn or corrupt line (e.g. a crash mid-append) is skipped
+// rather than poisoning every later comparison, mirroring the store
+// index's torn-entry policy.
+func LatestInHistory(path, suite string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("benchfmt: opening history: %w", err)
+	}
+	defer f.Close()
+	var latest *Report
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r Report
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			continue
+		}
+		if r.Suite == suite {
+			cp := r
+			latest = &cp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: scanning history: %w", err)
+	}
+	return latest, nil
+}

@@ -1,0 +1,242 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWrapFlattensAdHocShapes(t *testing.T) {
+	// A miniature of BENCH_serve.json's shape: nested object, array,
+	// counter map with brace-bearing keys, and a string to drop.
+	raw := []byte(`{
+		"bits": 6,
+		"style": "spiral",
+		"load": {"p99_seconds": 0.034, "requests_per_second": 768.3},
+		"coupling": [{"bits": 6, "speedup": 2.03}, {"bits": 8, "speedup": 4.48}],
+		"server_counters": {"ccdac_http_requests_total{route=/v1/generate}": 160},
+		"ok": true
+	}`)
+	r, err := Wrap("serve", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"bits":                     6,
+		"load.p99_seconds":         0.034,
+		"load.requests_per_second": 768.3,
+		"coupling.0.bits":          6,
+		"coupling.0.speedup":       2.03,
+		"coupling.1.bits":          8,
+		"coupling.1.speedup":       4.48,
+		"server_counters.ccdac_http_requests_total{route=/v1/generate}": 160,
+		"ok": 1,
+	}
+	if len(r.Metrics) != len(want) {
+		t.Fatalf("got %d metrics %v, want %d", len(r.Metrics), r.Metrics, len(want))
+	}
+	for k, v := range want {
+		if r.Metrics[k] != v {
+			t.Errorf("metric %q = %g, want %g", k, r.Metrics[k], v)
+		}
+	}
+	if _, ok := r.Metrics["style"]; ok {
+		t.Error("string leaf became a metric")
+	}
+}
+
+func TestWrapRealBenchFiles(t *testing.T) {
+	// Every committed BENCH file must flatten cleanly — the comparator
+	// adopts them as-is.
+	matches, err := filepath.Glob("../../BENCH_*.json")
+	if err != nil || len(matches) == 0 {
+		t.Skipf("no committed bench files visible: %v", err)
+	}
+	for _, f := range matches {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Wrap("x", raw)
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if len(r.Metrics) == 0 {
+			t.Errorf("%s: flattened to zero metrics", f)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[string]Direction{
+		"load.p99_seconds":          LowerBetter,
+		"stage_seconds.analysis":    LowerBetter,
+		"recorder_overhead_percent": LowerBetter,
+		"cg_allocs_per_op":          LowerBetter,
+		"load.shed":                 LowerBetter,
+		"writes_per_second":         HigherBetter,
+		"write_mb_per_second":       HigherBetter,
+		"serve_speedup":             HigherBetter,
+		"warm_restart_hit_rate":     HigherBetter,
+		"batch_dedup_factor":        HigherBetter,
+		"bits":                      Info,
+		"gomaxprocs":                Info,
+		"warm_restart_entries":      Info,
+	}
+	for name, want := range cases {
+		if got := Classify(name); got != want {
+			t.Errorf("Classify(%q) = %s, want %s", name, got, want)
+		}
+	}
+}
+
+func rep(suite string, m map[string]float64) *Report {
+	return &Report{SchemaVersion: SchemaVersion, Suite: suite, Metrics: m}
+}
+
+func TestDiffImprovement(t *testing.T) {
+	base := rep("s", map[string]float64{"run_seconds": 1.0, "ops_per_second": 100})
+	cur := rep("s", map[string]float64{"run_seconds": 0.5, "ops_per_second": 200})
+	res, err := Diff(base, cur, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Improvements != 2 || res.Regressions != 0 {
+		t.Fatalf("improvement run: %+v", res)
+	}
+}
+
+func TestDiffRegression(t *testing.T) {
+	base := rep("s", map[string]float64{"run_seconds": 1.0, "ops_per_second": 100, "bits": 8})
+	cur := rep("s", map[string]float64{"run_seconds": 1.12, "ops_per_second": 100, "bits": 10})
+	res, err := Diff(base, cur, DiffOptions{Tolerance: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || res.Regressions != 1 {
+		t.Fatalf("12%% slowdown at 10%% tolerance did not regress: %+v", res)
+	}
+	// The info metric changed but must not gate.
+	for _, m := range res.Metrics {
+		if m.Name == "bits" && m.Verdict != VerdictInfo {
+			t.Errorf("bits verdict = %s, want info", m.Verdict)
+		}
+	}
+	// Within tolerance the same delta passes.
+	res, err = Diff(base, cur, DiffOptions{Tolerance: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("12%% slowdown at 15%% tolerance gated: %+v", res)
+	}
+}
+
+func TestDiffThroughputDropRegresses(t *testing.T) {
+	base := rep("s", map[string]float64{"ops_per_second": 100})
+	cur := rep("s", map[string]float64{"ops_per_second": 80})
+	res, err := Diff(base, cur, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 1 {
+		t.Fatalf("20%% throughput drop did not regress: %+v", res)
+	}
+}
+
+func TestDiffMissingMetric(t *testing.T) {
+	base := rep("s", map[string]float64{"run_seconds": 1.0, "note_count": 3})
+	cur := rep("s", map[string]float64{})
+	res, err := Diff(base, cur, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || res.Missing != 1 {
+		t.Fatalf("vanished gating metric did not gate: %+v", res)
+	}
+}
+
+func TestDiffSchemaVersionMismatch(t *testing.T) {
+	base := rep("s", map[string]float64{"x_seconds": 1})
+	cur := rep("s", map[string]float64{"x_seconds": 1})
+	cur.SchemaVersion = SchemaVersion + 1
+	if _, err := Diff(base, cur, DiffOptions{}); err == nil {
+		t.Fatal("cross-version diff did not error")
+	}
+	base.SchemaVersion = SchemaVersion + 1
+	if _, err := Diff(base, cur, DiffOptions{}); err == nil {
+		t.Fatal("unsupported-version diff did not error")
+	}
+}
+
+func TestDiffSuiteMismatch(t *testing.T) {
+	if _, err := Diff(rep("a", map[string]float64{"x": 1}), rep("b", map[string]float64{"x": 1}), DiffOptions{}); err == nil {
+		t.Fatal("cross-suite diff did not error")
+	}
+}
+
+func TestDiffNearZeroBaselineUsesAbsoluteDelta(t *testing.T) {
+	// overhead_percent swinging from ~0 would explode as a relative
+	// change; it must compare absolutely.
+	base := rep("s", map[string]float64{"overhead_percent": 0})
+	cur := rep("s", map[string]float64{"overhead_percent": 0.02})
+	res, err := Diff(base, cur, DiffOptions{Tolerance: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("0.02-point overhead move over a zero baseline gated: %+v", res)
+	}
+	if !res.Metrics[0].Absolute {
+		t.Fatal("zero-baseline change not flagged absolute")
+	}
+}
+
+func TestHistoryRoundTripAndTornLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	if r, err := LatestInHistory(path, "obs"); err != nil || r != nil {
+		t.Fatalf("missing history: r=%v err=%v, want nil/nil", r, err)
+	}
+	a := rep("obs", map[string]float64{"v": 1})
+	b := rep("obs", map[string]float64{"v": 2})
+	other := rep("store", map[string]float64{"v": 9})
+	for _, r := range []*Report{a, other, b} {
+		if err := AppendHistory(path, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash mid-append: a torn trailing line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"schema_version":1,"suite":"obs","metr`)
+	f.Close()
+
+	got, err := LatestInHistory(path, "obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Metrics["v"] != 2 {
+		t.Fatalf("latest obs entry = %+v, want v=2", got)
+	}
+	gotStore, err := LatestInHistory(path, "store")
+	if err != nil || gotStore == nil || gotStore.Metrics["v"] != 9 {
+		t.Fatalf("latest store entry = %+v err=%v, want v=9", gotStore, err)
+	}
+}
+
+func TestWrapCanonicalPassthrough(t *testing.T) {
+	raw := []byte(`{"schema_version":1,"suite":"obs","metrics":{"x_seconds":1.5}}`)
+	r, err := Wrap("obs", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["x_seconds"] != 1.5 {
+		t.Fatalf("passthrough metrics = %v", r.Metrics)
+	}
+	if _, err := Wrap("store", raw); err == nil {
+		t.Fatal("embedded-suite mismatch not rejected")
+	}
+}

@@ -155,12 +155,23 @@ func ExtractContext(ctx context.Context, l *route.Layout) (*Summary, error) {
 		return nil, err
 	}
 	nodes := 0
+	maxResidual := 0.0
 	for bit, bn := range nets {
 		s.Bits[bit] = *bn
 		nodes += bn.Net.NumNodes()
 		st := bn.Net.Stats()
 		s.CGIterations += st.CGIterations
 		s.CGFallbacks += st.CGFallbacks
+		for _, sv := range st.Solves {
+			// Per-solve distributions, not just the run totals: a single
+			// near-cap solve hiding inside a healthy average is exactly
+			// what the numeric-health histograms exist to expose.
+			obs.Observe(ctx, "ccdac_numeric_cg_solve_iterations", float64(sv.Iterations))
+			obs.Observe(ctx, "ccdac_numeric_cg_residual", sv.Residual)
+			if sv.Residual > maxResidual {
+				maxResidual = sv.Residual
+			}
+		}
 		for _, w := range bn.Net.Warnings() {
 			s.Warnings = append(s.Warnings, fmt.Sprintf("extract: bit %d: %s", bit, w))
 		}
@@ -169,6 +180,7 @@ func ExtractContext(ctx context.Context, l *route.Layout) (*Summary, error) {
 	obs.Count(ctx, "ccdac_extract_nodes_total", int64(nodes))
 	obs.Count(ctx, "ccdac_linalg_cg_iterations_total", int64(s.CGIterations))
 	obs.Count(ctx, "ccdac_rcnet_cg_fallback_total", int64(s.CGFallbacks))
+	obs.SetGauge(ctx, "ccdac_numeric_cg_max_residual", maxResidual)
 	return s, nil
 }
 

@@ -1,0 +1,162 @@
+// Package leakcheck asserts that a test leaves no goroutines behind.
+// The observability stack leans on background goroutines — SSE
+// subscriber pumps, the write-behind persister, triggered profile
+// captures — and each of them has a shutdown path that is easy to
+// break silently: the test passes, the goroutine lives on, and a
+// long-running daemon bleeds memory. Snapshotting the goroutine set
+// before the test body and diffing it afterwards turns that silent
+// leak into a failure naming the exact stack that survived.
+//
+// Usage:
+//
+//	func TestSSEChurn(t *testing.T) {
+//		defer leakcheck.Check(t)()
+//		// ... spin up and tear down subscribers ...
+//	}
+//
+// Goroutines shut down asynchronously (closed channels race with
+// scheduler wakeups), so the diff retries with backoff before
+// declaring a leak.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignoredPrefixes matches goroutines the runtime and stdlib own:
+// always-on system goroutines plus pools (net/http keep-alive, testing
+// harness plumbing) whose lifecycle the test cannot control.
+var ignoredPrefixes = []string{
+	"testing.",
+	"runtime.",
+	"os/signal.",
+	"net/http.(*persistConn",
+	"net/http.(*Transport",
+	"net/http.setRequestCancel",
+	"net.(*",
+	"crypto/tls.",
+	"internal/poll.",
+}
+
+// maxWait bounds the settle loop: ~50 retries at 20ms.
+const (
+	retryDelay = 20 * time.Millisecond
+	maxRetries = 50
+)
+
+// Check snapshots the current goroutine set and returns a function
+// that fails t if new, non-ignored goroutines are still running after
+// the settle window. Call it first thing and defer the result:
+//
+//	defer leakcheck.Check(t)()
+func Check(t testing.TB) func() {
+	t.Helper()
+	before := interesting(snapshot())
+	return func() {
+		t.Helper()
+		var leaked []string
+		for i := 0; i < maxRetries; i++ {
+			leaked = diff(before, interesting(snapshot()))
+			if len(leaked) == 0 {
+				return
+			}
+			time.Sleep(retryDelay)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked:\n%s",
+			len(leaked), strings.Join(leaked, "\n---\n"))
+	}
+}
+
+// snapshot returns every goroutine's stack as separate stanzas.
+func snapshot() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	return strings.Split(string(buf), "\n\n")
+}
+
+// interesting filters out the current goroutine and everything the
+// allowlist matches, keyed for set-difference by creation site plus
+// top frame (goroutine IDs churn; identity of purpose is what leaks).
+func interesting(stacks []string) map[string]string {
+	out := make(map[string]string, len(stacks))
+	for _, s := range stacks {
+		s = strings.TrimSpace(s)
+		if s == "" || strings.Contains(s, "leakcheck.snapshot") {
+			continue
+		}
+		if ignored(s) {
+			continue
+		}
+		out[stackKey(s)] = s
+	}
+	return out
+}
+
+func ignored(stack string) bool {
+	// Only the top frame and the "created by" line identify the
+	// goroutine's owner — deeper frames (every stack bottoms out in
+	// runtime.goexit) would match the allowlist spuriously.
+	top, created := ownerLines(stack)
+	for _, p := range ignoredPrefixes {
+		if strings.HasPrefix(top, p) || strings.HasPrefix(created, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// ownerLines extracts a stanza's top function frame and its creation
+// site (without the "created by " prefix; "" when absent).
+func ownerLines(stack string) (top, created string) {
+	for _, line := range strings.Split(stack, "\n") {
+		line = strings.TrimSpace(line)
+		if top == "" && isFuncLine(line) {
+			top = line
+		}
+		if rest := strings.TrimPrefix(line, "created by "); rest != line {
+			created = rest
+		}
+	}
+	return top, created
+}
+
+// isFuncLine reports whether a stanza line names a function (as
+// opposed to the goroutine header or a file:line location).
+func isFuncLine(line string) bool {
+	return line != "" && !strings.HasPrefix(line, "goroutine ") &&
+		!strings.HasPrefix(line, "\t") && !strings.HasPrefix(line, "/") &&
+		strings.Contains(line, "(")
+}
+
+// stackKey identifies a goroutine by its top frame and creation site
+// (goroutine IDs churn; identity of purpose is what leaks).
+func stackKey(stack string) string {
+	top, created := ownerLines(stack)
+	return top + " | " + created
+}
+
+// diff returns the stacks present in after but not before, sorted for
+// stable failure output.
+func diff(before, after map[string]string) []string {
+	var out []string
+	for key, stack := range after {
+		if _, ok := before[key]; ok {
+			continue
+		}
+		out = append(out, fmt.Sprintf("[%s]\n%s", key, stack))
+	}
+	sort.Strings(out)
+	return out
+}

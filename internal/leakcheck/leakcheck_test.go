@@ -1,0 +1,72 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder captures what Check's returned func reports without failing
+// the real test.
+type recorder struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.failed = true
+	r.msg = strings.ReplaceAll(format, "%", "")
+	for _, a := range args {
+		if s, ok := a.(string); ok {
+			r.msg += " " + s
+		}
+	}
+}
+
+func TestCleanBodyPasses(t *testing.T) {
+	rec := &recorder{TB: t}
+	done := Check(rec)
+	// A goroutine that finishes before the check settles is not a leak.
+	ch := make(chan struct{})
+	go func() { close(ch) }()
+	<-ch
+	done()
+	if rec.failed {
+		t.Fatalf("clean body reported a leak: %s", rec.msg)
+	}
+}
+
+func TestLeakIsDetectedAndNamed(t *testing.T) {
+	rec := &recorder{TB: t}
+	done := Check(rec)
+	stop := make(chan struct{})
+	go leakyWorker(stop)
+	done()
+	close(stop)
+	if !rec.failed {
+		t.Fatal("running goroutine not reported as a leak")
+	}
+	if !strings.Contains(rec.msg, "leakyWorker") {
+		t.Fatalf("leak report does not name the goroutine: %s", rec.msg)
+	}
+}
+
+// leakyWorker blocks until stopped; a named function so the failure
+// message can be asserted on.
+func leakyWorker(stop chan struct{}) {
+	<-stop
+}
+
+func TestSlowShutdownSettles(t *testing.T) {
+	rec := &recorder{TB: t}
+	done := Check(rec)
+	// A goroutine that exits inside the retry window must not trip the
+	// check — shutdown is asynchronous by nature.
+	go time.Sleep(5 * retryDelay)
+	done()
+	if rec.failed {
+		t.Fatalf("slow-but-terminating goroutine reported as leak: %s", rec.msg)
+	}
+}

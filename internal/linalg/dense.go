@@ -213,6 +213,36 @@ func Cholesky(a *Dense) (*Dense, error) {
 	return l, nil
 }
 
+// CondEstFromChol estimates the 2-norm condition number of the SPD
+// matrix A from its Cholesky factor L (A = L·Lᵀ) as
+// (max L[i][i] / min L[i][i])². The squared diagonal ratio of L is a
+// classical cheap lower bound on κ₂(A) — exact for diagonal matrices,
+// and within a small factor for the diagonally dominant covariance and
+// conductance matrices this flow produces. It costs O(n) on a factor
+// that was already computed, which is what lets the health endpoint
+// report conditioning on every request without a second factorization.
+// Returns +Inf for a non-positive diagonal and 1 for an empty factor.
+func CondEstFromChol(l *Dense) float64 {
+	if l.N == 0 {
+		return 1
+	}
+	lo, hi := math.Inf(1), 0.0
+	for i := 0; i < l.N; i++ {
+		d := l.At(i, i)
+		if d <= 0 {
+			return math.Inf(1)
+		}
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	r := hi / lo
+	return r * r
+}
+
 // SolveSPD solves A·x = b for a symmetric positive-definite A by dense
 // Cholesky factorization with forward/back substitution — the robust
 // direct fallback when the iterative CG solve fails to converge.

@@ -132,12 +132,30 @@ func (c *cgScratch) grow(n int) {
 // iterations performed — the solver-effort metric surfaced by the
 // observability layer (maxIter when the solve did not converge).
 func (s *Sparse) SolveCGIter(b []float64, tol float64, maxIter int) ([]float64, int, error) {
+	x, st, err := s.SolveCGStats(b, tol, maxIter)
+	return x, st.Iterations, err
+}
+
+// CGStats reports the effort and terminal accuracy of one CG solve —
+// the raw material for the numeric-health telemetry. Residual is the
+// final relative residual ‖b − A·x‖₂/‖b‖₂ (0 for a zero rhs, which is
+// solved exactly); on ErrNotConverged it is the residual at the
+// iteration cap, quantifying how far the solve was from the target
+// before the dense fallback took over.
+type CGStats struct {
+	Iterations int
+	Residual   float64
+}
+
+// SolveCGStats is SolveCGIter, additionally reporting the final
+// relative residual reached.
+func (s *Sparse) SolveCGStats(b []float64, tol float64, maxIter int) ([]float64, CGStats, error) {
 	if err := fault.Check(fault.StageLinalgCG); err != nil {
-		return nil, 0, err
+		return nil, CGStats{}, err
 	}
 	n := s.N
 	if len(b) != n {
-		return nil, 0, fmt.Errorf("linalg: rhs length %d, want %d", len(b), n)
+		return nil, CGStats{}, fmt.Errorf("linalg: rhs length %d, want %d", len(b), n)
 	}
 	if maxIter <= 0 {
 		maxIter = 10 * n
@@ -150,7 +168,7 @@ func (s *Sparse) SolveCGIter(b []float64, tol float64, maxIter int) ([]float64, 
 	for i := 0; i < n; i++ {
 		d := s.At(i, i)
 		if d <= 0 {
-			return nil, 0, fmt.Errorf("linalg: non-positive diagonal %g at %d (matrix not SPD)", d, i)
+			return nil, CGStats{}, fmt.Errorf("linalg: non-positive diagonal %g at %d (matrix not SPD)", d, i)
 		}
 		mInv[i] = 1 / d
 	}
@@ -159,7 +177,7 @@ func (s *Sparse) SolveCGIter(b []float64, tol float64, maxIter int) ([]float64, 
 	copy(r, b)
 	normB := norm2(b)
 	if normB == 0 {
-		return x, 0, nil
+		return x, CGStats{}, nil
 	}
 	z, p := scratch.z, scratch.p
 	for i := range z {
@@ -172,15 +190,16 @@ func (s *Sparse) SolveCGIter(b []float64, tol float64, maxIter int) ([]float64, 
 		s.MulVec(p, ap)
 		pap := dot(p, ap)
 		if pap <= 0 {
-			return nil, it, fmt.Errorf("linalg: breakdown pᵀAp = %g at iteration %d", pap, it)
+			return nil, CGStats{Iterations: it, Residual: norm2(r) / normB},
+				fmt.Errorf("linalg: breakdown pᵀAp = %g at iteration %d", pap, it)
 		}
 		alpha := rz / pap
 		for i := 0; i < n; i++ {
 			x[i] += alpha * p[i]
 			r[i] -= alpha * ap[i]
 		}
-		if norm2(r) <= tol*normB {
-			return x, it + 1, nil
+		if res := norm2(r); res <= tol*normB {
+			return x, CGStats{Iterations: it + 1, Residual: res / normB}, nil
 		}
 		for i := range z {
 			z[i] = mInv[i] * r[i]
@@ -192,7 +211,7 @@ func (s *Sparse) SolveCGIter(b []float64, tol float64, maxIter int) ([]float64, 
 			p[i] = z[i] + beta*p[i]
 		}
 	}
-	return nil, maxIter, ErrNotConverged
+	return nil, CGStats{Iterations: maxIter, Residual: norm2(r) / normB}, ErrNotConverged
 }
 
 func dot(a, b []float64) float64 {

@@ -1,0 +1,157 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+
+	"ccdac/internal/linalg"
+	"ccdac/internal/tech"
+)
+
+// DefaultChecks returns the stock golden-reference probes covering the
+// kernels the analysis pipeline leans on: the sparse CG solver, dense
+// Cholesky, dense LU, and the process-wide rho memo table. Each
+// problem has an analytically known answer, so drift measures the
+// kernel itself, not a reference implementation.
+func DefaultChecks() []Check {
+	return []Check{
+		{Name: "cg_solve", Run: checkCG},
+		{Name: "chol_reconstruction", Run: checkChol},
+		{Name: "lu_solve", Run: checkLU},
+		{Name: "rho_memo", Run: checkRhoMemo},
+	}
+}
+
+// checkCG solves a shifted 1-D Laplacian (the sparse SPD shape the RC
+// extraction produces) against the known solution x* = 1: the rhs is
+// built as b = A·1, so any drift is solver error, and a CG run at the
+// extraction's own 1e-12 tolerance must land well under DefaultTol.
+func checkCG() (float64, error) {
+	const n = 32
+	s := linalg.NewSparse(n)
+	for i := 0; i < n; i++ {
+		s.Add(i, i, 2.5)
+		if i+1 < n {
+			s.AddSym(i, i+1, -1)
+		}
+	}
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	b := make([]float64, n)
+	s.MulVec(ones, b)
+	x, err := s.SolveCG(b, 1e-12, 0)
+	if err != nil {
+		return math.Inf(1), fmt.Errorf("cg golden solve: %w", err)
+	}
+	return relErr(x, ones), nil
+}
+
+// checkChol factors A = M·Mᵀ + I for a fixed M and measures the
+// reconstruction error max|A − L·Lᵀ| / max|A|.
+func checkChol() (float64, error) {
+	const n = 16
+	a := linalg.NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// Gram matrix of the rows of a fixed full-rank M, plus I:
+			// symmetric positive definite by construction.
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				mi := float64((i*7+k*3)%11) + 1
+				mj := float64((j*7+k*3)%11) + 1
+				sum += mi * mj
+			}
+			a.Set(i, j, sum)
+		}
+		a.Add(i, i, float64(n))
+	}
+	l, err := linalg.Cholesky(a)
+	if err != nil {
+		return math.Inf(1), fmt.Errorf("chol golden factor: %w", err)
+	}
+	maxA, maxDiff := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			rec := 0.0
+			for k := 0; k <= min(i, j); k++ {
+				rec += l.At(i, k) * l.At(j, k)
+			}
+			if v := math.Abs(a.At(i, j)); v > maxA {
+				maxA = v
+			}
+			if d := math.Abs(a.At(i, j) - rec); d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	return maxDiff / maxA, nil
+}
+
+// checkLU solves a well-conditioned fixed system against x* = (1..n).
+func checkLU() (float64, error) {
+	const n = 12
+	a := linalg.NewDense(n)
+	want := make([]float64, n)
+	for i := 0; i < n; i++ {
+		want[i] = float64(i + 1)
+		for j := 0; j < n; j++ {
+			if i == j {
+				a.Set(i, j, float64(n))
+			} else {
+				a.Set(i, j, 1/float64(1+((i*5+j*3)%7)))
+			}
+		}
+	}
+	b := a.MulVec(want)
+	f, err := linalg.LUFactor(a)
+	if err != nil {
+		return math.Inf(1), fmt.Errorf("lu golden factor: %w", err)
+	}
+	x, err := f.Solve(b)
+	if err != nil {
+		return math.Inf(1), fmt.Errorf("lu golden solve: %w", err)
+	}
+	return relErr(x, want), nil
+}
+
+// checkRhoMemo compares the process-wide quantized rho table against
+// the closed form ρ_u^(d/L_c) it memoizes. The table is shared state
+// mutated from every request; this is the one check probing live
+// process state rather than a pure kernel, so it would catch a
+// corrupted or mis-keyed entry that bitwise-identical kernels cannot.
+func checkRhoMemo() (float64, error) {
+	t := tech.FinFET12()
+	rt := t.RhoTable()
+	worst := 0.0
+	for _, d := range []float64{0, 0.35, 1.7, 12.5, 140, 977} {
+		got := rt.Rho(d)
+		want := math.Pow(t.Mis.RhoU, d/t.Mis.LcUm)
+		if want == 0 {
+			continue
+		}
+		if e := math.Abs(got-want) / want; e > worst {
+			worst = e
+		}
+	}
+	return worst, nil
+}
+
+// relErr is ‖x − want‖₂ / ‖want‖₂.
+func relErr(x, want []float64) float64 {
+	num, den := 0.0, 0.0
+	for i := range want {
+		d := x[i] - want[i]
+		num += d * d
+		den += want[i] * want[i]
+	}
+	return math.Sqrt(num / den)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,112 @@
+package numeric
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDefaultChecksPass(t *testing.T) {
+	for _, c := range DefaultChecks() {
+		drift, err := c.Run()
+		if err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+			continue
+		}
+		if drift > DefaultTol {
+			t.Errorf("%s drift = %g, want <= %g", c.Name, drift, DefaultTol)
+		}
+		t.Logf("%s drift = %.3g", c.Name, drift)
+	}
+}
+
+func TestWatchdogDetectsDrift(t *testing.T) {
+	var drift float64
+	var mu sync.Mutex
+	w := New(time.Hour, Check{
+		Name: "synthetic",
+		Tol:  1e-6,
+		Run: func() (float64, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return drift, nil
+		},
+	})
+	res := w.RunOnce()
+	if len(res) != 1 || !res[0].OK {
+		t.Fatalf("healthy check reported unhealthy: %+v", res)
+	}
+	if !w.Healthy() {
+		t.Fatal("watchdog unhealthy after a passing sweep")
+	}
+
+	mu.Lock()
+	drift = 1e-3 // three orders over tolerance
+	mu.Unlock()
+	res = w.RunOnce()
+	if res[0].OK {
+		t.Fatalf("drifted check reported healthy: %+v", res[0])
+	}
+	if w.Healthy() {
+		t.Fatal("watchdog healthy despite drifted check")
+	}
+	st := w.Stats()
+	if st.Runs != 2 || st.Failures != 1 {
+		t.Fatalf("Stats = %+v, want Runs=2 Failures=1", st)
+	}
+}
+
+func TestWatchdogCheckErrorAndPanic(t *testing.T) {
+	w := New(time.Hour,
+		Check{Name: "errors", Run: func() (float64, error) {
+			return 0, errors.New("golden input unavailable")
+		}},
+		Check{Name: "panics", Run: func() (float64, error) {
+			panic("index out of range")
+		}},
+	)
+	res := w.RunOnce()
+	for _, r := range res {
+		if r.OK {
+			t.Errorf("%s reported healthy, want failure: %+v", r.Name, r)
+		}
+		if r.Err == "" {
+			t.Errorf("%s has no error string", r.Name)
+		}
+	}
+}
+
+func TestWatchdogCadence(t *testing.T) {
+	var runs sync.WaitGroup
+	runs.Add(3)
+	var once sync.Mutex
+	n := 0
+	w := New(5*time.Millisecond, Check{
+		Name: "tick",
+		Run: func() (float64, error) {
+			once.Lock()
+			if n < 3 {
+				runs.Done()
+			}
+			n++
+			once.Unlock()
+			return 0, nil
+		},
+	})
+	w.Start()
+	done := make(chan struct{})
+	go func() { runs.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never reached 3 sweeps")
+	}
+	w.Stop()
+	if _, at := w.Snapshot(); at.IsZero() {
+		t.Fatal("Snapshot has no last-run time after sweeps")
+	}
+	// Stop must be idempotent and safe on a never-started watchdog.
+	w.Stop()
+	New(time.Hour).Stop()
+}

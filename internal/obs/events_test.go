@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"ccdac/internal/leakcheck"
 )
 
 // collect drains a subscription until trace_finish (or the channel
@@ -169,6 +171,7 @@ func TestBusNoSubscribersIsCheapAndSilent(t *testing.T) {
 // consume / disconnect against live publishers — the SSE churn shape —
 // under the race detector.
 func TestBusSubscribeChurnUnderLoad(t *testing.T) {
+	defer leakcheck.Check(t)()
 	bus := NewBus()
 	stop := make(chan struct{})
 	var pubs sync.WaitGroup

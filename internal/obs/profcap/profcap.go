@@ -1,0 +1,298 @@
+// Package profcap captures bounded profiling windows when something
+// interesting happens. The flight recorder (internal/obs.Recorder)
+// tells you *that* a request was slow or failed and *where* its wall
+// time went; a CPU profile plus goroutine/heap snapshots captured
+// while the condition is hot tell you *why*. Head-on profiling of
+// every request would be absurdly expensive, so the capturer is
+// triggered: the serve layer fires it when tail sampling retains a
+// trace for cause, and the capturer decides whether a capture is
+// affordable right now.
+//
+// The affordability rules exist so a capture storm can never degrade
+// serving:
+//
+//   - one capture at a time — a trigger that arrives while a window is
+//     open is suppressed, not queued (the process-global CPU profiler
+//     cannot nest anyway);
+//   - a cooldown between captures — one slow burst yields one profile,
+//     not thirty identical ones;
+//   - byte caps per artifact — a pathological profile is dropped, not
+//     persisted.
+//
+// Captures run on their own goroutine; Trigger returns immediately.
+// The CPU profile window uses runtime/pprof's process-wide profiler,
+// so an operator-driven /debug/pprof/profile session and a triggered
+// capture exclude each other — whoever starts second loses and is
+// counted, never blocked.
+package profcap
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tunes a Capturer; the zero value selects defaults.
+type Options struct {
+	// Window is the CPU-profile duration of one capture (default 2s).
+	// Goroutine and heap snapshots are taken at the end of the window.
+	Window time.Duration
+	// Cooldown is the minimum gap between the end of one triggered
+	// capture and the start of the next (default 60s). Manual captures
+	// (CaptureSync) ignore the cooldown but still respect the
+	// one-at-a-time rule.
+	Cooldown time.Duration
+	// MaxBytes caps each artifact (CPU, goroutine, heap); a blob that
+	// exceeds it is discarded and counted rather than truncated, since
+	// a truncated pprof proto is unreadable (default 8 MiB).
+	MaxBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = 2 * time.Second
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 60 * time.Second
+	}
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 8 << 20
+	}
+	return o
+}
+
+// Capture is the result of one profiling window.
+type Capture struct {
+	// Reason is why the capture fired ("slow", "error", "manual");
+	// TraceID is the retained trace that triggered it ("" for manual
+	// captures with no trace context).
+	Reason, TraceID string
+	// Start and Duration bound the CPU-profile window.
+	Start    time.Time
+	Duration time.Duration
+	// CPU is the pprof CPU profile proto; Goroutine and Heap are the
+	// pprof snapshots taken at window close. Any of them is nil when
+	// that artifact exceeded Options.MaxBytes or failed to collect.
+	CPU, Goroutine, Heap []byte
+	// Dropped lists artifacts discarded over the byte cap.
+	Dropped []string
+	// Err is the capture-level failure, non-nil when the CPU profiler
+	// could not start (e.g. an operator pprof session is running).
+	Err error
+}
+
+// Artifact returns one blob by kind ("cpu", "goroutine", "heap"); nil
+// for unknown kinds or artifacts that were dropped or failed.
+func (c Capture) Artifact(kind string) []byte {
+	switch kind {
+	case "cpu":
+		return c.CPU
+	case "goroutine":
+		return c.Goroutine
+	case "heap":
+		return c.Heap
+	}
+	return nil
+}
+
+// Stats is a Capturer's lifetime accounting.
+type Stats struct {
+	// Triggered counts Trigger calls; Captured counts windows that ran
+	// to completion (including manual ones).
+	Triggered, Captured int64
+	// SuppressedBusy counts triggers refused because a capture was in
+	// flight; SuppressedCooldown counts triggers inside the cooldown.
+	SuppressedBusy, SuppressedCooldown int64
+	// OverCap counts artifacts discarded over the byte cap; Errors
+	// counts windows that failed to start the CPU profiler.
+	OverCap, Errors int64
+}
+
+// Capturer arms triggered profile capture. All methods are safe for
+// concurrent use.
+type Capturer struct {
+	opts Options
+
+	// busy is the one-concurrent-capture gate; lastDone is the unix
+	// nanosecond the previous capture finished, read for the cooldown.
+	busy     atomic.Bool
+	lastDone atomic.Int64
+
+	triggered, captured    atomic.Int64
+	supBusy, supCooldown   atomic.Int64
+	overCap, captureErrors atomic.Int64
+
+	// closed refuses new captures; root is canceled by Close to cut an
+	// open window short, and wg tracks the capture in flight so Close
+	// can wait for the process-global CPU profiler to be released.
+	closed atomic.Bool
+	root   context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	// profile hooks, swappable by tests to avoid real 2s CPU windows.
+	startCPU func(w *bytes.Buffer) error
+	stopCPU  func()
+}
+
+// New returns an armed Capturer.
+func New(opts Options) *Capturer {
+	c := &Capturer{opts: opts.withDefaults()}
+	c.root, c.cancel = context.WithCancel(context.Background())
+	c.startCPU = func(w *bytes.Buffer) error { return pprof.StartCPUProfile(w) }
+	c.stopCPU = pprof.StopCPUProfile
+	return c
+}
+
+// Close refuses further captures, cuts any open window short (the
+// partial CPU profile is discarded with its capture's done callback
+// still invoked), and blocks until the process-global CPU profiler is
+// released. The capturer owns that profiler while a window is open, so
+// leaving a window running past the owner's shutdown would poison the
+// next pprof session in the process. Idempotent.
+func (c *Capturer) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	c.cancel()
+	c.wg.Wait()
+}
+
+// Options returns the capturer's effective (defaulted) options.
+func (c *Capturer) Options() Options { return c.opts }
+
+// Trigger requests an asynchronous capture for a retained trace. When
+// the capturer is idle and outside its cooldown it starts the window
+// on a new goroutine and calls done (if non-nil) with the finished
+// Capture; otherwise the trigger is suppressed and counted. The bool
+// reports whether a capture started.
+func (c *Capturer) Trigger(reason, traceID string, done func(Capture)) bool {
+	c.triggered.Add(1)
+	if last := c.lastDone.Load(); last != 0 &&
+		time.Since(time.Unix(0, last)) < c.opts.Cooldown {
+		c.supCooldown.Add(1)
+		return false
+	}
+	if !c.busy.CompareAndSwap(false, true) {
+		c.supBusy.Add(1)
+		return false
+	}
+	// Re-check closed after winning the gate: a Load that observes false
+	// here happens before Close's Swap, so Close's Wait sees this Add.
+	c.wg.Add(1)
+	if c.closed.Load() {
+		c.wg.Done()
+		c.busy.Store(false)
+		c.supBusy.Add(1)
+		return false
+	}
+	go func() {
+		defer c.wg.Done()
+		res := c.capture(c.root, reason, traceID, c.opts.Window)
+		// Cooldown runs from completion: back-to-back windows can never
+		// overlap even with a cooldown shorter than the window.
+		c.lastDone.Store(time.Now().UnixNano())
+		c.busy.Store(false)
+		if done != nil {
+			done(res)
+		}
+	}()
+	return true
+}
+
+// CaptureSync runs one capture on the caller's goroutine — the
+// operator path behind POST /debug/profile. It respects the
+// one-at-a-time rule (returning an error when a capture is already in
+// flight) but not the cooldown: an explicit request wins over the
+// storm damper. window <= 0 selects the configured default; ctx
+// cancellation cuts the window short (the partial profile is still
+// valid — pprof windows are cumulative).
+func (c *Capturer) CaptureSync(ctx context.Context, reason, traceID string, window time.Duration) (Capture, error) {
+	if window <= 0 {
+		window = c.opts.Window
+	}
+	if !c.busy.CompareAndSwap(false, true) {
+		c.supBusy.Add(1)
+		return Capture{}, fmt.Errorf("profcap: capture already in flight")
+	}
+	c.wg.Add(1)
+	if c.closed.Load() {
+		c.wg.Done()
+		c.busy.Store(false)
+		return Capture{}, fmt.Errorf("profcap: capturer closed")
+	}
+	defer func() {
+		c.lastDone.Store(time.Now().UnixNano())
+		c.busy.Store(false)
+		c.wg.Done()
+	}()
+	res := c.capture(ctx, reason, traceID, window)
+	return res, res.Err
+}
+
+// capture runs one profiling window: CPU profile for window, then
+// goroutine and heap snapshots.
+func (c *Capturer) capture(ctx context.Context, reason, traceID string, window time.Duration) Capture {
+	out := Capture{Reason: reason, TraceID: traceID, Start: time.Now()}
+	var cpu bytes.Buffer
+	if err := c.startCPU(&cpu); err != nil {
+		// Most likely a concurrent /debug/pprof/profile session owns the
+		// process profiler; yield rather than fight it.
+		c.captureErrors.Add(1)
+		out.Err = fmt.Errorf("profcap: starting CPU profile: %w", err)
+		return out
+	}
+	select {
+	case <-time.After(window):
+	case <-ctx.Done():
+	case <-c.root.Done():
+	}
+	c.stopCPU()
+	out.Duration = time.Since(out.Start)
+	out.CPU = c.capped(&out, "cpu", cpu.Bytes())
+
+	var g bytes.Buffer
+	if p := pprof.Lookup("goroutine"); p != nil {
+		if p.WriteTo(&g, 0) == nil {
+			out.Goroutine = c.capped(&out, "goroutine", g.Bytes())
+		}
+	}
+	var h bytes.Buffer
+	if p := pprof.Lookup("heap"); p != nil {
+		if p.WriteTo(&h, 0) == nil {
+			out.Heap = c.capped(&out, "heap", h.Bytes())
+		}
+	}
+	c.captured.Add(1)
+	return out
+}
+
+// capped enforces the per-artifact byte cap: an oversized blob is
+// dropped whole and recorded on the capture.
+func (c *Capturer) capped(out *Capture, name string, blob []byte) []byte {
+	if int64(len(blob)) > c.opts.MaxBytes {
+		c.overCap.Add(1)
+		out.Dropped = append(out.Dropped, name)
+		return nil
+	}
+	return blob
+}
+
+// Busy reports whether a capture window is currently open.
+func (c *Capturer) Busy() bool { return c.busy.Load() }
+
+// Stats returns the capturer's counters.
+func (c *Capturer) Stats() Stats {
+	return Stats{
+		Triggered:          c.triggered.Load(),
+		Captured:           c.captured.Load(),
+		SuppressedBusy:     c.supBusy.Load(),
+		SuppressedCooldown: c.supCooldown.Load(),
+		OverCap:            c.overCap.Load(),
+		Errors:             c.captureErrors.Load(),
+	}
+}

@@ -1,0 +1,259 @@
+package profcap
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stub replaces the process CPU profiler with an instant fake so tests
+// never hold the global profiler or pay a real window.
+func stub(c *Capturer, blob []byte, startErr error) *atomic.Int32 {
+	var starts atomic.Int32
+	c.startCPU = func(w *bytes.Buffer) error {
+		if startErr != nil {
+			return startErr
+		}
+		starts.Add(1)
+		w.Write(blob)
+		return nil
+	}
+	c.stopCPU = func() {}
+	return &starts
+}
+
+func TestCaptureSyncCollectsArtifacts(t *testing.T) {
+	c := New(Options{Window: time.Millisecond, Cooldown: time.Hour})
+	stub(c, []byte("cpu-profile"), nil)
+	res, err := c.CaptureSync(context.Background(), "manual", "trace-1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.CPU) != "cpu-profile" {
+		t.Fatalf("CPU blob = %q, want stubbed profile", res.CPU)
+	}
+	if len(res.Goroutine) == 0 || len(res.Heap) == 0 {
+		t.Fatalf("goroutine/heap snapshots missing: %d/%d bytes",
+			len(res.Goroutine), len(res.Heap))
+	}
+	if res.Reason != "manual" || res.TraceID != "trace-1" {
+		t.Fatalf("capture identity = %q/%q", res.Reason, res.TraceID)
+	}
+	if st := c.Stats(); st.Captured != 1 {
+		t.Fatalf("Captured = %d, want 1", st.Captured)
+	}
+}
+
+// TestTriggerStorm fires many concurrent triggers at an idle capturer:
+// exactly one may win the window; the rest must be suppressed as busy
+// (or as cooldown once the first window completes), and nothing blocks.
+func TestTriggerStorm(t *testing.T) {
+	c := New(Options{Window: 50 * time.Millisecond, Cooldown: time.Hour})
+	stub(c, []byte("x"), nil)
+	done := make(chan Capture, 1)
+
+	const storm = 64
+	var started atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c.Trigger("slow", "t", func(res Capture) { done <- res }) {
+				started.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := started.Load(); n != 1 {
+		t.Fatalf("%d captures started under storm, want exactly 1", n)
+	}
+	select {
+	case res := <-done:
+		if res.Err != nil {
+			t.Fatalf("capture failed: %v", res.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("capture never completed")
+	}
+	st := c.Stats()
+	if st.Triggered != storm {
+		t.Fatalf("Triggered = %d, want %d", st.Triggered, storm)
+	}
+	if st.Captured != 1 || st.SuppressedBusy != storm-1 {
+		t.Fatalf("Captured/SuppressedBusy = %d/%d, want 1/%d",
+			st.Captured, st.SuppressedBusy, storm-1)
+	}
+}
+
+// TestTriggerCooldown: after a completed capture, further triggers are
+// suppressed until the cooldown elapses, then capture again.
+func TestTriggerCooldown(t *testing.T) {
+	c := New(Options{Window: time.Millisecond, Cooldown: 100 * time.Millisecond})
+	stub(c, []byte("x"), nil)
+
+	first := make(chan Capture, 1)
+	if !c.Trigger("slow", "a", func(res Capture) { first <- res }) {
+		t.Fatal("first trigger suppressed on an idle capturer")
+	}
+	<-first
+
+	if c.Trigger("slow", "b", nil) {
+		t.Fatal("trigger inside cooldown started a capture")
+	}
+	if st := c.Stats(); st.SuppressedCooldown != 1 {
+		t.Fatalf("SuppressedCooldown = %d, want 1", st.SuppressedCooldown)
+	}
+
+	time.Sleep(120 * time.Millisecond)
+	second := make(chan Capture, 1)
+	if !c.Trigger("error", "c", func(res Capture) { second <- res }) {
+		t.Fatal("trigger after cooldown suppressed")
+	}
+	res := <-second
+	if res.Reason != "error" || res.TraceID != "c" {
+		t.Fatalf("second capture identity = %q/%q", res.Reason, res.TraceID)
+	}
+	if st := c.Stats(); st.Captured != 2 {
+		t.Fatalf("Captured = %d, want 2", st.Captured)
+	}
+}
+
+// TestCaptureSyncBusy: a manual capture during an open window is
+// refused rather than queued.
+func TestCaptureSyncBusy(t *testing.T) {
+	c := New(Options{Window: 200 * time.Millisecond, Cooldown: time.Hour})
+	stub(c, []byte("x"), nil)
+	release := make(chan Capture, 1)
+	if !c.Trigger("slow", "a", func(res Capture) { release <- res }) {
+		t.Fatal("trigger suppressed on idle capturer")
+	}
+	// The window is open for 200ms; a sync capture inside it must fail
+	// fast.
+	if _, err := c.CaptureSync(context.Background(), "manual", "", 0); err == nil {
+		t.Fatal("CaptureSync succeeded during an open window")
+	}
+	<-release
+	if st := c.Stats(); st.SuppressedBusy != 1 {
+		t.Fatalf("SuppressedBusy = %d, want 1", st.SuppressedBusy)
+	}
+}
+
+// TestCaptureSyncIgnoresCooldown: an operator capture right after a
+// triggered one must run.
+func TestCaptureSyncIgnoresCooldown(t *testing.T) {
+	c := New(Options{Window: time.Millisecond, Cooldown: time.Hour})
+	stub(c, []byte("x"), nil)
+	ch := make(chan Capture, 1)
+	c.Trigger("slow", "a", func(res Capture) { ch <- res })
+	<-ch
+	if _, err := c.CaptureSync(context.Background(), "manual", "", 0); err != nil {
+		t.Fatalf("manual capture inside cooldown failed: %v", err)
+	}
+}
+
+// TestByteCapDropsOversizedArtifacts: a blob over MaxBytes is dropped
+// whole and recorded, not truncated.
+func TestByteCapDropsOversizedArtifacts(t *testing.T) {
+	c := New(Options{Window: time.Millisecond, Cooldown: time.Hour, MaxBytes: 4})
+	stub(c, []byte("way-over-four-bytes"), nil)
+	res, err := c.CaptureSync(context.Background(), "manual", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU != nil {
+		t.Fatalf("oversized CPU blob kept: %d bytes", len(res.CPU))
+	}
+	found := false
+	for _, d := range res.Dropped {
+		if d == "cpu" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Dropped = %v, want to include cpu", res.Dropped)
+	}
+	if st := c.Stats(); st.OverCap == 0 {
+		t.Fatal("OverCap not counted")
+	}
+}
+
+// TestStartError: a CPU profiler conflict (e.g. an operator pprof
+// session) fails the capture without crashing or leaking the busy bit.
+func TestStartError(t *testing.T) {
+	c := New(Options{Window: time.Millisecond, Cooldown: time.Hour})
+	stub(c, nil, errors.New("profiler busy"))
+	if _, err := c.CaptureSync(context.Background(), "manual", "", 0); err == nil {
+		t.Fatal("capture succeeded despite profiler conflict")
+	}
+	if st := c.Stats(); st.Errors != 1 {
+		t.Fatalf("Errors = %d, want 1", st.Errors)
+	}
+	// The busy gate must have been released.
+	stub(c, []byte("x"), nil)
+	if _, err := c.CaptureSync(context.Background(), "manual", "", 0); err != nil {
+		t.Fatalf("capturer stuck busy after a failed start: %v", err)
+	}
+}
+
+// TestRealCPUProfileWindow exercises the unstubbed profiler once with a
+// tiny window, proving the pprof plumbing produces a non-empty proto.
+func TestRealCPUProfileWindow(t *testing.T) {
+	c := New(Options{Window: 30 * time.Millisecond, Cooldown: time.Hour})
+	res, err := c.CaptureSync(context.Background(), "manual", "", 0)
+	if err != nil {
+		t.Skipf("CPU profiler unavailable (another profile running?): %v", err)
+	}
+	if len(res.CPU) == 0 {
+		t.Fatal("real CPU profile window produced no bytes")
+	}
+	if res.Duration < 30*time.Millisecond {
+		t.Fatalf("window closed early: %v", res.Duration)
+	}
+}
+
+// TestCloseInterruptsAndRefuses closes a capturer mid-window: Close
+// must cut the open window short, wait for its done callback, and
+// refuse every later capture — a closed owner may not keep the
+// process-global CPU profiler.
+func TestCloseInterruptsAndRefuses(t *testing.T) {
+	c := New(Options{Window: time.Hour, Cooldown: time.Hour})
+	stub(c, []byte("cpu"), nil)
+
+	finished := make(chan Capture, 1)
+	if !c.Trigger("slow", "trace-1", func(res Capture) { finished <- res }) {
+		t.Fatal("trigger refused by an idle capturer")
+	}
+	for i := 0; i < 100 && !c.Busy(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if !c.Busy() {
+		t.Fatal("capture never opened its window")
+	}
+
+	start := time.Now()
+	c.Close()
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("Close took %v against an hour-long window", d)
+	}
+	select {
+	case res := <-finished:
+		if res.Duration >= time.Hour {
+			t.Fatalf("window ran full length: %v", res.Duration)
+		}
+	default:
+		t.Fatal("Close returned before the done callback ran")
+	}
+
+	if c.Trigger("slow", "trace-2", nil) {
+		t.Fatal("closed capturer accepted a trigger")
+	}
+	if _, err := c.CaptureSync(context.Background(), "manual", "", time.Millisecond); err == nil {
+		t.Fatal("closed capturer accepted CaptureSync")
+	}
+	c.Close() // idempotent
+}

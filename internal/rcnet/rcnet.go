@@ -37,6 +37,18 @@ type Net struct {
 	// cgIters and cgFallbacks count solver effort and degradations,
 	// surfaced structurally through Stats for the observability layer.
 	cgIters, cgFallbacks int
+	// cgSolves records each solve's effort and terminal accuracy.
+	cgSolves []CGSolve
+}
+
+// CGSolve is one conjugate-gradient solve's telemetry: the iteration
+// count and the final relative residual ‖b − A·x‖₂/‖b‖₂. For a solve
+// that fell back to dense Cholesky, Residual is the residual CG had
+// reached at its iteration cap (the fallback itself is direct).
+type CGSolve struct {
+	Iterations int
+	Residual   float64
+	Fallback   bool
 }
 
 // NetStats totals the iterative-solver effort and degradations
@@ -47,11 +59,18 @@ type NetStats struct {
 	// CGFallbacks counts CG solves that exhausted their iteration
 	// budget and fell back to the dense Cholesky factorization.
 	CGFallbacks int
+	// Solves lists each individual solve in execution order — the
+	// per-solve distribution behind the numeric-health histograms.
+	Solves []CGSolve
 }
 
 // Stats returns the net's accumulated solver statistics.
 func (n *Net) Stats() NetStats {
-	return NetStats{CGIterations: n.cgIters, CGFallbacks: n.cgFallbacks}
+	return NetStats{
+		CGIterations: n.cgIters,
+		CGFallbacks:  n.cgFallbacks,
+		Solves:       append([]CGSolve(nil), n.cgSolves...),
+	}
 }
 
 // Warnings returns the solver-degradation warnings recorded during
@@ -337,9 +356,10 @@ func (n *Net) FirstMoment(root int) ([]float64, error) {
 // results stay correct; it is recorded as a warning on the net because
 // it signals an ill-conditioned extraction and costs O(n³).
 func (n *Net) solveSPD(g *linalg.Sparse, rhs []float64, what string) ([]float64, error) {
-	x, iters, err := g.SolveCGIter(rhs, 1e-12, 40*g.N)
-	n.cgIters += iters
+	x, st, err := g.SolveCGStats(rhs, 1e-12, 40*g.N)
+	n.cgIters += st.Iterations
 	if err == nil {
+		n.cgSolves = append(n.cgSolves, CGSolve{Iterations: st.Iterations, Residual: st.Residual})
 		return x, nil
 	}
 	if !errors.Is(err, linalg.ErrNotConverged) {
@@ -350,6 +370,7 @@ func (n *Net) solveSPD(g *linalg.Sparse, rhs []float64, what string) ([]float64,
 		return nil, errors.Join(err, derr)
 	}
 	n.cgFallbacks++
+	n.cgSolves = append(n.cgSolves, CGSolve{Iterations: st.Iterations, Residual: st.Residual, Fallback: true})
 	n.warn = append(n.warn, fmt.Sprintf(
 		"%s CG solve did not converge; fell back to dense Cholesky (n=%d)", what, g.N))
 	return x, nil

@@ -292,6 +292,17 @@ func (s *Server) record(tr *obs.Trace, req GenerateRequest, start time.Time, err
 			s.persist.enqueue(persistJob{traceID: rt.ID, trace: buf.Bytes(), req: req})
 		}
 	}
+	// A for-cause retention also arms a triggered profile capture: the
+	// condition that made this trace interesting (slow path, error) is
+	// likely still hot, and the capturer's busy/cooldown gates keep a
+	// burst of retentions from costing more than one window. A
+	// triggered capture's only consumer is the artifact store — without
+	// one there is nowhere to put the profile, so triggers stay
+	// disarmed and only the manual POST /debug/profile path (which
+	// returns artifacts in the response body) remains.
+	if s.profcap != nil && s.persist != nil && reason != obs.ReasonRecent {
+		s.profcap.Trigger(string(reason), rt.ID, s.persistCapture)
+	}
 }
 
 // cacheStats surfaces the result cache and singleflight state for

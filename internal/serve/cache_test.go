@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"ccdac/internal/leakcheck"
 )
 
 func decodeGenerate(t *testing.T, data []byte) GenerateResponse {
@@ -174,6 +176,7 @@ func TestSingleflightCollapse(t *testing.T) {
 // must transfer, not die with the leader. The follower gets a complete
 // 200 and the process paid for exactly one generation.
 func TestSingleflightLeaderCancelHandoff(t *testing.T) {
+	defer leakcheck.Check(t)()
 	srv := New(Options{MaxInFlight: 4, Logger: quietLogger()})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

@@ -8,8 +8,17 @@ import (
 
 	"ccdac"
 	"ccdac/internal/memo"
+	"ccdac/internal/numeric"
 	"ccdac/internal/obs"
 )
+
+// hitRatio is hits/(hits+misses), 0 before any lookup.
+func hitRatio(hits, misses int64) float64 {
+	if total := hits + misses; total > 0 {
+		return float64(hits) / float64(total)
+	}
+	return 0
+}
 
 // handleMetrics exposes the global registry in the Prometheus text
 // format. Point-in-time process gauges (uptime, in-flight requests,
@@ -23,6 +32,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge("ccdac_serve_goroutines", nil).Set(float64(runtime.NumGoroutine()))
 	s.reg.Gauge("ccdac_build_info",
 		obs.Labels{"version": ccdac.Version, "go_version": runtime.Version()}).Set(1)
+	s.numericSweep()
 	snap := s.reg.Snapshot()
 	for _, st := range memo.Snapshot() {
 		labels := obs.Labels{"cache": st.Name}
@@ -31,6 +41,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		snap.Counters[obs.SeriesKey("ccdac_memo_evictions_total", labels)] = st.Evictions
 		snap.Gauges[obs.SeriesKey("ccdac_memo_bytes", labels)] = float64(st.Bytes)
 		snap.Gauges[obs.SeriesKey("ccdac_memo_entries", labels)] = float64(st.Entries)
+		snap.Gauges[obs.SeriesKey("ccdac_memo_hit_ratio", labels)] = hitRatio(st.Hits, st.Misses)
 	}
 	if st, ok := s.cacheStats(); ok {
 		snap.Counters["ccdac_serve_cache_hits_total"] = st.Hits
@@ -38,6 +49,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		snap.Counters["ccdac_serve_cache_evictions_total"] = st.Evictions
 		snap.Gauges["ccdac_serve_cache_bytes"] = float64(st.Bytes)
 		snap.Gauges["ccdac_serve_cache_entries"] = float64(st.Entries)
+		snap.Gauges["ccdac_serve_cache_hit_ratio"] = hitRatio(st.Hits, st.Misses)
 	}
 	if st, ok := s.StoreStats(); ok {
 		snap.Counters["ccdac_store_writes_total"] = st.Writes
@@ -71,6 +83,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Counters["ccdac_obs_events_published_total"] = int64(bst.Published)
 	snap.Counters["ccdac_obs_events_dropped_total"] = int64(bst.Dropped)
 	snap.Gauges["ccdac_obs_event_subscribers"] = float64(bst.Subscribers)
+	if s.profcap != nil {
+		st := s.profcap.Stats()
+		snap.Counters["ccdac_profcap_triggered_total"] = st.Triggered
+		snap.Counters["ccdac_profcap_captured_total"] = st.Captured
+		snap.Counters["ccdac_profcap_suppressed_busy_total"] = st.SuppressedBusy
+		snap.Counters["ccdac_profcap_suppressed_cooldown_total"] = st.SuppressedCooldown
+		snap.Counters["ccdac_profcap_over_cap_total"] = st.OverCap
+		snap.Counters["ccdac_profcap_errors_total"] = st.Errors
+		busy := 0.0
+		if s.profcap.Busy() {
+			busy = 1
+		}
+		snap.Gauges["ccdac_profcap_busy"] = busy
+	}
+	if s.watchdog != nil {
+		st := s.watchdog.Stats()
+		snap.Counters["ccdac_numeric_runs_total"] = st.Runs
+		snap.Counters["ccdac_numeric_failures_total"] = st.Failures
+		results, _ := s.watchdog.Snapshot()
+		for _, res := range results {
+			labels := obs.Labels{"check": res.Name}
+			snap.Gauges[obs.SeriesKey("ccdac_numeric_check_drift", labels)] = res.Drift
+			ok := 0.0
+			if res.OK {
+				ok = 1
+			}
+			snap.Gauges[obs.SeriesKey("ccdac_numeric_check_ok", labels)] = ok
+		}
+	}
+	snap.Counters["ccdac_serve_access_log_sampled_total"] = s.logsSampled.Load()
 
 	// Content negotiation: scrapers asking for OpenMetrics (Prometheus
 	// does, when exemplar ingestion is on) get the exemplar-bearing
@@ -93,17 +135,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // healthzResponse is the liveness payload: the process is up and this
 // is what it has been doing.
 type healthzResponse struct {
-	Status        string  `json:"status"`
-	Version       string  `json:"version"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	InFlight      int64   `json:"inflight"`
-	Served        int64   `json:"served"`
-	MaxInFlight   int     `json:"max_inflight"`
-	GoVersion     string  `json:"go_version"`
+	Status        string         `json:"status"`
+	Version       string         `json:"version"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	InFlight      int64          `json:"inflight"`
+	Served        int64          `json:"served"`
+	MaxInFlight   int            `json:"max_inflight"`
+	GoVersion     string         `json:"go_version"`
+	Numeric       *numericHealth `json:"numeric,omitempty"`
+}
+
+// numericHealth is the healthz numeric-watchdog section: golden
+// reference checks on the numeric kernels (CG, Cholesky, LU, the rho
+// memo) so silent numerical drift — a miscompiled kernel, a broken
+// cache — is visible before it corrupts results.
+type numericHealth struct {
+	Status   string           `json:"status"` // "ok" or "drift"
+	Checks   []numeric.Result `json:"checks"`
+	Runs     int64            `json:"runs"`
+	Failures int64            `json:"failures"`
+	LastRun  time.Time        `json:"last_run"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthzResponse{
+	resp := healthzResponse{
 		Status:        "ok",
 		Version:       ccdac.Version,
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -111,7 +166,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Served:        s.served.Load(),
 		MaxInFlight:   s.opts.MaxInFlight,
 		GoVersion:     runtime.Version(),
-	})
+	}
+	if s.watchdog != nil {
+		s.numericSweep()
+		results, lastRun := s.watchdog.Snapshot()
+		st := s.watchdog.Stats()
+		nh := &numericHealth{
+			Status: "ok", Checks: results,
+			Runs: st.Runs, Failures: st.Failures, LastRun: lastRun,
+		}
+		if !s.watchdog.Healthy() {
+			nh.Status = "drift"
+			resp.Status = "degraded"
+		}
+		resp.Numeric = nh
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleReadyz reports whether the daemon accepts new work: 200 while

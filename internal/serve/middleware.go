@@ -176,6 +176,15 @@ func (s *Server) wrap(route string, limited bool, h http.Handler) http.Handler {
 					level = slog.LevelWarn
 				}
 			}
+			// Healthy-traffic access lines are sampled 1-in-N so WARN and
+			// ERROR lines stay visible under load; anything at WARN or
+			// above — errors, sheds, slow requests — always logs.
+			if level == slog.LevelInfo && sw.code < 400 && s.opts.AccessLogSample > 1 {
+				if s.accessSeq.Add(1)%int64(s.opts.AccessLogSample) != 1 {
+					s.logsSampled.Add(1)
+					return
+				}
+			}
 			attrs := []slog.Attr{
 				slog.String("method", r.Method),
 				slog.String("path", r.URL.Path),

@@ -28,6 +28,12 @@ type persistJob struct {
 	// result.
 	traceID string
 	trace   []byte
+
+	// blobKey/blob carry an arbitrary indexed artifact (e.g. a captured
+	// profile) instead of a result; blobMeta is its provenance config.
+	blobKey  string
+	blob     []byte
+	blobMeta string
 }
 
 // persister drains persist jobs through one background goroutine into
@@ -65,6 +71,10 @@ func (p *persister) loop() {
 // provenance link. Store-level failures degrade inside the store (it
 // flips memory-only); nothing here can fail a request.
 func (p *persister) persist(job persistJob) {
+	if job.blobKey != "" {
+		p.persistBlob(job)
+		return
+	}
 	if job.traceID != "" {
 		p.persistTrace(job)
 		return
@@ -109,6 +119,26 @@ func (p *persister) persistTrace(job persistJob) {
 		Artifact:   hash,
 		ConfigJSON: string(cfg),
 		Seed:       job.req.AnnealSeed,
+		GoVersion:  runtime.Version(),
+		CodeHash:   codeHash(),
+	})
+}
+
+// persistBlob stores one generic indexed artifact — today, captured
+// profiles under profile/<traceID>/<kind> — with a provenance record
+// carrying capture metadata instead of a request config.
+func (p *persister) persistBlob(job persistJob) {
+	hash, err := p.st.Put(job.blob)
+	if err != nil {
+		return
+	}
+	if err := p.st.SetIndex(job.blobKey, hash); err != nil {
+		return
+	}
+	_, _ = p.st.AppendProvenance(store.ProvenanceRecord{
+		Key:        job.blobKey,
+		Artifact:   hash,
+		ConfigJSON: job.blobMeta,
 		GoVersion:  runtime.Version(),
 		CodeHash:   codeHash(),
 	})

@@ -40,7 +40,9 @@ import (
 	"time"
 
 	"ccdac/internal/memo"
+	"ccdac/internal/numeric"
 	"ccdac/internal/obs"
+	"ccdac/internal/obs/profcap"
 	"ccdac/internal/store"
 )
 
@@ -113,6 +115,27 @@ type Options struct {
 	// SSE streams (default 256). A subscriber that cannot keep up loses
 	// events — publishing never blocks the pipeline.
 	EventBuffer int
+	// ProfileWindow is the CPU-profile duration captured when the
+	// flight recorder retains a trace for cause (slow/error/degraded):
+	// 0 selects 2s, negative disables triggered capture. Captures are
+	// rate-limited (one at a time, ProfileCooldown apart, byte-capped)
+	// so they never degrade serving; see internal/obs/profcap.
+	ProfileWindow time.Duration
+	// ProfileCooldown is the minimum gap between triggered captures
+	// (default 60s).
+	ProfileCooldown time.Duration
+	// NumericInterval is the cadence of the numeric-health watchdog's
+	// golden-reference drift checks, surfaced in /healthz and the
+	// ccdac_numeric_* metrics: 0 selects 60s, negative disables the
+	// watchdog. Sweeps run lazily on health/metrics reads (microseconds
+	// each), so an idle daemon spends nothing on them.
+	NumericInterval time.Duration
+	// AccessLogSample emits only one in N healthy (INFO-level, 2xx)
+	// access-log lines (default 1 = log everything). WARN and above —
+	// slow requests, degradations, errors — are always logged, so at
+	// high QPS the signal survives the volume. Suppressed lines are
+	// counted in ccdac_serve_access_log_sampled_total.
+	AccessLogSample int
 }
 
 // Server is one daemon instance: the route mux, the process-level
@@ -146,6 +169,18 @@ type Server struct {
 	// events to /v1/events subscribers.
 	recorder *obs.Recorder
 	bus      *obs.Bus
+
+	// profcap captures bounded profile windows when the recorder
+	// retains a trace for cause (nil when Options.ProfileWindow < 0).
+	profcap *profcap.Capturer
+	// watchdog runs the numeric-health drift checks (nil when
+	// Options.NumericInterval < 0); sweeps are driven lazily from
+	// health/metrics reads under watchdogMu.
+	watchdog    *numeric.Watchdog
+	watchdogMu  sync.Mutex
+	lastSweep   time.Time
+	accessSeq   atomic.Int64
+	logsSampled atomic.Int64
 
 	mu   sync.Mutex
 	addr string
@@ -223,6 +258,20 @@ func New(opts Options) *Server {
 		})
 	}
 	s.bus = obs.NewBus()
+	if opts.ProfileWindow >= 0 {
+		s.profcap = profcap.New(profcap.Options{
+			Window:   opts.ProfileWindow,
+			Cooldown: opts.ProfileCooldown,
+		})
+	}
+	if opts.NumericInterval >= 0 {
+		interval := opts.NumericInterval
+		if interval == 0 {
+			interval = time.Minute
+		}
+		s.opts.NumericInterval = interval
+		s.watchdog = numeric.New(interval, numeric.DefaultChecks()...)
+	}
 	s.ready.Store(true)
 
 	s.mux.Handle("POST /v1/generate", s.wrap("generate", true, http.HandlerFunc(s.handleGenerate)))
@@ -234,11 +283,18 @@ func New(opts Options) *Server {
 	s.mux.Handle("GET /metrics", s.wrap("metrics", false, http.HandlerFunc(s.handleMetrics)))
 	s.mux.Handle("GET /healthz", s.wrap("healthz", false, http.HandlerFunc(s.handleHealthz)))
 	s.mux.Handle("GET /readyz", s.wrap("readyz", false, http.HandlerFunc(s.handleReadyz)))
+	s.mux.Handle("POST /debug/profile", s.wrap("profile", false, http.HandlerFunc(s.handleProfile)))
+	// Profiling routes are deliberately non-limited: wrap applies the
+	// per-request timeout only to limited routes, so a CPU profile
+	// longer than RequestTimeout is never killed mid-capture. The
+	// windowed collectors (profile, trace) instead get their `seconds`
+	// parameter clamped below the graceful-drain deadline, so a pending
+	// profile cannot stall SIGTERM drain either.
 	s.mux.Handle("/debug/pprof/", s.wrap("pprof", false, http.HandlerFunc(pprof.Index)))
 	s.mux.Handle("/debug/pprof/cmdline", s.wrap("pprof", false, http.HandlerFunc(pprof.Cmdline)))
-	s.mux.Handle("/debug/pprof/profile", s.wrap("pprof", false, http.HandlerFunc(pprof.Profile)))
+	s.mux.Handle("/debug/pprof/profile", s.wrap("pprof", false, s.clampSeconds(http.HandlerFunc(pprof.Profile))))
 	s.mux.Handle("/debug/pprof/symbol", s.wrap("pprof", false, http.HandlerFunc(pprof.Symbol)))
-	s.mux.Handle("/debug/pprof/trace", s.wrap("pprof", false, http.HandlerFunc(pprof.Trace)))
+	s.mux.Handle("/debug/pprof/trace", s.wrap("pprof", false, s.clampSeconds(http.HandlerFunc(pprof.Trace))))
 	return s
 }
 
@@ -302,6 +358,13 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 // Handler directly call it to make pending persists visible before
 // reopening the store directory.
 func (s *Server) Close() {
+	// The capturer goes first: closing it interrupts any open profile
+	// window (releasing the process-global CPU profiler) and its done
+	// callback may still enqueue artifacts, which the persister below
+	// then flushes.
+	if s.profcap != nil {
+		s.profcap.Close()
+	}
 	if s.persist != nil {
 		s.persist.close()
 	}

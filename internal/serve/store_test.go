@@ -10,7 +10,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"ccdac/internal/leakcheck"
 	"ccdac/internal/store"
 )
 
@@ -284,4 +286,37 @@ func TestPersistProvenance(t *testing.T) {
 			t.Errorf("/metrics missing %q", want)
 		}
 	}
+}
+
+// TestPersisterShutdownNoLeak: closing the daemon stops the
+// write-behind persister goroutine even with work freshly queued, and
+// a straggler enqueue after close drops (and is counted) rather than
+// blocking or resurrecting the loop.
+func TestPersisterShutdownNoLeak(t *testing.T) {
+	defer leakcheck.Check(t)()
+	srv := New(Options{Logger: quietLogger(), StoreDir: t.TempDir(),
+		ProfileWindow: 20 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+
+	resp, data := postGenerate(t, ts.URL, `{"bits":5,"skip_nonlinearity":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate status %d: %s", resp.StatusCode, data)
+	}
+	// A manual capture exercises the profile-blob persist path too.
+	presp, err := http.Post(ts.URL+"/debug/profile", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+
+	ts.Close()
+	srv.Close()
+
+	dropped := srv.persist.dropped.Load()
+	srv.persist.enqueue(persistJob{blobKey: "profile/late/cpu", blob: []byte("late")})
+	if got := srv.persist.dropped.Load(); got != dropped+1 {
+		t.Errorf("post-close enqueue dropped count %d, want %d", got, dropped+1)
+	}
+	// Close is idempotent.
+	srv.Close()
 }

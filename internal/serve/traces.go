@@ -68,7 +68,11 @@ type traceResponse struct {
 	Warnings        int              `json:"warnings,omitempty"`
 	Reason          obs.RetainReason `json:"reason"`
 	ArtifactHash    string           `json:"artifact_hash,omitempty"`
-	Spans           []obs.SpanRecord `json:"spans"`
+	// ProfileArtifacts maps capture kind (cpu, goroutine, heap) to the
+	// store hash of the profile a for-cause retention triggered, each
+	// retrievable via GET /v1/artifacts/{hash}.
+	ProfileArtifacts map[string]string `json:"profile_artifacts,omitempty"`
+	Spans            []obs.SpanRecord  `json:"spans"`
 }
 
 // handleTraceGet returns one retained trace: the native span-tree JSON
@@ -102,6 +106,7 @@ func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 			if hash, ok := s.store.LookupIndex(traceIndexKey(t.ID)); ok {
 				resp.ArtifactHash = hash
 			}
+			resp.ProfileArtifacts = s.profileArtifacts(t.ID)
 		}
 		writeJSON(w, http.StatusOK, resp)
 	default:

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"ccdac/internal/leakcheck"
 	"ccdac/internal/obs"
 )
 
@@ -417,6 +418,7 @@ func TestTracePersistence(t *testing.T) {
 // -race matrix entry for the whole telemetry pipeline. Totals must
 // reconcile after the dust settles.
 func TestMergeAndSSEChurnUnderLoad(t *testing.T) {
+	defer leakcheck.Check(t)()
 	const requests = 24
 	srv := New(Options{MaxInFlight: requests, CacheMaxBytes: -1, Logger: quietLogger()})
 	ts := httptest.NewServer(srv.Handler())

@@ -465,6 +465,10 @@ func MonteCarloContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, 
 			cholCache.Put(cholKey, chol, int64(len(chol.Data))*8+64)
 		}
 	}
+	// Conditioning of the unit covariance, estimated from the factor
+	// diagonal: the high-correlation regime that needs the 1e-9 jitter
+	// above is exactly the regime this gauge exists to make visible.
+	obs.SetGauge(ctx, "ccdac_numeric_cov_cond_estimate", linalg.CondEstFromChol(chol))
 	out := make([][]float64, samples)
 	if err := par.ForN(workers, samples, func(s int) error {
 		if err := ctx.Err(); err != nil {
