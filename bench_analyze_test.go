@@ -162,6 +162,27 @@ func quadraticCoupleSweep(l *route.Layout) (cbb float64, pairs int) {
 	return cbb, pairs
 }
 
+// rowMajorMatrix builds a valid binary-weighted placement above the
+// public bits cap by assigning capacitors to row-major runs of the
+// grid. Covariance cost does not depend on the assignment pattern, so
+// this is a fair timing stand-in for a 14-bit layout.
+func rowMajorMatrix(bits int) *ccmatrix.Matrix {
+	side := 1 << (uint(bits) / 2)
+	rows, cols := side, side
+	if bits%2 == 1 {
+		cols *= 2
+	}
+	m := ccmatrix.New(rows, cols, bits, 1)
+	i := 0
+	for k, n := range ccmatrix.UnitCounts(bits) {
+		for u := 0; u < n; u++ {
+			m.Set(geom.Cell{Row: i / cols, Col: i % cols}, k)
+			i++
+		}
+	}
+	return m
+}
+
 // bestOf runs f reps times and returns the fastest wall time.
 func bestOf(reps int, f func()) time.Duration {
 	best := time.Duration(math.MaxInt64)
@@ -263,6 +284,173 @@ func TestBenchAnalyze(t *testing.T) {
 		t.Errorf("binned scaling exponent %.2f not below quadratic reference's %.2f", binnedExp, quadExp)
 	}
 
+	// FFT-vs-dense covariance engines, serial so the comparison is
+	// algorithmic rather than scheduling. 12 bits is the public cap and
+	// carries the >=5x acceptance assert; 14 bits (internal-only grid)
+	// shows the gap keeps widening with the O(n²)-vs-O(M log M) split.
+	type fftPoint struct {
+		Bits         int     `json:"bits"`
+		Cells        int     `json:"cells"`
+		DenseSeconds float64 `json:"dense_seconds"`
+		FFTSeconds   float64 `json:"fft_seconds"`
+		Speedup      float64 `json:"speedup"`
+		MaxRelDiff   float64 `json:"max_rel_diff"`
+	}
+	serialFFT := par.WithWorkers(context.Background(), -1)
+	serialDense := variation.WithFFTMode(serialFFT, variation.FFTOff)
+	var fftCases []fftPoint
+	for _, bits := range []int{12, 14} {
+		var fm *ccmatrix.Matrix
+		if bits <= 12 {
+			fm, err = place.NewSpiral(bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			fm = rowMajorMatrix(bits)
+		}
+		reps := 3
+		if bits >= 14 {
+			reps = 2
+		}
+		var structured, dense *variation.Analysis
+		fftTime := bestOf(reps, func() {
+			if structured, err = variation.AnalyzeContext(serialFFT, fm, pos, tch, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+		denseTime := bestOf(reps, func() {
+			if dense, err = variation.AnalyzeContext(serialDense, fm, pos, tch, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+		maxRel := 0.0
+		for j := 0; j <= bits; j++ {
+			for k := 0; k <= bits; k++ {
+				s, d := structured.Cov.At(j, k), dense.Cov.At(j, k)
+				if e := math.Abs(s-d) / math.Abs(d); e > maxRel {
+					maxRel = e
+				}
+			}
+		}
+		if maxRel > 1e-10 {
+			t.Errorf("N%d: FFT vs dense covariance rel diff %g exceeds 1e-10", bits, maxRel)
+		}
+		speedup := denseTime.Seconds() / fftTime.Seconds()
+		if bits == 12 && speedup < 5 {
+			t.Errorf("12-bit FFT covariance speedup = %.2fx, acceptance requires >= 5x", speedup)
+		}
+		fftCases = append(fftCases, fftPoint{
+			Bits:         bits,
+			Cells:        fm.Rows * fm.Cols,
+			DenseSeconds: denseTime.Seconds(),
+			FFTSeconds:   fftTime.Seconds(),
+			Speedup:      speedup,
+			MaxRelDiff:   maxRel,
+		})
+	}
+
+	// The separable (routed-layout) tier: the same 12-bit array through
+	// its routed CellCenter positions, where the non-uniform channel
+	// widths break the regular lattice and the row-spectral embedding
+	// carries the structured path — analysis and Monte-Carlo.
+	routedM, err := place.NewSpiral(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routedL, err := route.Route(routedM, tch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routedPos := variation.Positioner(routedL.CellCenter)
+	var rStruct, rDense *variation.Analysis
+	routedFFT := bestOf(3, func() {
+		if rStruct, err = variation.AnalyzeContext(serialFFT, routedM, routedPos, tch, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	routedDense := bestOf(3, func() {
+		if rDense, err = variation.AnalyzeContext(serialDense, routedM, routedPos, tch, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	routedRel := 0.0
+	for j := 0; j <= 12; j++ {
+		for k := 0; k <= 12; k++ {
+			s, d := rStruct.Cov.At(j, k), rDense.Cov.At(j, k)
+			if e := math.Abs(s-d) / math.Abs(d); e > routedRel {
+				routedRel = e
+			}
+		}
+	}
+	if routedRel > 1e-10 {
+		t.Errorf("routed N12: FFT vs dense covariance rel diff %g exceeds 1e-10", routedRel)
+	}
+	routedSpeedup := routedDense.Seconds() / routedFFT.Seconds()
+	if routedSpeedup < 3 {
+		t.Errorf("routed 12-bit FFT covariance speedup = %.2fx, want >= 3x", routedSpeedup)
+	}
+	routedPoint := fftPoint{
+		Bits:         12,
+		Cells:        routedM.Rows * routedM.Cols,
+		DenseSeconds: routedDense.Seconds(),
+		FFTSeconds:   routedFFT.Seconds(),
+		Speedup:      routedSpeedup,
+		MaxRelDiff:   routedRel,
+	}
+	const mcRoutedSamples = 100
+	mcRoutedFFT := bestOf(2, func() {
+		if _, err := variation.MonteCarloContext(serialFFT, routedM, routedPos, tch, rStruct, mcRoutedSamples, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	mcRoutedDense := bestOf(2, func() {
+		if _, err := variation.MonteCarloContext(serialDense, routedM, routedPos, tch, rStruct, mcRoutedSamples, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if s := mcRoutedDense.Seconds() / mcRoutedFFT.Seconds(); s < 3 {
+		t.Errorf("routed 12-bit spectral MC speedup = %.2fx, want >= 3x", s)
+	}
+
+	// Monte-Carlo engines at 10 bits: the spectral sampler against the
+	// dense build-covariance-and-Cholesky path, then a million-sample
+	// spectral run (6 bits) proving sampling throughput needs no n×n
+	// matrix at any sample count.
+	mcM, err := place.NewSpiral(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aMC, err := variation.AnalyzeContext(serialFFT, mcM, pos, tch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mcSamples = 2000
+	mcFFT := bestOf(2, func() {
+		if _, err := variation.MonteCarloContext(serialFFT, mcM, pos, tch, aMC, mcSamples, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	mcDense := bestOf(2, func() {
+		if _, err := variation.MonteCarloContext(serialDense, mcM, pos, tch, aMC, mcSamples, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	mcSmall, err := place.NewSpiral(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aSmall, err := variation.AnalyzeContext(serialFFT, mcSmall, pos, tch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const millionSamples = 1_000_000
+	millionStart := time.Now()
+	if _, err := variation.MonteCarloContext(serialFFT, mcSmall, pos, tch, aSmall, millionSamples, 1); err != nil {
+		t.Fatal(err)
+	}
+	million := time.Since(millionStart)
+
 	report := struct {
 		GOMAXPROCS        int             `json:"gomaxprocs"`
 		CovarianceBits    int             `json:"covariance_bits"`
@@ -272,6 +460,21 @@ func TestBenchAnalyze(t *testing.T) {
 		Coupling          []couplingPoint `json:"coupling"`
 		BinnedScalingExp  float64         `json:"coupling_binned_scaling_exponent"`
 		QuadScalingExp    float64         `json:"coupling_quadratic_scaling_exponent"`
+		FFT               []fftPoint      `json:"fft"`
+		FFTRouted         fftPoint        `json:"fft_routed"`
+		MCRoutedSamples   int             `json:"mc_routed_samples"`
+		MCRoutedDenseSecs float64         `json:"mc_routed_dense_seconds"`
+		MCRoutedFFTSecs   float64         `json:"mc_routed_fft_seconds"`
+		MCRoutedSpeedup   float64         `json:"mc_routed_speedup"`
+		MCBits            int             `json:"mc_bits"`
+		MCSamples         int             `json:"mc_samples"`
+		MCDenseSeconds    float64         `json:"mc_dense_seconds"`
+		MCFFTSeconds      float64         `json:"mc_fft_seconds"`
+		MCSpeedup         float64         `json:"mc_speedup"`
+		MCMillionBits     int             `json:"mc_million_bits"`
+		MCMillionSamples  int             `json:"mc_million_samples"`
+		MCMillionSeconds  float64         `json:"mc_million_seconds"`
+		MCSamplesPerSec   float64         `json:"mc_fft_samples_per_second"`
 	}{
 		GOMAXPROCS:        runtime.GOMAXPROCS(0),
 		CovarianceBits:    covBits,
@@ -281,6 +484,21 @@ func TestBenchAnalyze(t *testing.T) {
 		Coupling:          coupling,
 		BinnedScalingExp:  binnedExp,
 		QuadScalingExp:    quadExp,
+		FFT:               fftCases,
+		FFTRouted:         routedPoint,
+		MCRoutedSamples:   mcRoutedSamples,
+		MCRoutedDenseSecs: mcRoutedDense.Seconds(),
+		MCRoutedFFTSecs:   mcRoutedFFT.Seconds(),
+		MCRoutedSpeedup:   mcRoutedDense.Seconds() / mcRoutedFFT.Seconds(),
+		MCBits:            10,
+		MCSamples:         mcSamples,
+		MCDenseSeconds:    mcDense.Seconds(),
+		MCFFTSeconds:      mcFFT.Seconds(),
+		MCSpeedup:         mcDense.Seconds() / mcFFT.Seconds(),
+		MCMillionBits:     6,
+		MCMillionSamples:  millionSamples,
+		MCMillionSeconds:  million.Seconds(),
+		MCSamplesPerSec:   float64(millionSamples) / million.Seconds(),
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -291,4 +509,14 @@ func TestBenchAnalyze(t *testing.T) {
 	}
 	t.Logf("covariance: seed %v -> optimized %v (%.1fx); coupling exponent %.2f vs %.2f -> %s",
 		naive, optimized, covSpeedup, binnedExp, quadExp, out)
+	for _, p := range fftCases {
+		t.Logf("fft covariance N%d (%d cells): dense %v -> fft %v (%.1fx, rel diff %.2g)",
+			p.Bits, p.Cells, time.Duration(p.DenseSeconds*float64(time.Second)),
+			time.Duration(p.FFTSeconds*float64(time.Second)), p.Speedup, p.MaxRelDiff)
+	}
+	t.Logf("routed N12: analyze dense %v -> fft %v (%.1fx, rel diff %.2g); mc x%d dense %v -> fft %v (%.1fx)",
+		routedDense, routedFFT, routedSpeedup, routedRel,
+		mcRoutedSamples, mcRoutedDense, mcRoutedFFT, report.MCRoutedSpeedup)
+	t.Logf("mc N10 x%d: dense %v -> fft %v (%.1fx); 1e6-sample spectral run: %v (%.0f samples/s)",
+		mcSamples, mcDense, mcFFT, report.MCSpeedup, million, report.MCSamplesPerSec)
 }

@@ -117,6 +117,15 @@ type Config struct {
 	// calibration, servers) reuse intermediates; results are bitwise
 	// identical to Memo-off runs. See docs/PERFORMANCE.md.
 	Memo bool
+	// FFT selects the covariance engine behind the variation analysis:
+	// "" or "auto" (the default) uses the FFT-accelerated structured
+	// path whenever the layout sits on a regular grid, falling back to
+	// the dense path otherwise; "off" forces dense everywhere. The two
+	// engines agree to the tolerance documented in docs/PERFORMANCE.md,
+	// not bitwise, so "off" is the A/B escape hatch when auditing a
+	// result. Fallbacks are surfaced on Result.Warnings and the
+	// ccdac_numeric_fft_* metrics.
+	FFT string
 }
 
 // Metrics summarizes a generated layout, mirroring the paper's
@@ -311,6 +320,7 @@ func toCoreConfig(cfg Config) (core.Config, error) {
 		SkipNL:      cfg.SkipNonlinearity,
 		Workers:     cfg.Workers,
 		Memo:        cfg.Memo,
+		FFT:         cfg.FFT,
 	}
 	switch cfg.TechNode {
 	case "", "finfet12":

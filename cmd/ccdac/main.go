@@ -30,6 +30,7 @@ func main() {
 	skipNL := flag.Bool("fast", false, "skip the INL/DNL analysis")
 	workers := flag.Int("workers", 0, "analysis worker budget (0 = GOMAXPROCS, negative = serial)")
 	memoize := flag.Bool("memo", false, "memoize pipeline stages in the process-wide cache (see docs/PERFORMANCE.md)")
+	fftMode := flag.String("fft", "auto", "covariance engine: auto (FFT when the grid allows) or off (always dense)")
 	spillDir := flag.String("memo-spill-dir", "", "with -memo, spill evicted stage-cache entries to a durable store at this directory (restored on later misses)")
 	svgOut := flag.String("svg", "", "write the routed layout SVG to this file")
 	placeOut := flag.String("placement-svg", "", "write the placement SVG to this file")
@@ -67,6 +68,7 @@ func main() {
 		SkipNonlinearity: *skipNL,
 		Workers:          *workers,
 		Memo:             *memoize,
+		FFT:              *fftMode,
 		Trace:            *traceOut != "" || *otlpOut != "" || *metricsOut != "",
 		TraceMemStats:    *traceMem,
 	}

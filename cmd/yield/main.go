@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	bits := flag.Int("bits", 8, "DAC resolution (keep <= 8: the unit covariance is (2^N)^2)")
+	bits := flag.Int("bits", 8, "DAC resolution (the spectral sampler keeps 12 bits interactive; see docs/PERFORMANCE.md)")
 	samples := flag.Int("samples", 200, "Monte-Carlo samples per spec point")
 	specsFlag := flag.String("specs", "0.001,0.002,0.004,0.01", "INL/DNL spec points in LSB")
 	seed := flag.Int64("seed", 1, "random seed")

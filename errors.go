@@ -163,6 +163,11 @@ func (cfg Config) validate() error {
 	default:
 		return configErr(cfg, "TechNode", "unknown technology node %q", cfg.TechNode)
 	}
+	switch cfg.FFT {
+	case "", "auto", "off":
+	default:
+		return configErr(cfg, "FFT", "unknown covariance engine %q (want \"auto\" or \"off\")", cfg.FFT)
+	}
 	return nil
 }
 

@@ -38,6 +38,10 @@ const (
 	StageAnalyze = "analysis"
 	// StageLinalgCG is the sparse CG solve (internal/linalg.SolveCG).
 	StageLinalgCG = "linalg.cg"
+	// StageFFT is the structured-covariance FFT path selection in
+	// internal/variation: an armed fault forces the dense fallback,
+	// exercising the degradation ladder without an irregular layout.
+	StageFFT = "numeric.fft"
 	// StageExpJob is one worker job of the experiment harness pool.
 	StageExpJob = "exp.job"
 
@@ -55,7 +59,7 @@ const (
 // Stages lists every injection point threaded through the flow.
 func Stages() []string {
 	return []string{StageConfig, StagePlace, StageRoute, StageExtract,
-		StageAnalyze, StageLinalgCG, StageExpJob,
+		StageAnalyze, StageLinalgCG, StageFFT, StageExpJob,
 		StageStoreWrite, StageStoreFsync, StageStoreRename,
 		StageStoreRead, StageStoreVerify}
 }

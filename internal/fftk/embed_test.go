@@ -1,0 +1,203 @@
+package fftk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// expKernel is the flow's mismatch correlation shape: sigma² ρ^(d/Lc).
+func expKernel(sigma2, rho, lc float64) func(float64) float64 {
+	return func(d2 float64) float64 {
+		return sigma2 * math.Pow(rho, math.Sqrt(d2)/lc)
+	}
+}
+
+// denseCov materializes the grid covariance the embedding represents.
+func denseCov(g Grid, kernel func(float64) float64) [][]float64 {
+	n := g.Rows * g.Cols
+	cov := make([][]float64, n)
+	for a := 0; a < n; a++ {
+		cov[a] = make([]float64, n)
+		ra, ca := a/g.Cols, a%g.Cols
+		for b := 0; b < n; b++ {
+			rb, cb := b/g.Cols, b%g.Cols
+			dx := float64(ca-cb) * g.DX
+			dy := float64(ra-rb) * g.DY
+			cov[a][b] = kernel(dx*dx + dy*dy)
+		}
+	}
+	return cov
+}
+
+// TestEmbeddingMatvecMatchesDense: the raw-spectrum matvec must match
+// the dense product to roundoff regardless of the embedding's
+// definiteness (the long-range kernel here is mildly indefinite).
+func TestEmbeddingMatvecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	kernel := expKernel(1.3, 0.9, 1000)
+	for _, dims := range [][2]int{{1, 4}, {3, 3}, {4, 8}, {7, 5}} {
+		g := Grid{Rows: dims[0], Cols: dims[1], DX: 1.76, DY: 2.1}
+		e, err := NewEmbedding(g, kernel, EmbedOptions{})
+		if err != nil {
+			t.Fatalf("%dx%d: NewEmbedding: %v", g.Rows, g.Cols, err)
+		}
+		cov := denseCov(g, kernel)
+		n := g.Rows * g.Cols
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, n)
+		e.MulVec(got, x)
+		for i := 0; i < n; i++ {
+			want := 0.0
+			for j := 0; j < n; j++ {
+				want += cov[i][j] * x[j]
+			}
+			if math.Abs(got[i]-want) > 1e-10*math.Abs(want)+1e-12 {
+				t.Fatalf("%dx%d: MulVec[%d] = %g, want %g", g.Rows, g.Cols, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestEmbeddingMulVec2MatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := Grid{Rows: 5, Cols: 6, DX: 1, DY: 1}
+	e, err := NewEmbedding(g, expKernel(1, 0.8, 10), EmbedOptions{})
+	if err != nil {
+		t.Fatalf("NewEmbedding: %v", err)
+	}
+	n := g.Rows * g.Cols
+	x1, x2 := make([]float64, n), make([]float64, n)
+	for i := range x1 {
+		x1[i], x2[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	w1, w2 := make([]float64, n), make([]float64, n)
+	e.MulVec(w1, x1)
+	e.MulVec(w2, x2)
+	g1, g2 := make([]float64, n), make([]float64, n)
+	e.MulVec2(g1, g2, x1, x2)
+	for i := 0; i < n; i++ {
+		if math.Abs(g1[i]-w1[i]) > 1e-10 || math.Abs(g2[i]-w2[i]) > 1e-10 {
+			t.Fatalf("MulVec2[%d] = (%g, %g), want (%g, %g)", i, g1[i], g2[i], w1[i], w2[i])
+		}
+	}
+}
+
+// TestSampleCovarianceConverges draws many fields and checks the
+// empirical covariance against the kernel (a statistical bound, hence
+// the loose tolerance at this sample count).
+func TestSampleCovarianceConverges(t *testing.T) {
+	g := Grid{Rows: 4, Cols: 4, DX: 1.76, DY: 1.76}
+	kernel := expKernel(1, 0.9, 1000)
+	e, err := NewEmbedding(g, kernel, EmbedOptions{})
+	if err != nil {
+		t.Fatalf("NewEmbedding: %v", err)
+	}
+	if !e.CanSample() {
+		t.Fatalf("flow kernel not sampleable: rel err %g", e.SampleRelErr)
+	}
+	cov := denseCov(g, kernel)
+	n := g.Rows * g.Cols
+	const samples = 4000
+	acc := make([]float64, n*n)
+	field := make([]float64, n)
+	rng := rand.New(rand.NewSource(99))
+	for s := 0; s < samples; s++ {
+		e.Sample(field, rng)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				acc[i*n+j] += field[i] * field[j]
+			}
+		}
+	}
+	maxErr := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			maxErr = math.Max(maxErr, math.Abs(acc[i*n+j]/samples-cov[i][j]))
+		}
+	}
+	// Var of a sample-covariance entry is O(1/samples); 4000 samples
+	// put 3σ near 0.05 for unit-variance fields, plus the documented
+	// clamp bias (SampleRelErr, ~1e-4 here).
+	if maxErr > 0.1 {
+		t.Errorf("sample covariance off by %g after %d samples", maxErr, samples)
+	}
+}
+
+// TestSampleDeterministic: same rng seed, same field.
+func TestSampleDeterministic(t *testing.T) {
+	g := Grid{Rows: 3, Cols: 5, DX: 1, DY: 1}
+	e, err := NewEmbedding(g, expKernel(1, 0.9, 100), EmbedOptions{})
+	if err != nil {
+		t.Fatalf("NewEmbedding: %v", err)
+	}
+	n := g.Rows * g.Cols
+	a, b := make([]float64, n), make([]float64, n)
+	e.Sample(a, rand.New(rand.NewSource(7)))
+	e.Sample(b, rand.New(rand.NewSource(7)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample not deterministic at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// TestEmbeddingNotSampleable: an oscillatory kernel keeps a strongly
+// indefinite spectrum no padding fixes, so sampling must be refused —
+// while the matvec stays exact.
+func TestEmbeddingNotSampleable(t *testing.T) {
+	osc := func(d2 float64) float64 { return math.Cos(3 * math.Sqrt(d2)) }
+	g := Grid{Rows: 8, Cols: 8, DX: 1, DY: 1}
+	e, err := NewEmbedding(g, osc, EmbedOptions{SampleTol: 1e-3, MaxDoublings: 1})
+	if err != nil {
+		t.Fatalf("NewEmbedding: %v", err)
+	}
+	if e.CanSample() {
+		t.Fatalf("oscillatory kernel reported sampleable (rel err %g)", e.SampleRelErr)
+	}
+	cov := denseCov(g, osc)
+	n := g.Rows * g.Cols
+	x := make([]float64, n)
+	rng := rand.New(rand.NewSource(13))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := make([]float64, n)
+	e.MulVec(got, x)
+	for i := 0; i < n; i++ {
+		want := 0.0
+		for j := 0; j < n; j++ {
+			want += cov[i][j] * x[j]
+		}
+		if math.Abs(got[i]-want) > 1e-9 {
+			t.Fatalf("indefinite matvec[%d] = %g, want %g", i, got[i], want)
+		}
+	}
+}
+
+func TestEmbeddingRejectsBadArgs(t *testing.T) {
+	k := expKernel(1, 0.9, 10)
+	if _, err := NewEmbedding(Grid{Rows: 0, Cols: 4, DX: 1, DY: 1}, k, EmbedOptions{}); err == nil {
+		t.Error("zero-row grid accepted")
+	}
+	if _, err := NewEmbedding(Grid{Rows: 2, Cols: 2, DX: math.NaN(), DY: 1}, k, EmbedOptions{}); err == nil {
+		t.Error("NaN pitch accepted")
+	}
+	bad := func(d2 float64) float64 { return 0 }
+	if _, err := NewEmbedding(Grid{Rows: 2, Cols: 2, DX: 1, DY: 1}, bad, EmbedOptions{}); err == nil {
+		t.Error("zero-variance kernel accepted")
+	}
+}
+
+func TestTorusDim(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{1, 1}, {2, 4}, {3, 8}, {4, 8}, {5, 16}, {8, 16}, {64, 128},
+	} {
+		if got := torusDim(tc.n); got != tc.want {
+			t.Errorf("torusDim(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package linalg
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // benchLaplacian builds the n-node path-graph Laplacian plus a ground
 // leak — the same SPD structure RC moment solves produce — so the
@@ -38,19 +41,23 @@ func BenchmarkSolveCG(b *testing.B) {
 }
 
 // BenchmarkSolveSPD exercises the dense Cholesky fallback with the
-// fused forward/back substitution buffer.
+// fused forward/back substitution buffer. The larger sizes measure
+// the blocked right-looking factorization where the cache behavior of
+// the trailing update dominates.
 func BenchmarkSolveSPD(b *testing.B) {
-	const n = 128
-	d := benchLaplacian(n).ToDense()
-	rhs := make([]float64, n)
-	for i := range rhs {
-		rhs[i] = float64(i%5) + 1
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := SolveSPD(d, rhs); err != nil {
-			b.Fatal(err)
+	for _, n := range []int{128, 512, 1024, 2048} {
+		d := benchLaplacian(n).ToDense()
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = float64(i%5) + 1
 		}
+		b.Run(fmt.Sprintf("N%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveSPD(d, rhs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

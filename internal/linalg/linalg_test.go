@@ -1,8 +1,10 @@
 package linalg
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -361,4 +363,74 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestCholeskyBlockBoundaries reconstructs A = L·Lᵀ at sizes that
+// straddle the blocked factorization's panel width (cholBlock = 64):
+// exact multiples, one-off sizes, and multi-panel cases all exercise
+// different diagonal-block/panel-solve/trailing-update splits.
+func TestCholeskyBlockBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{cholBlock - 1, cholBlock, cholBlock + 1, 2*cholBlock + 5, 200} {
+		b := NewDense(n)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		a := NewDense(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += b.At(i, k) * b.At(j, k)
+				}
+				a.Set(i, j, s)
+				a.Set(j, i, s)
+			}
+			a.Add(i, i, float64(n))
+		}
+		orig := a.Clone()
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range a.Data {
+			if a.Data[i] != orig.Data[i] {
+				t.Fatalf("n=%d: Cholesky mutated its input at %d", n, i)
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if j > i && l.At(i, j) != 0 {
+					t.Fatalf("n=%d: upper triangle L[%d][%d] = %g, want 0", n, i, j, l.At(i, j))
+				}
+				s := 0.0
+				for k := 0; k <= min(i, j); k++ {
+					s += l.At(i, k) * l.At(j, k)
+				}
+				if !almostEq(s, orig.At(i, j), 1e-7*float64(n)) {
+					t.Fatalf("n=%d: (L·Lt)[%d][%d] = %g, want %g", n, i, j, s, orig.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestCholeskyIndefiniteBeyondFirstPanel pins the pivot-failure error
+// to the correct column when the breakdown happens in a later panel.
+func TestCholeskyIndefiniteBeyondFirstPanel(t *testing.T) {
+	n := cholBlock + 40
+	a := NewDense(n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	bad := cholBlock + 7
+	a.Set(bad, bad, -2)
+	_, err := Cholesky(a)
+	if err == nil {
+		t.Fatal("indefinite matrix factored")
+	}
+	want := fmt.Sprintf("column %d", bad)
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name %s", err, want)
+	}
 }

@@ -3,14 +3,18 @@ package numeric
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
+	"ccdac/internal/fftk"
 	"ccdac/internal/linalg"
 	"ccdac/internal/tech"
 )
 
 // DefaultChecks returns the stock golden-reference probes covering the
 // kernels the analysis pipeline leans on: the sparse CG solver, dense
-// Cholesky, dense LU, and the process-wide rho memo table. Each
+// Cholesky, dense LU, the process-wide rho memo table, and the FFT
+// structured-covariance kernels (transform round trip, circulant
+// matvec against the direct sum, spectral-sampler covariance). Each
 // problem has an analytically known answer, so drift measures the
 // kernel itself, not a reference implementation.
 func DefaultChecks() []Check {
@@ -19,6 +23,12 @@ func DefaultChecks() []Check {
 		{Name: "chol_reconstruction", Run: checkChol},
 		{Name: "lu_solve", Run: checkLU},
 		{Name: "rho_memo", Run: checkRhoMemo},
+		{Name: "fft_roundtrip", Run: checkFFTRoundTrip},
+		{Name: "circulant_matvec", Run: checkCirculantMatvec},
+		// The sampler check is statistical: a fixed seed makes the
+		// drift deterministic, but its magnitude is Monte-Carlo noise
+		// (~1/√samples), not round-off, hence the dedicated tolerance.
+		{Name: "embed_sample_cov", Tol: 0.2, Run: checkEmbedSampleCov},
 	}
 }
 
@@ -133,6 +143,121 @@ func checkRhoMemo() (float64, error) {
 		}
 		if e := math.Abs(got-want) / want; e > worst {
 			worst = e
+		}
+	}
+	return worst, nil
+}
+
+// checkFFTRoundTrip pushes a fixed impulse-plus-tone vector through
+// Forward then Inverse on a pow2 and a Bluestein length: the exact
+// answer is the input itself, so any drift is transform error.
+func checkFFTRoundTrip() (float64, error) {
+	worst := 0.0
+	for _, n := range []int{32, 24} {
+		p, err := fftk.NewPlan(n)
+		if err != nil {
+			return math.Inf(1), fmt.Errorf("fft golden plan(%d): %w", n, err)
+		}
+		x := make([]complex128, n)
+		want := make([]float64, 2*n)
+		for i := range x {
+			re := math.Cos(2*math.Pi*3*float64(i)/float64(n)) + float64(i%5)
+			im := math.Sin(2 * math.Pi * float64(i) / float64(n))
+			x[i] = complex(re, im)
+			want[2*i], want[2*i+1] = re, im
+		}
+		p.Forward(x)
+		p.Inverse(x)
+		got := make([]float64, 2*n)
+		for i, v := range x {
+			got[2*i], got[2*i+1] = real(v), imag(v)
+		}
+		if e := relErr(got, want); e > worst {
+			worst = e
+		}
+	}
+	return worst, nil
+}
+
+// checkCirculantMatvec compares the embedding's spectral matvec of the
+// stock mismatch kernel against the direct O(n²) covariance sum on a
+// 4×6 grid — the identity the structured analysis path rests on.
+func checkCirculantMatvec() (float64, error) {
+	t := tech.FinFET12()
+	sigmaU2 := t.SigmaU() * t.SigmaU()
+	kernel := func(d2 float64) float64 {
+		return sigmaU2 * math.Pow(t.Mis.RhoU, math.Sqrt(d2)/t.Mis.LcUm)
+	}
+	g := fftk.Grid{Rows: 4, Cols: 6, DX: t.Unit.W, DY: t.Unit.H}
+	e, err := fftk.NewEmbedding(g, kernel, fftk.EmbedOptions{})
+	if err != nil {
+		return math.Inf(1), fmt.Errorf("fft golden embedding: %w", err)
+	}
+	n := g.Rows * g.Cols
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64((i*7)%5) - 2
+	}
+	got := make([]float64, n)
+	e.MulVec(got, x)
+	want := make([]float64, n)
+	for a := 0; a < n; a++ {
+		ra, ca := a/g.Cols, a%g.Cols
+		s := 0.0
+		for b := 0; b < n; b++ {
+			rb, cb := b/g.Cols, b%g.Cols
+			dx := float64(ca-cb) * g.DX
+			dy := float64(ra-rb) * g.DY
+			s += kernel(dx*dx+dy*dy) * x[b]
+		}
+		want[a] = s
+	}
+	return relErr(got, want), nil
+}
+
+// checkEmbedSampleCov draws a fixed-seed batch of spectral samples on
+// a 4×4 grid and measures the worst covariance-entry error against
+// the kernel, normalized by the variance. The drift is deterministic
+// (fixed stream) but statistically sized; its tolerance lives on the
+// check, not DefaultTol.
+func checkEmbedSampleCov() (float64, error) {
+	t := tech.FinFET12()
+	sigmaU2 := t.SigmaU() * t.SigmaU()
+	kernel := func(d2 float64) float64 {
+		return sigmaU2 * math.Pow(t.Mis.RhoU, math.Sqrt(d2)/t.Mis.LcUm)
+	}
+	g := fftk.Grid{Rows: 4, Cols: 4, DX: t.Unit.W, DY: t.Unit.H}
+	e, err := fftk.NewEmbedding(g, kernel, fftk.EmbedOptions{})
+	if err != nil {
+		return math.Inf(1), fmt.Errorf("fft golden sampler embedding: %w", err)
+	}
+	if !e.CanSample() {
+		return math.Inf(1), fmt.Errorf("fft golden sampler: embedding not sampleable (rel err %g)", e.SampleRelErr)
+	}
+	const samples = 512
+	n := g.Rows * g.Cols
+	rng := rand.New(rand.NewSource(42))
+	field := make([]float64, n)
+	acc := make([]float64, n*n)
+	for s := 0; s < samples; s++ {
+		e.Sample(field, rng)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				acc[i*n+j] += field[i] * field[j]
+			}
+		}
+	}
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		ri, ci := i/g.Cols, i%g.Cols
+		for j := i; j < n; j++ {
+			rj, cj := j/g.Cols, j%g.Cols
+			dx := float64(ci-cj) * g.DX
+			dy := float64(ri-rj) * g.DY
+			want := kernel(dx*dx + dy*dy)
+			if e := math.Abs(acc[i*n+j]/samples-want) / sigmaU2; e > worst {
+				worst = e
+			}
 		}
 	}
 	return worst, nil

@@ -14,8 +14,12 @@ func TestDefaultChecksPass(t *testing.T) {
 			t.Errorf("%s: %v", c.Name, err)
 			continue
 		}
-		if drift > DefaultTol {
-			t.Errorf("%s drift = %g, want <= %g", c.Name, drift, DefaultTol)
+		tol := c.Tol
+		if tol == 0 {
+			tol = DefaultTol
+		}
+		if drift > tol {
+			t.Errorf("%s drift = %g, want <= %g", c.Name, drift, tol)
 		}
 		t.Logf("%s drift = %.3g", c.Name, drift)
 	}

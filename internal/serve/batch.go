@@ -72,6 +72,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			return nil
 		}
+		if !validFFTDirective(req.FFT) {
+			items[i] = BatchItem{
+				Status: http.StatusBadRequest,
+				Error:  fmt.Sprintf("serve: unknown fft directive %q (want \"auto\" or \"off\")", req.FFT),
+			}
+			return nil
+		}
 		cfg := req.config()
 		cfg.Workers = s.opts.Workers
 		if req.Workers != 0 && req.Workers < cfg.Workers {

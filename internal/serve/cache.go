@@ -95,11 +95,16 @@ func cacheKey(req GenerateRequest) string {
 	if n.Style != string(ccdac.Annealed) {
 		n.AnnealSeed, n.AnnealMoves = 0, 0
 	}
-	return memo.NewKey("serve/generate/v1").
+	if n.FFT == "" {
+		n.FFT = "auto" // pipeline default
+	}
+	// v2: the fft directive joined the key — the engines agree only to
+	// tolerance, so their results must not share cache entries.
+	return memo.NewKey("serve/generate/v2").
 		Int(n.Bits).Str(n.Style).Int(n.CoreBits).Int(n.BlockCells).
 		Int(n.MaxParallel).I64(n.AnnealSeed).Int(n.AnnealMoves).
 		Int(n.ThetaSteps).Bool(n.SkipNonlinearity).Str(n.TechNode).
-		Bool(n.BestBC).Sum()
+		Bool(n.BestBC).Str(n.FFT).Sum()
 }
 
 // generate routes one request through the cache and singleflight

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestFFTDirective: the fft knob validates like cache does, "" and
+// "auto" canonicalize to one cache entry, and "off" — a different
+// engine whose numbers agree only to tolerance — gets its own.
+func TestFFTDirective(t *testing.T) {
+	srv := New(Options{Logger: quietLogger()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, data := postGenerate(t, ts.URL, `{"bits":5,"fft":"fast"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown fft directive: status %d, want 400: %s", resp.StatusCode, data)
+	}
+
+	resp, data = postGenerate(t, ts.URL, `{"bits":5,"skip_nonlinearity":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default request: status %d: %s", resp.StatusCode, data)
+	}
+	if got := decodeGenerate(t, data).CacheStatus; got != "cold" {
+		t.Fatalf("default request cache_status = %q, want cold", got)
+	}
+
+	// Explicit "auto" is the spelled-out default: same entry.
+	resp, data = postGenerate(t, ts.URL, `{"bits":5,"skip_nonlinearity":true,"fft":"auto"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fft=auto request: status %d: %s", resp.StatusCode, data)
+	}
+	if got := decodeGenerate(t, data).CacheStatus; got != "hit" {
+		t.Errorf("fft=auto cache_status = %q, want hit (canonical with default)", got)
+	}
+
+	// "off" runs the dense engine: must not share the structured entry.
+	resp, data = postGenerate(t, ts.URL, `{"bits":5,"skip_nonlinearity":true,"fft":"off"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fft=off request: status %d: %s", resp.StatusCode, data)
+	}
+	if got := decodeGenerate(t, data).CacheStatus; got != "cold" {
+		t.Errorf("fft=off cache_status = %q, want cold (distinct engine)", got)
+	}
+}

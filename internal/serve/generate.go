@@ -39,6 +39,12 @@ type GenerateRequest struct {
 	// memoization) — the knob for "I changed the binary, show me fresh
 	// numbers". Anything else is a 400.
 	Cache string `json:"cache,omitempty"`
+	// FFT selects the covariance engine: "" or "auto" (default) uses
+	// the structured FFT path when the layout geometry allows, "off"
+	// forces the dense path — the A/B audit knob. Anything else is a
+	// 400. The two engines agree only to documented tolerance, so the
+	// directive is part of the result-cache key.
+	FFT string `json:"fft,omitempty"`
 }
 
 func (g GenerateRequest) config() ccdac.Config {
@@ -53,6 +59,7 @@ func (g GenerateRequest) config() ccdac.Config {
 		ThetaSteps:       g.ThetaSteps,
 		SkipNonlinearity: g.SkipNonlinearity,
 		TechNode:         g.TechNode,
+		FFT:              g.FFT,
 	}
 }
 
@@ -81,6 +88,12 @@ func validCacheDirective(c string) bool {
 	return c == "" || c == "default" || c == "bypass"
 }
 
+// validFFTDirective reports whether a request's fft field is one of the
+// accepted covariance-engine selectors.
+func validFFTDirective(f string) bool {
+	return f == "" || f == "auto" || f == "off"
+}
+
 // handleGenerate decodes one request and routes it through the cache
 // and singleflight layers (see cache.go); the generation itself runs
 // under a request-private trace whose metrics fold into the process
@@ -96,6 +109,11 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if !validCacheDirective(req.Cache) {
 		s.writeError(w, r, http.StatusBadRequest,
 			fmt.Errorf("serve: unknown cache directive %q (want \"default\" or \"bypass\")", req.Cache))
+		return
+	}
+	if !validFFTDirective(req.FFT) {
+		s.writeError(w, r, http.StatusBadRequest,
+			fmt.Errorf("serve: unknown fft directive %q (want \"auto\" or \"off\")", req.FFT))
 		return
 	}
 	cfg := req.config()

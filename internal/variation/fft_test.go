@@ -1,0 +1,383 @@
+package variation
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ccdac/internal/ccmatrix"
+	"ccdac/internal/fault"
+	"ccdac/internal/geom"
+	"ccdac/internal/obs"
+	"ccdac/internal/place"
+	"ccdac/internal/route"
+	"ccdac/internal/tech"
+)
+
+// tracedCtx returns a context carrying a fresh trace, plus the trace
+// for counter assertions, so tests can verify which covariance engine
+// actually ran rather than trusting the selection logic.
+func tracedCtx(t *testing.T) (context.Context, *obs.Trace) {
+	t.Helper()
+	tr := obs.New(obs.Options{})
+	t.Cleanup(tr.Finish)
+	return obs.WithTrace(context.Background(), tr), tr
+}
+
+// TestStructuredCovarianceMatchesDense is the engine-equivalence
+// property: over spiral, chessboard and randomized symmetric layouts
+// on the regular grid, the FFT path must reproduce the dense pair-sum
+// covariance to near round-off. Both paths read the same quantized rho
+// memo, so the only daylight is transform arithmetic; the trace
+// counter proves the structured engine actually ran.
+func TestStructuredCovarianceMatchesDense(t *testing.T) {
+	tch := tech.FinFET12()
+	pos := GridPositioner(tch)
+	for _, tc := range []struct {
+		name string
+		mk   func() (*ccmatrix.Matrix, error)
+	}{
+		{"spiral8", func() (*ccmatrix.Matrix, error) { return place.NewSpiral(8) }},
+		{"chessboard6", func() (*ccmatrix.Matrix, error) { return place.NewChessboard(6) }},
+		{"random7_seed1", func() (*ccmatrix.Matrix, error) { return place.NewRandomSymmetric(7, 1) }},
+		{"random7_seed99", func() (*ccmatrix.Matrix, error) { return place.NewRandomSymmetric(7, 99) }},
+		{"random9_seed7", func() (*ccmatrix.Matrix, error) { return place.NewRandomSymmetric(9, 7) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, tr := tracedCtx(t)
+			structured, err := AnalyzeContext(ctx, m, pos, tch, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := tr.Registry().Snapshot().Counter("ccdac_numeric_fft_structured_total", obs.Labels{"path": "analyze"}); got != 1 {
+				t.Fatalf("structured_total{analyze} = %d, want 1 (FFT path did not engage)", got)
+			}
+			dense, err := AnalyzeContext(WithFFTMode(context.Background(), FFTOff), m, pos, tch, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			worst := 0.0
+			for j := 0; j <= m.Bits; j++ {
+				for k := 0; k <= m.Bits; k++ {
+					s, d := structured.Cov.At(j, k), dense.Cov.At(j, k)
+					if e := math.Abs(s-d) / math.Abs(d); e > worst {
+						worst = e
+					}
+				}
+			}
+			if worst > 1e-10 {
+				t.Errorf("FFT vs dense covariance rel err = %g, want <= 1e-10", worst)
+			}
+			t.Logf("FFT vs dense covariance rel err = %.3g", worst)
+		})
+	}
+}
+
+// TestMonteCarloFFTSampleCovariance: the spectral sampler's empirical
+// capacitor-shift covariance must converge to the analytic covariance
+// the dense engine computes — the distributional equivalence the
+// sampler swap rests on. Fixed seed makes the drift deterministic.
+func TestMonteCarloFFTSampleCovariance(t *testing.T) {
+	m, err := place.NewSpiral(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tch := tech.FinFET12()
+	pos := GridPositioner(tch)
+	a, err := Analyze(m, pos, tch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples, seed = 4000, 7
+	ctx, tr := tracedCtx(t)
+	out, err := MonteCarloContext(ctx, m, pos, tch, a, samples, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tr.Registry().Snapshot()
+	if got := snap.Counter("ccdac_numeric_fft_structured_total", obs.Labels{"path": "mc"}); got != 1 {
+		t.Fatalf("structured_total{mc} = %d, want 1 (spectral sampler did not engage)", got)
+	}
+	if got := snap.Counter("ccdac_numeric_fft_samples_total", nil); got != samples {
+		t.Errorf("samples_total = %d, want %d", got, samples)
+	}
+
+	// Empirical covariance of the random part (systematic shift removed).
+	n := m.Bits + 1
+	acc := make([]float64, n*n)
+	for _, shifts := range out {
+		for j := 0; j < n; j++ {
+			dj := shifts[j] - a.DCSys(j)
+			for k := j; k < n; k++ {
+				acc[j*n+k] += dj * (shifts[k] - a.DCSys(k))
+			}
+		}
+	}
+	worst := 0.0
+	for j := 0; j < n; j++ {
+		for k := j; k < n; k++ {
+			got := acc[j*n+k] / samples
+			want := a.Cov.At(j, k)
+			scale := math.Sqrt(a.Cov.At(j, j) * a.Cov.At(k, k))
+			if e := math.Abs(got-want) / scale; e > worst {
+				worst = e
+			}
+		}
+	}
+	// Monte-Carlo noise at 4000 samples is ~1/sqrt(4000) ≈ 1.6% per
+	// normalized entry; 0.1 leaves a wide deterministic margin.
+	if worst > 0.1 {
+		t.Errorf("spectral-sampler covariance drift = %g, want <= 0.1", worst)
+	}
+	t.Logf("spectral-sampler covariance drift = %.3g over %d samples", worst, samples)
+}
+
+// TestFFTFaultFallsBackDense: an injected numeric.fft fault degrades
+// to the dense engine — bitwise-identical results to FFTOff, a
+// warning on the analysis, and the fallback counter incremented. The
+// CG→Cholesky ladder contract, applied to the covariance engine.
+func TestFFTFaultFallsBackDense(t *testing.T) {
+	m, err := place.NewSpiral(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tch := tech.FinFET12()
+	pos := GridPositioner(tch)
+
+	fault.Enable(fault.StageFFT, 0, errors.New("injected fft fault"))
+	defer fault.Reset()
+	ctx, tr := tracedCtx(t)
+	got, err := AnalyzeContext(ctx, m, pos, tch, 0)
+	if err != nil {
+		t.Fatalf("faulted analyze must degrade, not fail: %v", err)
+	}
+	if !fault.Fired(fault.StageFFT) {
+		t.Fatal("injected fault never fired")
+	}
+	if len(got.Warnings) == 0 || !strings.Contains(got.Warnings[0], "dense fallback") {
+		t.Errorf("Warnings = %q, want a dense-fallback warning", got.Warnings)
+	}
+	if c := tr.Registry().Snapshot().Counter("ccdac_numeric_fft_fallback_total", obs.Labels{"path": "analyze"}); c != 1 {
+		t.Errorf("fallback_total{analyze} = %d, want 1", c)
+	}
+	want, err := AnalyzeContext(WithFFTMode(context.Background(), FFTOff), m, pos, tch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j <= m.Bits; j++ {
+		for k := 0; k <= m.Bits; k++ {
+			if g, w := got.Cov.At(j, k), want.Cov.At(j, k); g != w {
+				t.Fatalf("Cov(%d,%d) = %.17g faulted vs %.17g dense — fallback is not the dense path", j, k, g, w)
+			}
+		}
+	}
+
+	// Same ladder for the sampler: the fault pushes Monte Carlo onto the
+	// dense Cholesky path, whose fixed-seed output is byte-identical to
+	// an explicit FFTOff run.
+	fault.Reset()
+	fault.Enable(fault.StageFFT, 0, errors.New("injected fft fault"))
+	const samples, seed = 16, 99
+	mctx, mtr := tracedCtx(t)
+	faulted, err := MonteCarloContext(mctx, m, pos, tch, got, samples, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := mtr.Registry().Snapshot().Counter("ccdac_numeric_fft_fallback_total", obs.Labels{"path": "mc"}); c != 1 {
+		t.Errorf("fallback_total{mc} = %d, want 1", c)
+	}
+	fault.Reset()
+	dense, err := MonteCarloContext(WithFFTMode(context.Background(), FFTOff), m, pos, tch, got, samples, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range dense {
+		for k := range dense[s] {
+			if faulted[s][k] != dense[s][k] {
+				t.Fatalf("sample %d bit %d: %.17g faulted vs %.17g dense", s, k, faulted[s][k], dense[s][k])
+			}
+		}
+	}
+}
+
+// TestIrregularLayoutKeepsDensePath: a positioner off both structured
+// lattices must not engage the structured path — no structured
+// counter, no fallback counter (an irregular layout is the dense path
+// working as designed, not a degradation), no warnings.
+func TestIrregularLayoutKeepsDensePath(t *testing.T) {
+	m, err := place.NewSpiral(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tch := tech.FinFET12()
+	grid := GridPositioner(tch)
+	warped := func(c geom.Cell) geom.Pt {
+		p := grid(c)
+		// Row-dependent x warp: breaks the uniform lattice AND the
+		// separable (shared column x) one, far beyond the fit tolerance,
+		// while keeping positions sane.
+		p.X += 0.01 * (p.Y + 1) * p.X * p.X / (tch.Unit.W * float64(m.Cols))
+		return p
+	}
+	ctx, tr := tracedCtx(t)
+	a, err := AnalyzeContext(ctx, m, warped, tch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tr.Registry().Snapshot()
+	if c := snap.Counter("ccdac_numeric_fft_structured_total", obs.Labels{"path": "analyze"}); c != 0 {
+		t.Errorf("structured_total{analyze} = %d on an irregular layout, want 0", c)
+	}
+	if c := snap.Counter("ccdac_numeric_fft_fallback_total", obs.Labels{"path": "analyze"}); c != 0 {
+		t.Errorf("fallback_total{analyze} = %d on an irregular layout, want 0 (not a degradation)", c)
+	}
+	if len(a.Warnings) != 0 {
+		t.Errorf("Warnings = %q on an irregular layout, want none", a.Warnings)
+	}
+}
+
+// routedLayout routes a placement and returns it with the physical
+// cell positioner — the product flow's geometry, whose variable
+// channel widths put the columns off any uniform pitch.
+func routedLayout(t *testing.T, m *ccmatrix.Matrix, tch *tech.Technology) Positioner {
+	t.Helper()
+	l, err := route.Route(m, tch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l.CellCenter
+}
+
+// TestRoutedLayoutStructuredCovariance: the separable tier must engage
+// on real routed layouts — the product flow serve and cmd/yield drive
+// — and reproduce the dense covariance to near round-off. The test
+// first proves the geometry does NOT fit the uniform lattice, so the
+// equivalence exercises the row-spectral path, not the 2-D one.
+func TestRoutedLayoutStructuredCovariance(t *testing.T) {
+	tch := tech.FinFET12()
+	for _, tc := range []struct {
+		name string
+		mk   func() (*ccmatrix.Matrix, error)
+	}{
+		{"spiral8", func() (*ccmatrix.Matrix, error) { return place.NewSpiral(8) }},
+		{"chessboard6", func() (*ccmatrix.Matrix, error) { return place.NewChessboard(6) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pos := routedLayout(t, m, tch)
+			g := gatherCells(m, pos)
+			if _, uniform := fitRegularGrid(g.flat, g.rows, g.cols); uniform {
+				t.Fatal("routed layout fits the uniform lattice — test would not cover the separable tier")
+			}
+			if _, ok := fitSeparableGrid(g.flat, g.rows, g.cols); !ok {
+				t.Fatal("routed layout does not fit the separable lattice")
+			}
+			ctx, tr := tracedCtx(t)
+			structured, err := AnalyzeContext(ctx, m, pos, tch, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := tr.Registry().Snapshot().Counter("ccdac_numeric_fft_structured_total", obs.Labels{"path": "analyze"}); got != 1 {
+				t.Fatalf("structured_total{analyze} = %d, want 1 (separable path did not engage)", got)
+			}
+			dense, err := AnalyzeContext(WithFFTMode(context.Background(), FFTOff), m, pos, tch, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			worst := 0.0
+			for j := 0; j <= m.Bits; j++ {
+				for k := 0; k <= m.Bits; k++ {
+					s, d := structured.Cov.At(j, k), dense.Cov.At(j, k)
+					if e := math.Abs(s-d) / math.Abs(d); e > worst {
+						worst = e
+					}
+				}
+			}
+			if worst > 1e-10 {
+				t.Errorf("separable vs dense covariance rel err = %g, want <= 1e-10", worst)
+			}
+			t.Logf("separable vs dense covariance rel err = %.3g", worst)
+		})
+	}
+}
+
+// TestRoutedMonteCarloFFTSampleCovariance: the separable spectral
+// sampler's empirical covariance must converge to the analytic one on
+// a routed layout — the correctness of the per-frequency factorized
+// draw, on the geometry cmd/yield actually samples.
+func TestRoutedMonteCarloFFTSampleCovariance(t *testing.T) {
+	m, err := place.NewSpiral(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tch := tech.FinFET12()
+	pos := routedLayout(t, m, tch)
+	a, err := Analyze(m, pos, tch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples, seed = 4000, 11
+	ctx, tr := tracedCtx(t)
+	out, err := MonteCarloContext(ctx, m, pos, tch, a, samples, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Registry().Snapshot().Counter("ccdac_numeric_fft_structured_total", obs.Labels{"path": "mc"}); got != 1 {
+		t.Fatalf("structured_total{mc} = %d, want 1 (separable sampler did not engage)", got)
+	}
+	n := m.Bits + 1
+	acc := make([]float64, n*n)
+	for _, shifts := range out {
+		for j := 0; j < n; j++ {
+			dj := shifts[j] - a.DCSys(j)
+			for k := j; k < n; k++ {
+				acc[j*n+k] += dj * (shifts[k] - a.DCSys(k))
+			}
+		}
+	}
+	worst := 0.0
+	for j := 0; j < n; j++ {
+		for k := j; k < n; k++ {
+			got := acc[j*n+k] / samples
+			want := a.Cov.At(j, k)
+			scale := math.Sqrt(a.Cov.At(j, j) * a.Cov.At(k, k))
+			if e := math.Abs(got-want) / scale; e > worst {
+				worst = e
+			}
+		}
+	}
+	if worst > 0.1 {
+		t.Errorf("separable-sampler covariance drift = %g, want <= 0.1", worst)
+	}
+	t.Logf("separable-sampler covariance drift = %.3g over %d samples", worst, samples)
+}
+
+// TestSweepAngleZeroAllocs pins the satellite's steady-state claim:
+// one angle evaluation against the pooled gradient scratch performs
+// zero allocations.
+func TestSweepAngleZeroAllocs(t *testing.T) {
+	m, err := place.NewSpiral(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tch := tech.FinFET12()
+	g := gatherCells(m, GridPositioner(tch))
+	gg := gradPool.Get().(*gradGeom)
+	defer gradPool.Put(gg)
+	gg.load(g, tch)
+	dst := make([]float64, len(g.cells))
+	if allocs := testing.AllocsPerRun(100, func() {
+		gg.cstarInto(dst, 0.37)
+	}); allocs != 0 {
+		t.Errorf("cstarInto allocates %v per angle, want 0", allocs)
+	}
+}

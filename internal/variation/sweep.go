@@ -1,0 +1,83 @@
+// Pooled per-sweep gradient scratch. A theta sweep evaluates Eq. 3 at
+// every angle over the same cells; the angle-independent parts — the
+// centroid-referenced offsets and squared radii, flattened per
+// capacitor — used to be re-derived (and the per-angle result
+// allocated twice over) inside the angle loop. They are now gathered
+// once per sweep into a gradGeom drawn from a sync.Pool (the same
+// pattern as the CG solver scratch of PR 5), and each angle runs
+// cstarInto, which allocates nothing.
+package variation
+
+import (
+	"math"
+	"sync"
+
+	"ccdac/internal/tech"
+)
+
+// gradGeom is the flattened, angle-independent geometry a theta sweep
+// evaluates the gradient model over: per-unit-cell centered offsets
+// and squared radii, with capacitor k owning units [off[k], off[k+1]),
+// plus the technology terms of Eq. 3.
+type gradGeom struct {
+	dx, dy, rr []float64
+	off        []int
+	gamma      float64 // linear gradient coefficient, 1/um
+	quad       float64 // quadratic extension coefficient, 1/um²
+	cuFF       float64
+}
+
+var gradPool = sync.Pool{New: func() any { return new(gradGeom) }}
+
+// load fills the scratch from a gathered geometry, reusing the pooled
+// slices when they are large enough.
+func (gg *gradGeom) load(g *cellGeom, t *tech.Technology) {
+	total := 0
+	for _, cells := range g.cells {
+		total += len(cells)
+	}
+	gg.dx = grow(gg.dx, total)
+	gg.dy = grow(gg.dy, total)
+	gg.rr = grow(gg.rr, total)
+	if cap(gg.off) < len(g.cells)+1 {
+		gg.off = make([]int, len(g.cells)+1)
+	}
+	gg.off = gg.off[:len(g.cells)+1]
+	i := 0
+	for k, cells := range g.cells {
+		gg.off[k] = i
+		for _, p := range cells {
+			gg.dx[i] = p.X - g.cx
+			gg.dy[i] = p.Y - g.cy
+			gg.rr[i] = gg.dx[i]*gg.dx[i] + gg.dy[i]*gg.dy[i]
+			i++
+		}
+	}
+	gg.off[len(g.cells)] = i
+	gg.gamma = t.Mis.GradientPPMPerUm * 1e-6
+	gg.quad = t.Mis.QuadGradientPPMPerUm2 * 1e-6
+	gg.cuFF = t.Unit.CfF
+}
+
+// cstarInto evaluates Eq. 3 at one angle into dst (len = capacitor
+// count). It is read-only on the scratch, so concurrent angles of one
+// sweep may share a gradGeom; it performs no allocation.
+func (gg *gradGeom) cstarInto(dst []float64, thetaRad float64) {
+	// Cos/Sin (not Sincos) to stay bit-identical with gradientCStar.
+	cosT, sinT := math.Cos(thetaRad), math.Sin(thetaRad)
+	for k := 0; k < len(gg.off)-1; k++ {
+		sum := 0.0
+		for i := gg.off[k]; i < gg.off[k+1]; i++ {
+			tRatio := 1 + gg.gamma*(gg.dx[i]*cosT+gg.dy[i]*sinT) + gg.quad*gg.rr[i]
+			sum += gg.cuFF / tRatio
+		}
+		dst[k] = sum
+	}
+}
+
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

@@ -80,9 +80,12 @@ func mismatchKey(k *memo.Key, t *tech.Technology) *memo.Key {
 }
 
 // covKeyOf identifies a capacitor-level covariance: every unit-cell
-// position grouped by capacitor, plus the mismatch parameters.
-func covKeyOf(g *cellGeom, t *tech.Technology) string {
-	k := memo.NewKey("variation/cov/v1").Int(len(g.cells))
+// position grouped by capacitor, the mismatch parameters, and the
+// kernel-family mode (the structured and dense builds agree only to
+// tolerance, so a memo entry must never cross modes — that would make
+// a memoized run byte-different from a cold one).
+func covKeyOf(g *cellGeom, t *tech.Technology, mode FFTMode) string {
+	k := memo.NewKey("variation/cov/v2").Int(int(mode)).Int(len(g.cells))
 	for _, cells := range g.cells {
 		k.Int(len(cells))
 		for _, p := range cells {
@@ -92,27 +95,28 @@ func covKeyOf(g *cellGeom, t *tech.Technology) string {
 	return mismatchKey(k, t).Sum()
 }
 
-// covarianceMemo is covariance behind the memo cache: a hit returns
-// the shared (immutable) matrix; a miss builds, records the rho-memo
-// counters, and populates the cache when the context opts in.
-func covarianceMemo(ctx context.Context, g *cellGeom, t *tech.Technology) (*linalg.Dense, error) {
+// covarianceMemo is the covariance build behind the memo cache: a hit
+// returns the shared (immutable) matrix; a miss builds — structured or
+// dense per covarianceAuto — and populates the cache when the context
+// opts in. Degradation warnings accompany a fresh build only; they
+// describe a run's own path, not a cache donor's.
+func covarianceMemo(ctx context.Context, g *cellGeom, t *tech.Technology) (*linalg.Dense, []string, error) {
+	mode := FFTModeOf(ctx)
 	key := ""
 	if memo.Enabled(ctx) {
-		key = covKeyOf(g, t)
+		key = covKeyOf(g, t, mode)
 		if v, ok := covCache.Get(key); ok {
-			return v.(*linalg.Dense), nil
+			return v.(*linalg.Dense), nil, nil
 		}
 	}
-	cov, calls, fetches, err := covariance(ctx, g, t)
+	cov, warns, err := covarianceAuto(ctx, g, t, mode)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	obs.Count(ctx, "ccdac_variation_rho_calls_total", calls)
-	obs.Count(ctx, "ccdac_variation_rho_memo_hits_total", calls-fetches)
 	if key != "" {
 		covCache.Put(key, cov, int64(len(cov.Data))*8+64)
 	}
-	return cov, nil
+	return cov, warns, nil
 }
 
 // Positioner maps a placement cell to its physical center in microns;
@@ -148,6 +152,10 @@ type Analysis struct {
 	// Cov[j][k] = sigma_u^2 * sum_{a in C_j, b in C_k} rho_ab, which
 	// reduces to Eq. 6's sigma_p^2, sigma_q^2 and Cov(p,q) entries.
 	Cov *linalg.Dense
+	// Warnings records degradations the analysis survived — currently
+	// the structured-covariance FFT path falling back to the dense
+	// build. The pipeline surfaces them through Result.Warnings.
+	Warnings []string
 }
 
 // DCSys returns the systematic shift Delta C_k^sys = C_k* - n_k C_u
@@ -187,25 +195,34 @@ func (a *Analysis) SigmaT() float64 {
 }
 
 // cellGeom is the gathered geometry of one placement: per-capacitor
-// unit-cell centers and the occupied-array centroid the gradient is
-// referenced to.
+// unit-cell centers, their placement-grid coordinates (the structured
+// covariance indexes its lattice by them), and the occupied-array
+// centroid the gradient is referenced to.
 type cellGeom struct {
-	cells  [][]geom.Pt
-	counts []int
-	cx, cy float64
+	cells      [][]geom.Pt
+	rcs        [][]geom.Cell
+	flat       []cellPt
+	counts     []int
+	rows, cols int
+	cx, cy     float64
 }
 
 // gatherCells positions every unit cell and computes the centroid.
 func gatherCells(m *ccmatrix.Matrix, pos Positioner) *cellGeom {
 	g := &cellGeom{
 		cells:  make([][]geom.Pt, m.Bits+1),
+		rcs:    make([][]geom.Cell, m.Bits+1),
 		counts: make([]int, m.Bits+1),
+		rows:   m.Rows,
+		cols:   m.Cols,
 	}
 	total := 0
 	for k := 0; k <= m.Bits; k++ {
 		for _, c := range m.CellsOf(k) {
 			p := pos(c)
 			g.cells[k] = append(g.cells[k], p)
+			g.rcs[k] = append(g.rcs[k], c)
+			g.flat = append(g.flat, cellPt{c: c, p: p})
 			g.cx += p.X
 			g.cy += p.Y
 			total++
@@ -325,11 +342,12 @@ func AnalyzeContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, t *
 		CStar:    gradientCStar(g, t, thetaRad),
 		Counts:   g.counts,
 	}
-	cov, err := covarianceMemo(ctx, g, t)
+	cov, warns, err := covarianceMemo(ctx, g, t)
 	if err != nil {
 		return nil, err
 	}
 	a.Cov = cov
+	a.Warnings = warns
 	return a, nil
 }
 
@@ -359,23 +377,34 @@ func SweepThetaContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, 
 		return nil, fmt.Errorf("variation: %w", err)
 	}
 	g := gatherCells(m, pos)
-	cov, err := covarianceMemo(ctx, g, t)
+	cov, warns, err := covarianceMemo(ctx, g, t)
 	if err != nil {
 		return nil, err
 	}
+	// The flattened gradient geometry (centered offsets, radii) is
+	// angle-independent: gather it once from the pool and evaluate
+	// every angle against it, so the per-angle work allocates nothing
+	// beyond its result (see gradGeom; asserted by
+	// TestSweepAngleZeroAllocs).
+	gg := gradPool.Get().(*gradGeom)
+	defer gradPool.Put(gg)
+	gg.load(g, t)
 	out := make([]*Analysis, nSteps)
 	err = par.ForN(par.Workers(ctx), nSteps, func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("variation: sweep step %d: %w", i, err)
 		}
 		theta := math.Pi * float64(i) / float64(nSteps)
+		cstar := make([]float64, len(g.cells))
+		gg.cstarInto(cstar, theta)
 		out[i] = &Analysis{
 			Bits:     m.Bits,
 			CuFF:     t.Unit.CfF,
 			ThetaRad: theta,
-			CStar:    gradientCStar(g, t, theta),
+			CStar:    cstar,
 			Counts:   g.counts,
 			Cov:      cov, // shared: angle-independent
+			Warnings: warns,
 		}
 		return nil
 	})
@@ -394,6 +423,13 @@ func MonteCarlo(m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, a *Analy
 	return MonteCarloContext(context.Background(), m, pos, t, a, samples, seed)
 }
 
+// mcUnit is one positioned unit cell of the Monte-Carlo sampler.
+type mcUnit struct {
+	bit int
+	c   geom.Cell
+	p   geom.Pt
+}
+
 // MonteCarloContext is MonteCarlo under a context: cancellation is
 // checked once per unit-covariance row and once per sample, mirroring
 // AnalyzeContext, so a canceled run stops within one row's (or one
@@ -402,18 +438,26 @@ func MonteCarlo(m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, a *Analy
 // Sampling is deterministic for a fixed seed independent of the worker
 // count: sample s draws from its own RNG stream derived from (seed, s)
 // by a splitmix64 mix, and results are written by sample index.
+//
+// On a regular grid (unless the context selects FFTOff) samples come
+// from the spectral circulant-embedding sampler — O(n log n) per
+// sample, no n×n matrix and no Cholesky — which preserves the
+// per-stream determinism but consumes its streams differently than
+// the dense sampler, so the two paths draw different (equally
+// distributed) samples for one seed.
 func MonteCarloContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, a *Analysis, samples int, seed int64) ([][]float64, error) {
 	if samples < 1 {
 		return nil, fmt.Errorf("variation: need at least 1 sample")
 	}
-	type unit struct {
-		bit int
-		p   geom.Pt
-	}
-	var units []unit
+	var units []mcUnit
 	for k := 0; k <= m.Bits; k++ {
 		for _, c := range m.CellsOf(k) {
-			units = append(units, unit{bit: k, p: pos(c)})
+			units = append(units, mcUnit{bit: k, c: c, p: pos(c)})
+		}
+	}
+	if FFTModeOf(ctx) != FFTOff {
+		if out, ok, err := monteCarloFFT(ctx, units, m.Rows, m.Cols, t, a, samples, seed); ok || err != nil {
+			return out, err
 		}
 	}
 	n := len(units)
