@@ -5,7 +5,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X ccdac.Version=$(VERSION)"
 
-.PHONY: check fmt vet build test race fuzz bench bench-obs bench-analyze bench-smoke serve-bench bench-cache bench-store store-smoke bench-diff bench-update install
+.PHONY: check fmt vet build test race fuzz bench bench-obs bench-analyze bench-smoke serve-bench bench-cache bench-store store-smoke bench-jobs jobs-smoke bench-diff bench-update install
 
 check: fmt vet build race
 
@@ -88,6 +88,20 @@ bench-store:
 # then assert quarantine-free recovery with warm cache hits.
 store-smoke:
 	sh scripts/store_smoke.sh
+
+# Job-tier micro-batching benchmark: 32 compatible yield jobs over one
+# shared 10-bit layout, run per-request vs coalesced, written to
+# BENCH_jobs.json. Asserts the coalesced pass is >= 3x faster with
+# byte-identical per-seed results (see docs/PERFORMANCE.md).
+bench-jobs:
+	BENCH_JOBS_OUT=$(CURDIR)/BENCH_jobs.json $(GO) test \
+		-run '^TestBenchJobs$$' -count=1 -v ./internal/serve
+
+# End-to-end job crash drill: submit a long checkpointed yield job,
+# SIGKILL ccdacd mid-run, restart over the same -store-dir, and assert
+# the job resumes from its last checkpoint and completes.
+jobs-smoke:
+	sh scripts/jobs_smoke.sh
 
 # Benchmark regression gate: wrap every BENCH_*.json into the canonical
 # benchfmt schema and compare against the latest same-suite entry in

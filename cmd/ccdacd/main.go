@@ -7,6 +7,9 @@
 //	curl -s localhost:8080/v1/generate -d '{"bits":8,"max_parallel":2}'
 //	curl -s localhost:8080/v1/generate -d '{"bits":8,"cache":"bypass"}'
 //	curl -s localhost:8080/v1/batch -d '{"requests":[{"bits":6},{"bits":8}]}'
+//	curl -s localhost:8080/v1/jobs -d '{"kind":"yield","bits":10,"samples":1000000,"spec_inl":0.5}'
+//	curl -s localhost:8080/v1/jobs/<id>            # poll; DELETE cancels
+//	curl -N  localhost:8080/v1/jobs/<id>/events    # live SSE job progress
 //	curl -s localhost:8080/v1/artifacts/<sha256>
 //	curl -s localhost:8080/metrics
 //	curl -s localhost:8080/healthz
@@ -57,6 +60,11 @@ func main() {
 	profileCooldown := flag.Duration("profile-cooldown", 0, "minimum gap between triggered profile captures (0 = 60s)")
 	numericInterval := flag.Duration("numeric-interval", 0, "minimum gap between numeric-health golden-check sweeps (0 = 1m, negative = disable)")
 	accessLogSample := flag.Int("access-log-sample", 1, "log 1-in-N healthy (2xx, INFO) access lines; WARN+ always logs (1 = log all)")
+	jobWorkers := flag.Int("job-workers", 0, "async job tier worker pool size for /v1/jobs (0 = 2)")
+	jobQueue := flag.Int("job-queue", 0, "async job queue depth before 429 overflow (0 = 64)")
+	jobMaxBatch := flag.Int("job-max-batch", 0, "max yield jobs coalesced into one compatibility micro-batch (0 = 16, 1 = disable)")
+	jobMaxWait := flag.Duration("job-max-wait", 0, "max time the first job of a micro-batch waits for company (0 = 25ms, negative = disable)")
+	jobCheckpoint := flag.Int("job-checkpoint", 0, "Monte-Carlo samples between durable yield-job checkpoints (0 = 50000)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -74,25 +82,30 @@ func main() {
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	srv := serve.New(serve.Options{
-		Addr:              *addr,
-		MaxInFlight:       *maxInflight,
-		Workers:           *workers,
-		RequestTimeout:    *timeout,
-		DrainTimeout:      *drain,
-		CacheMaxBytes:     *cacheBytes,
-		CacheTTL:          *cacheTTL,
-		MaxBatch:          *maxBatch,
-		StoreDir:          *storeDir,
-		StoreQueue:        *storeQueue,
-		TraceCapacity:     *traceCap,
-		TraceSlowQuantile: *traceSlowQ,
-		SlowRequest:       *slowRequest,
-		EventBuffer:       *eventBuffer,
-		ProfileWindow:     *profileWindow,
-		ProfileCooldown:   *profileCooldown,
-		NumericInterval:   *numericInterval,
-		AccessLogSample:   *accessLogSample,
-		Logger:            logger,
+		Addr:               *addr,
+		MaxInFlight:        *maxInflight,
+		Workers:            *workers,
+		RequestTimeout:     *timeout,
+		DrainTimeout:       *drain,
+		CacheMaxBytes:      *cacheBytes,
+		CacheTTL:           *cacheTTL,
+		MaxBatch:           *maxBatch,
+		StoreDir:           *storeDir,
+		StoreQueue:         *storeQueue,
+		TraceCapacity:      *traceCap,
+		TraceSlowQuantile:  *traceSlowQ,
+		SlowRequest:        *slowRequest,
+		EventBuffer:        *eventBuffer,
+		ProfileWindow:      *profileWindow,
+		ProfileCooldown:    *profileCooldown,
+		NumericInterval:    *numericInterval,
+		AccessLogSample:    *accessLogSample,
+		JobWorkers:         *jobWorkers,
+		JobQueueDepth:      *jobQueue,
+		JobMaxBatch:        *jobMaxBatch,
+		JobMaxWait:         *jobMaxWait,
+		JobCheckpointEvery: *jobCheckpoint,
+		Logger:             logger,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,571 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ccdac/internal/leakcheck"
+)
+
+// memPersist records every SaveJob/SaveCheckpoint call in order — the
+// test double behind the checkpoint-equivalence and dispatch-order
+// assertions. ckErr injects a durable-write failure.
+type memPersist struct {
+	mu      sync.Mutex
+	records []Job
+	cks     []Checkpoint
+	ckErr   error
+}
+
+func (p *memPersist) SaveJob(j Job) {
+	p.mu.Lock()
+	p.records = append(p.records, j)
+	p.mu.Unlock()
+}
+
+func (p *memPersist) SaveCheckpoint(j Job, ck Checkpoint) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ckErr != nil {
+		return p.ckErr
+	}
+	p.cks = append(p.cks, ck)
+	return nil
+}
+
+func (p *memPersist) checkpoints() []Checkpoint {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Checkpoint(nil), p.cks...)
+}
+
+// runningOrder is the order jobs first transitioned to running.
+func (p *memPersist) runningOrder() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	seen := map[string]bool{}
+	var order []string
+	for _, j := range p.records {
+		if j.State == StateRunning && !seen[j.ID] {
+			seen[j.ID] = true
+			order = append(order, j.ID)
+		}
+	}
+	return order
+}
+
+func waitJob(t *testing.T, m *Manager, id string) Job {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	j, err := m.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("waiting for job %s: %v (state %s)", id, err, j.State)
+	}
+	return j
+}
+
+func TestQueuePriorityOrder(t *testing.T) {
+	q := newQueue(16)
+	mk := func(class int, key string) *group {
+		if err := q.reserve(func(int) time.Duration { return time.Second }); err != nil {
+			t.Fatalf("reserve(%s): %v", key, err)
+		}
+		return &group{key: key, class: class, items: []*jobState{{}}}
+	}
+	q.push(mk(classBackground, "bg"))
+	q.push(mk(classBatch, "b1"))
+	q.push(mk(classInteractive, "i1"))
+	q.push(mk(classBatch, "b2"))
+
+	want := []string{"i1", "b1", "b2", "bg"} // class order, FIFO within
+	for _, k := range want {
+		g, err := q.pop(context.Background())
+		if err != nil {
+			t.Fatalf("pop: %v", err)
+		}
+		if g.key != k {
+			t.Fatalf("pop order: got %q, want %q", g.key, k)
+		}
+	}
+	if d := q.len(); d != 0 {
+		t.Fatalf("depth after draining = %d, want 0", d)
+	}
+}
+
+func TestQueueOverflowAndRelease(t *testing.T) {
+	q := newQueue(2)
+	ra := func(depth int) time.Duration { return time.Duration(depth) * 3 * time.Second }
+	for i := 0; i < 2; i++ {
+		if err := q.reserve(ra); err != nil {
+			t.Fatalf("reserve %d: %v", i, err)
+		}
+	}
+	err := q.reserve(ra)
+	var oe *OverflowError
+	if !errors.As(err, &oe) {
+		t.Fatalf("third reserve = %v, want *OverflowError", err)
+	}
+	if oe.Depth != 2 || oe.RetryAfter != 6*time.Second {
+		t.Fatalf("overflow = depth %d retry %s, want depth 2 retry 6s", oe.Depth, oe.RetryAfter)
+	}
+
+	// Popping a group releases its jobs' reservations.
+	q.push(&group{class: classBatch, items: []*jobState{{}, {}}})
+	if _, err := q.pop(context.Background()); err != nil {
+		t.Fatalf("pop: %v", err)
+	}
+	if err := q.reserve(ra); err != nil {
+		t.Fatalf("reserve after pop: %v", err)
+	}
+
+	q.close()
+	if err := q.reserve(ra); !errors.Is(err, ErrClosed) {
+		t.Fatalf("reserve after close = %v, want ErrClosed", err)
+	}
+	if _, err := q.pop(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("pop after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestCoalescerFlushPaths(t *testing.T) {
+	var mu sync.Mutex
+	var flushed []*group
+	grab := func() []*group {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]*group(nil), flushed...)
+	}
+	c := newCoalescer(3, 40*time.Millisecond, func(g *group) {
+		mu.Lock()
+		flushed = append(flushed, g)
+		mu.Unlock()
+	})
+
+	// Size bound: the third compatible job flushes the group at once.
+	for i := 0; i < 3; i++ {
+		c.submit(&jobState{}, "prefix-a", classBatch)
+	}
+	got := grab()
+	if len(got) != 1 || len(got[0].items) != 3 {
+		t.Fatalf("size flush: %d groups, want 1 group of 3", len(got))
+	}
+
+	// Non-coalescable jobs (key "") flush immediately as singletons.
+	c.submit(&jobState{}, "", classBatch)
+	if got := grab(); len(got) != 2 || len(got[1].items) != 1 {
+		t.Fatalf("keyless submit did not flush a singleton: %d groups", len(got))
+	}
+
+	// Key and class separation plus the time bound: three pending
+	// groups (a/batch, b/batch, a/background) each fire on maxWait.
+	c.submit(&jobState{}, "prefix-a", classBatch)
+	c.submit(&jobState{}, "prefix-b", classBatch)
+	c.submit(&jobState{}, "prefix-a", classBackground)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(grab()) < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("time flush never fired: %d groups", len(grab()))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, g := range grab()[2:] {
+		if len(g.items) != 1 {
+			t.Fatalf("separated groups must not merge: group %q/%d has %d items", g.key, g.class, len(g.items))
+		}
+	}
+
+	// drain flushes everything pending and later submits bypass.
+	c.submit(&jobState{}, "prefix-c", classBatch)
+	c.drain()
+	if got := grab(); len(got) != 6 {
+		t.Fatalf("after drain: %d groups, want 6", len(got))
+	}
+	c.submit(&jobState{}, "prefix-d", classBatch)
+	if got := grab(); len(got) != 7 {
+		t.Fatalf("submit after drain must flush immediately: %d groups", len(got))
+	}
+}
+
+func TestManagerGenerateJob(t *testing.T) {
+	defer leakcheck.Check(t)()
+	m := New(Options{Workers: 1, MaxBatch: 1})
+	defer m.Close()
+
+	j, err := m.Submit(Spec{Kind: KindGenerate, Bits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateQueued || j.ID == "" {
+		t.Fatalf("submitted job = %+v, want queued with an ID", j)
+	}
+	done := waitJob(t, m, j.ID)
+	if done.State != StateDone {
+		t.Fatalf("job finished %s (%s), want done", done.State, done.Error)
+	}
+	if done.Coalesced != 1 {
+		t.Fatalf("solo generate job Coalesced = %d, want 1", done.Coalesced)
+	}
+	var res GenerateResult
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatalf("result payload: %v", err)
+	}
+	if res.Metrics.AreaUm2 <= 0 || res.Metrics.F3dBHz <= 0 {
+		t.Fatalf("result metrics = %+v, want positive area and f3dB", res.Metrics)
+	}
+
+	if _, ok := m.Get("nope"); ok {
+		t.Fatal("Get of unknown ID succeeded")
+	}
+	if _, ok := m.Cancel("nope"); ok {
+		t.Fatal("Cancel of unknown ID succeeded")
+	}
+	if _, err := m.Wait(context.Background(), "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Wait of unknown ID = %v, want ErrNotFound", err)
+	}
+}
+
+// TestManagerPriorityDispatch: with the single worker slot held (via
+// Do, the batch-fanout admission path), queued jobs dispatch in class
+// order — interactive before background — regardless of submit order.
+func TestManagerPriorityDispatch(t *testing.T) {
+	defer leakcheck.Check(t)()
+	mp := &memPersist{}
+	m := New(Options{Workers: 1, MaxBatch: 1, Persist: mp})
+	defer m.Close()
+
+	held := make(chan struct{})
+	release := make(chan struct{})
+	var doWG sync.WaitGroup
+	doWG.Add(1)
+	go func() {
+		defer doWG.Done()
+		m.Do(context.Background(), func() error {
+			close(held)
+			<-release
+			return nil
+		})
+	}()
+	<-held
+
+	blocker, err := m.Submit(Spec{Kind: KindGenerate, Bits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the dispatcher pop the blocker group (it then parks waiting
+	// for the held worker slot), so the next submissions queue behind it.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.q.len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dispatcher never popped the blocker group")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	bg, err := m.Submit(Spec{Kind: KindGenerate, Bits: 4, Priority: "background"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, err := m.Submit(Spec{Kind: KindGenerate, Bits: 4, Priority: "interactive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	doWG.Wait()
+	for _, id := range []string{blocker.ID, bg.ID, ia.ID} {
+		if j := waitJob(t, m, id); j.State != StateDone {
+			t.Fatalf("job %s finished %s (%s), want done", id, j.State, j.Error)
+		}
+	}
+	want := []string{blocker.ID, ia.ID, bg.ID}
+	got := mp.runningOrder()
+	if len(got) != len(want) {
+		t.Fatalf("running order %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("running order %v, want %v (interactive before background)", got, want)
+		}
+	}
+}
+
+// TestCoalescedMatchesSolo is the micro-batching equivalence contract:
+// compatible yield jobs coalesced onto one shared prefix produce
+// byte-identical results — same sample hash, same payload — as the
+// same jobs run solo.
+func TestCoalescedMatchesSolo(t *testing.T) {
+	defer leakcheck.Check(t)()
+	const n = 4
+	specFor := func(seed int64) Spec {
+		return Spec{Kind: KindYield, Bits: 6, Samples: 50, Seed: seed, SpecINL: 0.05}
+	}
+	run := func(maxBatch int) map[int64]Job {
+		m := New(Options{Workers: 2, MaxBatch: maxBatch, MaxWait: 500 * time.Millisecond})
+		defer m.Close()
+		ids := make(map[int64]string, n)
+		for seed := int64(1); seed <= n; seed++ {
+			j, err := m.Submit(specFor(seed))
+			if err != nil {
+				t.Fatalf("submit seed %d: %v", seed, err)
+			}
+			ids[seed] = j.ID
+		}
+		out := make(map[int64]Job, n)
+		for seed, id := range ids {
+			j := waitJob(t, m, id)
+			if j.State != StateDone {
+				t.Fatalf("seed %d finished %s (%s), want done", seed, j.State, j.Error)
+			}
+			out[seed] = j
+		}
+		return out
+	}
+
+	solo := run(1)
+	coal := run(n)
+	for seed := int64(1); seed <= n; seed++ {
+		s, c := solo[seed], coal[seed]
+		if s.Coalesced != 1 {
+			t.Errorf("solo seed %d Coalesced = %d, want 1", seed, s.Coalesced)
+		}
+		if c.Coalesced != n {
+			t.Errorf("coalesced seed %d Coalesced = %d, want %d", seed, c.Coalesced, n)
+		}
+		if !bytes.Equal(s.Result, c.Result) {
+			t.Errorf("seed %d: coalesced result differs from solo:\nsolo:      %s\ncoalesced: %s",
+				seed, s.Result, c.Result)
+		}
+		var yr YieldResult
+		if err := json.Unmarshal(c.Result, &yr); err != nil {
+			t.Fatalf("seed %d result: %v", seed, err)
+		}
+		if yr.Samples != 50 || yr.SampleHash == "" {
+			t.Errorf("seed %d: samples %d hash %q, want 50 samples and a hash", seed, yr.Samples, yr.SampleHash)
+		}
+	}
+}
+
+// TestCheckpointResumeEquivalence: a job resumed from a mid-stream
+// checkpoint on a fresh manager finishes with a payload byte-identical
+// to the uninterrupted run — the crash-recovery contract, minus the
+// process kill (internal/serve's TestJobCrashResume adds that).
+func TestCheckpointResumeEquivalence(t *testing.T) {
+	defer leakcheck.Check(t)()
+	spec := Spec{Kind: KindYield, Bits: 5, Samples: 120, Seed: 3, SpecINL: 0.05, CheckpointEvery: 25}
+	mp := &memPersist{}
+	m1 := New(Options{Workers: 1, MaxBatch: 1, Persist: mp})
+	j1, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := waitJob(t, m1, j1.ID)
+	m1.Close()
+	if ref.State != StateDone {
+		t.Fatalf("reference run finished %s (%s), want done", ref.State, ref.Error)
+	}
+	cks := mp.checkpoints()
+	if len(cks) != 4 { // 25, 50, 75, 100; the final block needs none
+		t.Fatalf("reference run saved %d checkpoints, want 4", len(cks))
+	}
+	if st := m1.Stats(); st.Checkpoints != 4 {
+		t.Fatalf("stats.Checkpoints = %d, want 4", st.Checkpoints)
+	}
+
+	ck := cks[1] // resume from samples [0, 50) done
+	if ck.Done != 50 || ck.JobID != ref.ID {
+		t.Fatalf("checkpoint[1] = %+v, want done=50 for job %s", ck, ref.ID)
+	}
+	m2 := New(Options{Workers: 1, MaxBatch: 1, Persist: &memPersist{}})
+	defer m2.Close()
+	m2.Restore(Job{ID: ref.ID, Spec: ref.Spec, State: StateRunning, CreatedMS: ref.CreatedMS}, &ck)
+	j2 := waitJob(t, m2, ref.ID)
+	if j2.State != StateDone {
+		t.Fatalf("resumed run finished %s (%s), want done", j2.State, j2.Error)
+	}
+	if !j2.Resumed || j2.DoneSamples != 120 {
+		t.Fatalf("resumed job = resumed %v, done %d samples; want resumed with all 120", j2.Resumed, j2.DoneSamples)
+	}
+	if !bytes.Equal(j2.Result, ref.Result) {
+		t.Fatalf("resumed result differs from uninterrupted run:\nref:     %s\nresumed: %s", ref.Result, j2.Result)
+	}
+	if st := m2.Stats(); st.Resumed != 1 {
+		t.Fatalf("stats.Resumed = %d, want 1", st.Resumed)
+	}
+}
+
+// TestRestoreTerminalJobIsHistory: restoring a done record makes it
+// queryable without re-running it.
+func TestRestoreTerminalJobIsHistory(t *testing.T) {
+	defer leakcheck.Check(t)()
+	m := New(Options{Workers: 1})
+	defer m.Close()
+	m.Restore(Job{ID: "jhist", Spec: Spec{Kind: KindGenerate, Bits: 4}, State: StateDone,
+		Result: json.RawMessage(`{"ok":true}`)}, nil)
+	j, ok := m.Get("jhist")
+	if !ok || j.State != StateDone || string(j.Result) != `{"ok":true}` {
+		t.Fatalf("restored terminal job = %+v, want intact done record", j)
+	}
+	if j, err := m.Wait(context.Background(), "jhist"); err != nil || j.State != StateDone {
+		t.Fatalf("Wait on restored terminal job = %v, %v", j.State, err)
+	}
+	if st := m.Stats(); st.Submitted != 0 || st.Resumed != 0 {
+		t.Fatalf("terminal restore counted as submission: %+v", st)
+	}
+}
+
+// TestCheckpointFailureFailsJob: a checkpoint that cannot be made
+// durable fails the job — a checkpoint that is not durable is not a
+// checkpoint.
+func TestCheckpointFailureFailsJob(t *testing.T) {
+	defer leakcheck.Check(t)()
+	mp := &memPersist{ckErr: errors.New("disk gone")}
+	m := New(Options{Workers: 1, MaxBatch: 1, Persist: mp})
+	defer m.Close()
+	j, err := m.Submit(Spec{Kind: KindYield, Bits: 5, Samples: 30, Seed: 1, SpecINL: 0.05, CheckpointEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitJob(t, m, j.ID)
+	if done.State != StateFailed {
+		t.Fatalf("job with failing checkpoints finished %s, want failed", done.State)
+	}
+	if want := "checkpoint"; !bytes.Contains([]byte(done.Error), []byte(want)) {
+		t.Fatalf("error %q does not mention %q", done.Error, want)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	defer leakcheck.Check(t)()
+	m := New(Options{Workers: 1, MaxBatch: 1})
+	defer m.Close()
+
+	// Queued cancel: hold the only worker slot so the job cannot start.
+	held := make(chan struct{})
+	release := make(chan struct{})
+	var doWG sync.WaitGroup
+	doWG.Add(1)
+	go func() {
+		defer doWG.Done()
+		m.Do(context.Background(), func() error {
+			close(held)
+			<-release
+			return nil
+		})
+	}()
+	<-held
+	j, err := m.Submit(Spec{Kind: KindGenerate, Bits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, ok := m.Cancel(j.ID)
+	if !ok || cj.State != StateCanceled {
+		t.Fatalf("queued cancel = %v (%s), want immediate canceled", ok, cj.State)
+	}
+	close(release)
+	doWG.Wait()
+	if got := waitJob(t, m, j.ID); got.State != StateCanceled {
+		t.Fatalf("canceled-queued job finished %s, want canceled", got.State)
+	}
+
+	// Running cancel: a long Monte-Carlo job interrupts via its context.
+	long, err := m.Submit(Spec{Kind: KindYield, Bits: 6, Samples: 50_000_000, Seed: 1,
+		SpecINL: 0.05, CheckpointEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		got, _ := m.Get(long.ID)
+		if got.State == StateRunning {
+			break
+		}
+		if got.State.Terminal() {
+			t.Fatalf("long job reached %s before it could be canceled", got.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("long job never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, ok := m.Cancel(long.ID); !ok {
+		t.Fatal("cancel of running job not found")
+	}
+	got := waitJob(t, m, long.ID)
+	if got.State != StateCanceled {
+		t.Fatalf("canceled-running job finished %s (%s), want canceled", got.State, got.Error)
+	}
+	if st := m.Stats(); st.Canceled != 2 {
+		t.Fatalf("stats.Canceled = %d, want 2", st.Canceled)
+	}
+}
+
+// TestSubmitOverflow: with the queue full of jobs parked in the
+// coalescer (their reservations are held from submission, not flush),
+// the next submission fails fast with depth and a Retry-After hint.
+func TestSubmitOverflow(t *testing.T) {
+	defer leakcheck.Check(t)()
+	m := New(Options{Workers: 1, QueueDepth: 1, MaxBatch: 16, MaxWait: time.Hour})
+	defer m.Close()
+	if _, err := m.Submit(Spec{Kind: KindYield, Bits: 6, Samples: 10, Seed: 1, SpecINL: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Submit(Spec{Kind: KindYield, Bits: 6, Samples: 10, Seed: 2, SpecINL: 0.05})
+	var oe *OverflowError
+	if !errors.As(err, &oe) {
+		t.Fatalf("submit over capacity = %v, want *OverflowError", err)
+	}
+	if oe.Depth != 1 || oe.RetryAfter < time.Second {
+		t.Fatalf("overflow = depth %d retry %s, want depth 1 and retry >= 1s", oe.Depth, oe.RetryAfter)
+	}
+	if st := m.Stats(); st.Overflow != 1 || st.QueueDepth != 1 {
+		t.Fatalf("stats = overflow %d depth %d, want 1 and 1", st.Overflow, st.QueueDepth)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	m := New(Options{})
+	defer m.Close()
+	bad := []Spec{
+		{Kind: "transmute", Bits: 6},
+		{Kind: KindYield, Bits: 6, Samples: 10}, // no spec bound
+		{Kind: KindYield, Bits: 6, Samples: 10, SpecINL: 0.05, CheckpointEvery: -1},
+		{Kind: KindGenerate, Bits: 6, Priority: "urgent"},
+		{Kind: KindGenerate, Bits: 6, FFT: "sideways"},
+	}
+	for _, spec := range bad {
+		if _, err := m.Submit(spec); err == nil {
+			t.Errorf("Submit(%+v) accepted an invalid spec", spec)
+		}
+	}
+	if st := m.Stats(); st.Submitted != 0 {
+		t.Fatalf("invalid specs consumed queue capacity: %+v", st)
+	}
+}
+
+// TestPrefixKeyTailIndependence: tail fields must not split groups;
+// prefix fields must.
+func TestPrefixKeyTailIndependence(t *testing.T) {
+	base := Spec{Kind: KindYield, Bits: 8, Samples: 100, Seed: 1, SpecINL: 0.01}.withDefaults()
+	k := base.prefixKey()
+
+	tailVariant := base
+	tailVariant.Seed, tailVariant.Samples, tailVariant.SpecINL, tailVariant.ThetaDeg = 99, 7, 0.5, 30
+	if tailVariant.prefixKey() != k {
+		t.Fatal("tail fields (seed/samples/spec/theta) changed the prefix key")
+	}
+
+	prefixVariant := base
+	prefixVariant.Bits = 9
+	if prefixVariant.prefixKey() == k {
+		t.Fatal("bits change did not change the prefix key")
+	}
+	styleVariant := base
+	styleVariant.Style = "chessboard"
+	if styleVariant.prefixKey() == k {
+		t.Fatal("style change did not change the prefix key")
+	}
+}

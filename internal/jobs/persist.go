@@ -1,0 +1,22 @@
+// Persistence seam. The manager does not know about the artifact
+// store; the serve layer implements Persist over it. Job records ride
+// the write-behind persister (losing the last few milliseconds of
+// record churn on a crash is fine — recovery re-derives state from
+// the last checkpoint), while checkpoints save synchronously: a
+// checkpoint that is not durable before the runner advances past it
+// is not a checkpoint.
+package jobs
+
+// Persist receives job records and checkpoints as they change. A nil
+// Persist makes the manager purely in-memory.
+type Persist interface {
+	// SaveJob records the job snapshot. Implementations should be
+	// asynchronous (write-behind); errors are logged, not returned —
+	// the job itself proceeds regardless.
+	SaveJob(j Job)
+	// SaveCheckpoint durably records partial progress. It must not
+	// return until the checkpoint would survive a crash; an error
+	// fails the job (advancing past a lost checkpoint breaks the
+	// resume contract).
+	SaveCheckpoint(j Job, ck Checkpoint) error
+}

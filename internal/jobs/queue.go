@@ -1,0 +1,140 @@
+// Bounded priority queue. Capacity is reserved per job at submission —
+// before the coalescer holds it — so the overflow decision sees every
+// job that has been accepted and not yet started, and a full queue is
+// an immediate, honest 429 rather than unbounded buffering. Groups are
+// dequeued highest priority class first, FIFO within a class.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by queue operations after Close.
+var ErrClosed = errors.New("jobs: manager closed")
+
+// OverflowError reports a submission rejected by the bounded queue.
+// The serve layer maps it to 429 with a Retry-After header.
+type OverflowError struct {
+	// Depth is the number of jobs accepted and not yet started.
+	Depth int
+	// RetryAfter estimates when capacity frees: queue depth × rolling
+	// mean per-job seconds / worker count.
+	RetryAfter time.Duration
+}
+
+func (e *OverflowError) Error() string {
+	return fmt.Sprintf("jobs: queue full (%d jobs pending); retry in %s", e.Depth, e.RetryAfter)
+}
+
+// group is one unit of dispatch: a coalesced set of compatible jobs
+// (or a single job for anything non-coalescable).
+type group struct {
+	key   string // prefix key; "" for non-coalescable jobs
+	class int
+	items []*jobState
+}
+
+type queue struct {
+	mu     sync.Mutex
+	cap    int
+	depth  int // reserved jobs: pending in the coalescer + queued here
+	groups [numClasses][]*group
+	wake   chan struct{}
+	closed bool
+}
+
+func newQueue(capacity int) *queue {
+	return &queue{cap: capacity, wake: make(chan struct{}, 1)}
+}
+
+// reserve claims capacity for one incoming job. retryAfter converts
+// the current depth into the overflow hint (it runs under the queue
+// lock; keep it cheap).
+func (q *queue) reserve(retryAfter func(depth int) time.Duration) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.depth >= q.cap {
+		return &OverflowError{Depth: q.depth, RetryAfter: retryAfter(q.depth)}
+	}
+	q.depth++
+	return nil
+}
+
+// forceReserve claims capacity unconditionally — recovery re-enqueues
+// persisted jobs and must never drop one to an overflow race.
+func (q *queue) forceReserve() {
+	q.mu.Lock()
+	q.depth++
+	q.mu.Unlock()
+}
+
+// push enqueues a flushed group and wakes the dispatcher. The group's
+// jobs already hold reservations from reserve.
+func (q *queue) push(g *group) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.groups[g.class] = append(q.groups[g.class], g)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pop dequeues the next group — highest priority class first — and
+// releases its jobs' reservations (they are now running, not queued).
+// It blocks until a group is available, the context is canceled, or
+// the queue closes.
+func (q *queue) pop(ctx context.Context) (*group, error) {
+	for {
+		q.mu.Lock()
+		for class := 0; class < numClasses; class++ {
+			if len(q.groups[class]) > 0 {
+				g := q.groups[class][0]
+				q.groups[class] = q.groups[class][1:]
+				q.depth -= len(g.items)
+				q.mu.Unlock()
+				return g, nil
+			}
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			return nil, ErrClosed
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-q.wake:
+		}
+	}
+}
+
+// len reports the reserved-job depth (the queue_depth gauge).
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
+}
+
+// close stops the queue: pending groups are abandoned (a durable
+// manager re-enqueues them from persisted records at next boot).
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}

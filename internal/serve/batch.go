@@ -4,9 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
-
-	"ccdac/internal/par"
 )
 
 // BatchRequest is the JSON body of POST /v1/batch: up to
@@ -34,12 +33,14 @@ type BatchResponse struct {
 
 // handleBatch fans a batch through the same cache, singleflight and
 // generation path as /v1/generate. The batch occupies one admission
-// slot; its sub-requests fan out on a worker pool bounded by
-// MaxInFlight — the shared budget — so a batch cannot oversubscribe
-// the host beyond what MaxInFlight independent clients could. Items
-// with identical canonical bodies collapse into one generation via
-// singleflight, which is the point of batching duplicate-heavy
-// workloads.
+// slot; its sub-requests run under the async job tier's shared worker
+// budget (jobs.Manager.Do), so batch fan-out, queued jobs and other
+// concurrent batches all draw from one bounded pool instead of each
+// batch privately fanning MaxInFlight-wide — the oversubscription the
+// old scheme allowed (one slot held, MaxInFlight more goroutines).
+// Items with identical canonical bodies still collapse into one
+// generation via singleflight, which is the point of batching
+// duplicate-heavy workloads.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var batch BatchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
@@ -61,48 +62,59 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	items := make([]BatchItem, len(batch.Requests))
 	ri := requestInfo(r.Context())
-	// fn never returns an error: per-item failures land in items so one
-	// bad sub-request does not abort its siblings.
-	_ = par.ForN(s.opts.MaxInFlight, len(batch.Requests), func(i int) error {
-		req := batch.Requests[i]
-		if !validCacheDirective(req.Cache) {
-			items[i] = BatchItem{
-				Status: http.StatusBadRequest,
-				Error:  fmt.Sprintf("serve: unknown cache directive %q (want \"default\" or \"bypass\")", req.Cache),
+	// Per-item failures land in items so one bad sub-request does not
+	// abort its siblings; a Do admission failure (request timeout while
+	// waiting for a worker slot) reports on the item the same way.
+	var wg sync.WaitGroup
+	for i := range batch.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := batch.Requests[i]
+			if !validCacheDirective(req.Cache) {
+				items[i] = BatchItem{
+					Status: http.StatusBadRequest,
+					Error:  fmt.Sprintf("serve: unknown cache directive %q (want \"default\" or \"bypass\")", req.Cache),
+				}
+				return
 			}
-			return nil
-		}
-		if !validFFTDirective(req.FFT) {
-			items[i] = BatchItem{
-				Status: http.StatusBadRequest,
-				Error:  fmt.Sprintf("serve: unknown fft directive %q (want \"auto\" or \"off\")", req.FFT),
+			if !validFFTDirective(req.FFT) {
+				items[i] = BatchItem{
+					Status: http.StatusBadRequest,
+					Error:  fmt.Sprintf("serve: unknown fft directive %q (want \"auto\" or \"off\")", req.FFT),
+				}
+				return
 			}
-			return nil
-		}
-		cfg := req.config()
-		cfg.Workers = s.opts.Workers
-		if req.Workers != 0 && req.Workers < cfg.Workers {
-			cfg.Workers = req.Workers
-		}
-		itemStart := time.Now()
-		out, err := s.generate(r.Context(), req, cfg, ri)
-		if err != nil {
-			items[i] = BatchItem{Status: statusOf(err), Error: err.Error()}
-			return nil
-		}
-		items[i] = BatchItem{
-			Status: http.StatusOK,
-			Response: &GenerateResponse{
-				RequestID:      fmt.Sprintf("%s/%d", RequestID(r.Context()), i),
-				ElapsedSeconds: time.Since(itemStart).Seconds(),
-				CacheStatus:    out.status,
-				Metrics:        out.metrics,
-				Warnings:       out.warnings,
-				Counters:       out.counters,
-			},
-		}
-		return nil
-	})
+			cfg := req.config()
+			cfg.Workers = s.opts.Workers
+			if req.Workers != 0 && req.Workers < cfg.Workers {
+				cfg.Workers = req.Workers
+			}
+			itemStart := time.Now()
+			err := s.jobs.Do(r.Context(), func() error {
+				out, err := s.generate(r.Context(), req, cfg, ri)
+				if err != nil {
+					return err
+				}
+				items[i] = BatchItem{
+					Status: http.StatusOK,
+					Response: &GenerateResponse{
+						RequestID:      fmt.Sprintf("%s/%d", RequestID(r.Context()), i),
+						ElapsedSeconds: time.Since(itemStart).Seconds(),
+						CacheStatus:    out.status,
+						Metrics:        out.metrics,
+						Warnings:       out.warnings,
+						Counters:       out.counters,
+					},
+				}
+				return nil
+			})
+			if err != nil {
+				items[i] = BatchItem{Status: statusOf(err), Error: err.Error()}
+			}
+		}(i)
+	}
+	wg.Wait()
 
 	writeJSON(w, http.StatusOK, BatchResponse{
 		RequestID:      RequestID(r.Context()),

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"ccdac/internal/jobs"
+	"ccdac/internal/memo"
+)
+
+// benchJobsReport is the schema of BENCH_jobs.json (`make bench-jobs`):
+// the micro-batching throughput claim of docs/PERFORMANCE.md, measured.
+// 32 compatible yield jobs — one shared 10-bit layout, distinct seeds —
+// run once per-request (MaxBatch 1) and once coalesced (MaxBatch 32);
+// the harness asserts the coalesced pass is >= 3x faster and that every
+// per-seed result is byte-identical across the two modes.
+type benchJobsReport struct {
+	Requests      int `json:"requests"`
+	Bits          int `json:"bits"`
+	SamplesPerJob int `json:"samples_per_job"`
+	// Wall time from first submission to last terminal job.
+	SoloSeconds            float64 `json:"solo_seconds"`
+	CoalescedSeconds       float64 `json:"coalesced_seconds"`
+	CoalescedSpeedup       float64 `json:"coalesced_speedup"`
+	SoloJobsPerSecond      float64 `json:"solo_jobs_per_second"`
+	CoalescedJobsPerSecond float64 `json:"coalesced_jobs_per_second"`
+	// PrefixRunsSaved is the manager's own count of expensive
+	// place→route→extract→covariance runs micro-batching avoided.
+	PrefixRunsSaved int64 `json:"prefix_runs_saved"`
+	// IdenticalResults counts seeds whose coalesced payload matched the
+	// solo payload byte for byte (must equal Requests).
+	IdenticalResults int `json:"identical_results"`
+}
+
+// TestBenchJobs is the harness behind `make bench-jobs`, gated on
+// BENCH_JOBS_OUT. The equivalence half (byte-identical results) is a
+// hard assertion; the >= 3x throughput bar is the acceptance criterion
+// for coalescing 32 compatible requests and holds with wide margin
+// because the shared prefix dominates each job's cost.
+func TestBenchJobs(t *testing.T) {
+	out := os.Getenv("BENCH_JOBS_OUT")
+	if out == "" {
+		t.Skip("set BENCH_JOBS_OUT=<file> to write the job-tier benchmark report")
+	}
+	// 32 interactive spec-probes over one shared 10-bit layout: the
+	// place→route→extract→covariance prefix dominates each job, the
+	// 8-sample Monte-Carlo tail is the cheap per-seed part — the
+	// workload micro-batching exists for.
+	const (
+		requests = 32
+		bits     = 10
+		samples  = 8
+	)
+	specBody := func(seed int) string {
+		return jsonSpec(jobs.Spec{Kind: jobs.KindYield, Bits: bits, Samples: samples,
+			Seed: int64(seed), SpecINL: 0.05})
+	}
+
+	// run measures one mode: submit all requests, poll all to done,
+	// wall-clock first job accepted → last job finished (the records'
+	// own timestamps, so the poll loop's latency does not pollute the
+	// throughput number). CacheMaxBytes < 0 disables the result cache
+	// and the manager's memo mark, so any speedup is structural
+	// coalescing, not cache hits; memo.PurgeAll keeps the
+	// process-global stage caches from leaking state between modes.
+	run := func(maxBatch int) (time.Duration, map[int]json.RawMessage, jobs.Stats) {
+		memo.PurgeAll()
+		srv := New(Options{
+			Logger: quietLogger(), CacheMaxBytes: -1,
+			JobWorkers: 2, JobMaxBatch: maxBatch, JobMaxWait: 500 * time.Millisecond,
+		})
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		ids := make(map[int]string, requests)
+		for seed := 1; seed <= requests; seed++ {
+			j := submitJobOK(t, ts.URL, specBody(seed))
+			ids[seed] = j.ID
+		}
+		var firstCreated, lastFinished int64
+		results := make(map[int]json.RawMessage, requests)
+		for seed, id := range ids {
+			j := pollJobDone(t, ts.URL, id, 300*time.Second)
+			if firstCreated == 0 || j.CreatedMS < firstCreated {
+				firstCreated = j.CreatedMS
+			}
+			if j.FinishedMS > lastFinished {
+				lastFinished = j.FinishedMS
+			}
+			var buf bytes.Buffer
+			if err := json.Compact(&buf, j.Result); err != nil {
+				t.Fatalf("seed %d result: %v", seed, err)
+			}
+			results[seed] = json.RawMessage(buf.Bytes())
+		}
+		return time.Duration(lastFinished-firstCreated) * time.Millisecond, results, srv.Jobs().Stats()
+	}
+
+	soloDur, soloRes, _ := run(1)
+	coalDur, coalRes, coalStats := run(requests)
+
+	rep := benchJobsReport{
+		Requests: requests, Bits: bits, SamplesPerJob: samples,
+		SoloSeconds:            soloDur.Seconds(),
+		CoalescedSeconds:       coalDur.Seconds(),
+		CoalescedSpeedup:       soloDur.Seconds() / coalDur.Seconds(),
+		SoloJobsPerSecond:      requests / soloDur.Seconds(),
+		CoalescedJobsPerSecond: requests / coalDur.Seconds(),
+		PrefixRunsSaved:        coalStats.PrefixRunsSaved,
+	}
+	for seed := 1; seed <= requests; seed++ {
+		if bytes.Equal(soloRes[seed], coalRes[seed]) {
+			rep.IdenticalResults++
+		} else {
+			t.Errorf("seed %d: coalesced result differs from solo:\nsolo:      %s\ncoalesced: %s",
+				seed, soloRes[seed], coalRes[seed])
+		}
+	}
+	if rep.IdenticalResults != requests {
+		t.Errorf("identical results = %d/%d — coalescing broke byte-equivalence", rep.IdenticalResults, requests)
+	}
+	if rep.PrefixRunsSaved < requests/2 {
+		t.Errorf("prefix runs saved = %d, want >= %d — jobs did not coalesce", rep.PrefixRunsSaved, requests/2)
+	}
+	if rep.CoalescedSpeedup < 3 {
+		t.Errorf("coalesced speedup = %.2fx over %d compatible requests, want >= 3x", rep.CoalescedSpeedup, requests)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("micro-batching: %d requests solo %.2fs vs coalesced %.2fs (%.1fx, %d prefix runs saved)",
+		requests, rep.SoloSeconds, rep.CoalescedSeconds, rep.CoalescedSpeedup, rep.PrefixRunsSaved)
+}
+
+func jsonSpec(s jobs.Spec) string {
+	data, err := json.Marshal(s)
+	if err != nil {
+		panic(err)
+	}
+	return string(data)
+}

@@ -112,6 +112,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			snap.Gauges[obs.SeriesKey("ccdac_numeric_check_ok", labels)] = ok
 		}
 	}
+	if s.jobs != nil {
+		jst := s.jobs.Stats()
+		snap.Gauges["ccdac_jobs_queue_depth"] = float64(jst.QueueDepth)
+		snap.Gauges["ccdac_jobs_running"] = float64(jst.Running)
+		snap.Gauges["ccdac_jobs_workers"] = float64(jst.Workers)
+		snap.Gauges["ccdac_jobs_queue_wait_seconds"] = jst.MeanQueueWaitSeconds
+		snap.Gauges["ccdac_jobs_job_seconds_mean"] = jst.MeanJobSeconds
+		snap.Counters["ccdac_jobs_submitted_total"] = jst.Submitted
+		snap.Counters["ccdac_jobs_done_total"] = jst.Done
+		snap.Counters["ccdac_jobs_failed_total"] = jst.Failed
+		snap.Counters["ccdac_jobs_canceled_total"] = jst.Canceled
+		snap.Counters["ccdac_jobs_overflow_total"] = jst.Overflow
+		snap.Counters["ccdac_jobs_groups_total"] = jst.Groups
+		snap.Counters["ccdac_jobs_coalesced_total"] = jst.Coalesced
+		snap.Counters["ccdac_jobs_prefix_runs_saved_total"] = jst.PrefixRunsSaved
+		snap.Counters["ccdac_jobs_checkpoints_total"] = jst.Checkpoints
+		snap.Counters["ccdac_jobs_resumed_total"] = jst.Resumed
+	}
 	snap.Counters["ccdac_serve_access_log_sampled_total"] = s.logsSampled.Load()
 
 	// Content negotiation: scrapers asking for OpenMetrics (Prometheus

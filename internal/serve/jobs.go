@@ -1,0 +1,319 @@
+// Async job tier endpoints: POST /v1/jobs submits work to the bounded
+// priority queue of internal/jobs, GET /v1/jobs/{id} polls it, DELETE
+// cancels it, and GET /v1/jobs/{id}/events streams the job's live span
+// events over SSE. Job records persist through the write-behind
+// persister and checkpoints persist synchronously, so a killed daemon
+// restarts with its job history intact and resumes interrupted
+// Monte-Carlo runs from the last checkpoint (see recoverJobs).
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"ccdac/internal/jobs"
+	"ccdac/internal/obs"
+	"ccdac/internal/store"
+)
+
+// jobIndexKey/jobCkKey/jobManifestKey are the artifact-store index
+// keys of a job's latest record, its latest checkpoint, and the list
+// of known job IDs (the index hashes its keys, so recovery needs an
+// explicit manifest to enumerate them).
+func jobIndexKey(id string) string { return "job/" + id }
+func jobCkKey(id string) string    { return "jobck/" + id }
+
+const jobManifestKey = "jobs/manifest"
+
+// handleJobSubmit accepts a job spec, reserves queue capacity, and
+// answers 202 with the queued record — or 429 with queue depth and an
+// honest Retry-After when the bounded queue is full.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec jobs.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("serve: decoding job spec: %w", err))
+		return
+	}
+	job, err := s.jobs.Submit(spec)
+	if err != nil {
+		var oe *jobs.OverflowError
+		if errors.As(err, &oe) {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(oe.RetryAfter)))
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{
+				Error:      err.Error(),
+				RequestID:  RequestID(r.Context()),
+				QueueDepth: oe.Depth,
+			})
+			return
+		}
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("serve: no job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.Cancel(id)
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("serve: no job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleJobEvents streams one job's live span events (its traces are
+// tagged with the job ID on the shared bus) until the job reaches a
+// terminal state, then sends a final job_done event carrying the full
+// record and closes. Unlike /v1/events, a trace_finish does not end
+// the stream: one job emits several traces (prefix + tail, or one per
+// checkpointed block run).
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, r, http.StatusInternalServerError, fmt.Errorf("serve: streaming unsupported"))
+		return
+	}
+	id := r.PathValue("id")
+	if _, ok := s.jobs.Get(id); !ok {
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("serve: no job %q", id))
+		return
+	}
+	sub := s.bus.Subscribe(id, s.opts.EventBuffer)
+	defer sub.Close()
+
+	done := make(chan jobs.Job, 1)
+	go func() {
+		if j, err := s.jobs.Wait(r.Context(), id); err == nil {
+			done <- j
+		}
+	}()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	writeEvent := func(ev obs.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return true
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			if !writeEvent(ev) {
+				return
+			}
+		case j := <-done:
+			// Drain events already buffered before announcing the end.
+			for {
+				select {
+				case ev := <-sub.Events():
+					if !writeEvent(ev) {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			if data, err := json.Marshal(j); err == nil {
+				fmt.Fprintf(w, "event: job_done\ndata: %s\n\n", data)
+				fl.Flush()
+			}
+			return
+		}
+	}
+}
+
+// retryAfterSeconds renders a duration as a whole-second Retry-After
+// value, at least 1.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// jobStore adapts the server's artifact store to jobs.Persist.
+type jobStore struct{ s *Server }
+
+// SaveJob persists the job record write-behind: the request path and
+// the worker never block on disk, and losing the last milliseconds of
+// record churn in a crash is fine — recovery resynthesizes state from
+// the spec and the last checkpoint.
+func (p *jobStore) SaveJob(j jobs.Job) {
+	p.s.noteJobID(j.ID)
+	data, err := json.Marshal(j)
+	if err != nil {
+		return
+	}
+	var meta string
+	if j.State.Terminal() {
+		// Terminal records join the provenance chain: the final result
+		// is tied to the spec that produced it, like cached generates.
+		if cfg, err := json.Marshal(j.Spec); err == nil {
+			meta = string(cfg)
+		}
+	}
+	p.s.persist.enqueue(persistJob{blobKey: jobIndexKey(j.ID), blob: data, blobMeta: meta})
+}
+
+// SaveCheckpoint persists synchronously — the worker blocks until the
+// checkpoint is durable, because the resume contract depends on it. A
+// degraded (memory-only) store cannot promise durability, so the job
+// proceeds checkpoint-less rather than failing outright.
+func (p *jobStore) SaveCheckpoint(j jobs.Job, ck jobs.Checkpoint) error {
+	st := p.s.store
+	if degraded, _ := st.Degraded(); degraded {
+		return nil
+	}
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return err
+	}
+	hash, err := st.Put(data)
+	if err != nil {
+		return err
+	}
+	if err := st.SetIndex(jobCkKey(j.ID), hash); err != nil {
+		return err
+	}
+	cfg, _ := json.Marshal(j.Spec)
+	_, _ = st.AppendProvenance(store.ProvenanceRecord{
+		Key:        jobCkKey(j.ID),
+		Artifact:   hash,
+		ConfigJSON: string(cfg),
+		Seed:       j.Spec.Seed,
+		GoVersion:  runtime.Version(),
+		CodeHash:   codeHash(),
+	})
+	return nil
+}
+
+// noteJobID keeps the durable job-ID manifest current. The store index
+// hashes its keys, so without this list a restarted daemon could not
+// enumerate its jobs.
+func (s *Server) noteJobID(id string) {
+	s.jobIDMu.Lock()
+	if s.jobIDs == nil {
+		s.jobIDs = make(map[string]bool)
+	}
+	if s.jobIDs[id] {
+		s.jobIDMu.Unlock()
+		return
+	}
+	s.jobIDs[id] = true
+	ids := make([]string, 0, len(s.jobIDs))
+	for jid := range s.jobIDs {
+		ids = append(ids, jid)
+	}
+	s.jobIDMu.Unlock()
+	sort.Strings(ids)
+	data, err := json.Marshal(ids)
+	if err != nil {
+		return
+	}
+	s.persist.enqueue(persistJob{blobKey: jobManifestKey, blob: data})
+}
+
+// recoverJobs reloads persisted job records at boot: terminal jobs
+// become queryable history, interrupted ones re-enqueue and resume
+// from their last checkpoint — the other half of the crash-safety
+// contract (SIGKILL mid-run, restart, identical final output).
+func (s *Server) recoverJobs() {
+	hash, ok := s.store.LookupIndex(jobManifestKey)
+	if !ok {
+		return
+	}
+	blob, err := s.store.Get(hash)
+	if err != nil {
+		s.log.Warn("job manifest unreadable, starting empty", "err", err)
+		return
+	}
+	var ids []string
+	if err := json.Unmarshal(blob, &ids); err != nil {
+		s.log.Warn("job manifest corrupt, starting empty", "err", err)
+		return
+	}
+	s.jobIDMu.Lock()
+	s.jobIDs = make(map[string]bool, len(ids))
+	for _, id := range ids {
+		s.jobIDs[id] = true
+	}
+	s.jobIDMu.Unlock()
+	restored, resumed := 0, 0
+	for _, id := range ids {
+		jh, ok := s.store.LookupIndex(jobIndexKey(id))
+		if !ok {
+			continue
+		}
+		jb, err := s.store.Get(jh)
+		if err != nil {
+			continue
+		}
+		var j jobs.Job
+		if err := json.Unmarshal(jb, &j); err != nil || j.ID == "" {
+			continue
+		}
+		var ck *jobs.Checkpoint
+		if ch, ok := s.store.LookupIndex(jobCkKey(id)); ok {
+			if cb, err := s.store.Get(ch); err == nil {
+				var c jobs.Checkpoint
+				if err := json.Unmarshal(cb, &c); err == nil && c.JobID == id {
+					ck = &c
+				}
+			}
+		}
+		if !j.State.Terminal() {
+			resumed++
+		}
+		s.jobs.Restore(j, ck)
+		restored++
+	}
+	if restored > 0 {
+		s.log.Info("job records recovered", "restored", restored, "resumed", resumed)
+	}
+}

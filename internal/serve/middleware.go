@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -116,9 +117,17 @@ func (s *Server) wrap(route string, limited bool, h http.Handler) http.Handler {
 			default:
 				s.reg.Counter("ccdac_serve_shed_total", obs.Labels{"route": route}).Inc()
 				s.reg.Counter("ccdac_serve_requests_total", obs.Labels{"route": route, "code": "429"}).Inc()
-				w.Header().Set("Retry-After", "1")
-				s.writeError(w, r, http.StatusTooManyRequests,
-					fmt.Errorf("serve: %d requests already in flight, shedding", s.opts.MaxInFlight))
+				// Honest backoff hint: the EWMA of recent request
+				// durations says when a slot plausibly frees. The body
+				// also reports the async tier's queue depth — the
+				// shed-resistant path for this workload is POST /v1/jobs.
+				w.Header().Set("Retry-After", strconv.Itoa(s.shedRetryAfter()))
+				writeJSON(w, http.StatusTooManyRequests, errorResponse{
+					Error: fmt.Sprintf("serve: %d requests already in flight, shedding (consider POST /v1/jobs)",
+						s.opts.MaxInFlight),
+					RequestID:  ri.id,
+					QueueDepth: s.jobs.Stats().QueueDepth,
+				})
 				s.log.LogAttrs(r.Context(), slog.LevelWarn, "request shed",
 					slog.String("route", route), slog.String("request_id", ri.id))
 				return
@@ -149,6 +158,9 @@ func (s *Server) wrap(route string, limited bool, h http.Handler) http.Handler {
 				}
 			}
 			d := time.Since(start)
+			if limited {
+				s.observeRequestSeconds(d.Seconds())
+			}
 			s.inflight.Add(-1)
 			s.served.Add(1)
 			code := strconv.Itoa(sw.code)
@@ -217,6 +229,38 @@ type errorResponse struct {
 	Stage     string   `json:"stage,omitempty"`
 	Warnings  []string `json:"warnings,omitempty"`
 	RequestID string   `json:"request_id,omitempty"`
+	// QueueDepth reports the async job tier's backlog on 429s (shed
+	// and queue overflow), sizing the Retry-After hint for clients.
+	QueueDepth int `json:"queue_depth,omitempty"`
+}
+
+// observeRequestSeconds folds one limited-route request duration into
+// the shed Retry-After estimate (EWMA, alpha 0.2, stored as bits for
+// lock-free reads).
+func (s *Server) observeRequestSeconds(sec float64) {
+	for {
+		old := s.reqSec.Load()
+		mean := math.Float64frombits(old)
+		if mean == 0 {
+			mean = sec
+		} else {
+			mean = 0.8*mean + 0.2*sec
+		}
+		if s.reqSec.CompareAndSwap(old, math.Float64bits(mean)) {
+			return
+		}
+	}
+}
+
+// shedRetryAfter estimates, in whole seconds (min 1), when an
+// admission slot frees: the rolling mean request duration.
+func (s *Server) shedRetryAfter() int {
+	mean := math.Float64frombits(s.reqSec.Load())
+	secs := int(math.Ceil(mean))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, code int, err error) {

@@ -124,15 +124,20 @@ func (p *persister) persistTrace(job persistJob) {
 	})
 }
 
-// persistBlob stores one generic indexed artifact — today, captured
-// profiles under profile/<traceID>/<kind> — with a provenance record
-// carrying capture metadata instead of a request config.
+// persistBlob stores one generic indexed artifact — captured profiles
+// under profile/<traceID>/<kind>, job records and the job manifest —
+// with a provenance record when metadata accompanies it. Blobs with
+// empty blobMeta (high-churn records like the job manifest) skip the
+// provenance chain.
 func (p *persister) persistBlob(job persistJob) {
 	hash, err := p.st.Put(job.blob)
 	if err != nil {
 		return
 	}
 	if err := p.st.SetIndex(job.blobKey, hash); err != nil {
+		return
+	}
+	if job.blobMeta == "" {
 		return
 	}
 	_, _ = p.st.AppendProvenance(store.ProvenanceRecord{

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ccdac/internal/jobs"
 	"ccdac/internal/memo"
 	"ccdac/internal/numeric"
 	"ccdac/internal/obs"
@@ -136,6 +137,23 @@ type Options struct {
 	// high QPS the signal survives the volume. Suppressed lines are
 	// counted in ccdac_serve_access_log_sampled_total.
 	AccessLogSample int
+	// JobWorkers sizes the async job tier's worker pool (POST
+	// /v1/jobs) — concurrently running job groups, decoupled from
+	// MaxInFlight (default 2). See internal/jobs.
+	JobWorkers int
+	// JobQueueDepth bounds accepted-but-unstarted jobs; submissions
+	// beyond it get 429 with queue depth and an honest Retry-After
+	// (default 64).
+	JobQueueDepth int
+	// JobMaxBatch caps a compatibility micro-batch of yield jobs
+	// sharing one expensive layout prefix (default 16; <= 1 disables
+	// coalescing); JobMaxWait bounds how long the first job of a batch
+	// waits for company (default 25ms, negative disables).
+	JobMaxBatch int
+	JobMaxWait  time.Duration
+	// JobCheckpointEvery is the default Monte-Carlo sample block
+	// between durable checkpoints of long yield jobs (default 50000).
+	JobCheckpointEvery int
 }
 
 // Server is one daemon instance: the route mux, the process-level
@@ -181,6 +199,15 @@ type Server struct {
 	lastSweep   time.Time
 	accessSeq   atomic.Int64
 	logsSampled atomic.Int64
+
+	// jobs is the async job tier (queue + coalescer + worker pool)
+	// behind /v1/jobs; jobIDs mirrors the durable job-ID manifest.
+	jobs    *jobs.Manager
+	jobIDMu sync.Mutex
+	jobIDs  map[string]bool
+	// reqSec tracks an EWMA of limited-route request seconds (as
+	// math.Float64bits) so shed 429s can carry an honest Retry-After.
+	reqSec atomic.Uint64
 
 	mu   sync.Mutex
 	addr string
@@ -272,10 +299,37 @@ func New(opts Options) *Server {
 		s.opts.NumericInterval = interval
 		s.watchdog = numeric.New(interval, numeric.DefaultChecks()...)
 	}
+	// The job tier shares the server's bus (SSE), registry (metrics)
+	// and — when a store is configured — its durability path. Its
+	// intra-job compute budget is the same per-request Workers cap;
+	// its worker count is the job-level concurrency knob.
+	var jp jobs.Persist
+	if s.store != nil {
+		jp = &jobStore{s: s}
+	}
+	s.jobs = jobs.New(jobs.Options{
+		Workers:         opts.JobWorkers,
+		QueueDepth:      opts.JobQueueDepth,
+		MaxBatch:        opts.JobMaxBatch,
+		MaxWait:         opts.JobMaxWait,
+		CheckpointEvery: opts.JobCheckpointEvery,
+		ComputeWorkers:  opts.Workers,
+		Memo:            opts.CacheMaxBytes >= 0,
+		Bus:             s.bus,
+		Registry:        s.reg,
+		Persist:         jp,
+	})
+	if s.store != nil {
+		s.recoverJobs()
+	}
 	s.ready.Store(true)
 
 	s.mux.Handle("POST /v1/generate", s.wrap("generate", true, http.HandlerFunc(s.handleGenerate)))
 	s.mux.Handle("POST /v1/batch", s.wrap("batch", true, http.HandlerFunc(s.handleBatch)))
+	s.mux.Handle("POST /v1/jobs", s.wrap("jobs", false, http.HandlerFunc(s.handleJobSubmit)))
+	s.mux.Handle("GET /v1/jobs/{id}", s.wrap("jobs", false, http.HandlerFunc(s.handleJobGet)))
+	s.mux.Handle("DELETE /v1/jobs/{id}", s.wrap("jobs", false, http.HandlerFunc(s.handleJobCancel)))
+	s.mux.Handle("GET /v1/jobs/{id}/events", s.wrap("job_events", false, http.HandlerFunc(s.handleJobEvents)))
 	s.mux.Handle("GET /v1/artifacts/{hash}", s.wrap("artifacts", false, http.HandlerFunc(s.handleArtifact)))
 	s.mux.Handle("GET /v1/events", s.wrap("events", false, http.HandlerFunc(s.handleEvents)))
 	s.mux.Handle("GET /debug/traces", s.wrap("traces", false, http.HandlerFunc(s.handleTraceIndex)))
@@ -365,10 +419,19 @@ func (s *Server) Close() {
 	if s.profcap != nil {
 		s.profcap.Close()
 	}
+	// The job tier stops before the persister: its shutdown persists
+	// final job records (still-running jobs stay non-terminal so the
+	// next boot resumes them), and those writes must drain to disk.
+	if s.jobs != nil {
+		s.jobs.Close()
+	}
 	if s.persist != nil {
 		s.persist.close()
 	}
 }
+
+// Jobs exposes the async job tier (tests and the CLI wiring).
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
 // FlushStore blocks until every queued result persist has reached the
 // store, without stopping the queue (tests).

@@ -375,13 +375,26 @@ func covarianceSemi(ctx context.Context, g *cellGeom, t *tech.Technology, sg fft
 	return cov, nil
 }
 
-// monteCarloFFT attempts the spectral sampling path: ok reports
-// whether it ran (false → caller takes the dense Cholesky path). The
-// per-sample splitmix64 streams and index-addressed writes keep the
-// output byte-stable at any worker count, exactly like the dense
-// sampler — though the two samplers consume their streams differently
-// and so draw different (equally distributed) samples for one seed.
-func monteCarloFFT(ctx context.Context, units []mcUnit, rows, cols int, t *tech.Technology, a *Analysis, samples int, seed int64) (out [][]float64, ok bool, err error) {
+// mcSampler is the spectral Monte-Carlo sampler with its fixed setup
+// paid: the grid fit and the circulant embedding (including the
+// spectrum factorization behind CanSample) depend only on the
+// placement geometry and the technology — not on the gradient
+// analysis, the sample range or the seed — so one mcSampler serves
+// every block of every compatible run. variation.Shared caches one
+// per prefix, which is what lets coalesced batch tails and
+// checkpointed block loops skip the rebuild.
+type mcSampler struct {
+	sampler interface {
+		Sample([]float64, *rand.Rand)
+	}
+	cols   int
+	fields *fieldPool
+}
+
+// newMCSampler attempts the spectral setup: grid fit plus embedding
+// construction. ok reports whether the placement supports the
+// spectral path (false → caller takes the dense Cholesky path).
+func newMCSampler(ctx context.Context, units []mcUnit, rows, cols int, t *tech.Technology) (*mcSampler, bool) {
 	flat := make([]cellPt, len(units))
 	for i, u := range units {
 		flat[i] = cellPt{c: u.c, p: u.p}
@@ -391,12 +404,12 @@ func monteCarloFFT(ctx context.Context, units []mcUnit, rows, cols int, t *tech.
 	separable := false
 	if !regular {
 		if sg, separable = fitSeparableGrid(flat, rows, cols); !separable {
-			return nil, false, nil
+			return nil, false
 		}
 	}
 	if ferr := fault.Check(fault.StageFFT); ferr != nil {
 		obs.CountL(ctx, "ccdac_numeric_fft_fallback_total", obs.Labels{"path": "mc"}, 1)
-		return nil, false, nil
+		return nil, false
 	}
 	// Both embeddings expose the same per-sample draw; the separable
 	// one additionally pays a one-time per-frequency factorization
@@ -410,7 +423,7 @@ func monteCarloFFT(ctx context.Context, units []mcUnit, rows, cols int, t *tech.
 		calls, fetches = c, f
 		if err != nil || !emb.CanSample() {
 			obs.CountL(ctx, "ccdac_numeric_fft_fallback_total", obs.Labels{"path": "mc"}, 1)
-			return nil, false, nil
+			return nil, false
 		}
 		sampler = emb
 	} else {
@@ -418,38 +431,57 @@ func monteCarloFFT(ctx context.Context, units []mcUnit, rows, cols int, t *tech.
 		calls, fetches = c, f
 		if err != nil || !emb.CanSample() {
 			obs.CountL(ctx, "ccdac_numeric_fft_fallback_total", obs.Labels{"path": "mc"}, 1)
-			return nil, false, nil
+			return nil, false
 		}
 		sampler = emb
 	}
 	obs.Count(ctx, "ccdac_variation_rho_calls_total", calls)
 	obs.Count(ctx, "ccdac_variation_rho_memo_hits_total", calls-fetches)
 	obs.CountL(ctx, "ccdac_numeric_fft_structured_total", obs.Labels{"path": "mc"}, 1)
+	return &mcSampler{sampler: sampler, cols: cols, fields: newFieldPool(rows * cols)}, true
+}
 
+// run draws the sample block [from, to). The per-sample splitmix64
+// streams and index-addressed writes keep the output byte-stable at
+// any worker count and any block partition, exactly like the dense
+// sampler — though the two samplers consume their streams differently
+// and so draw different (equally distributed) samples for one seed.
+func (ms *mcSampler) run(ctx context.Context, units []mcUnit, a *Analysis, from, to int, seed int64) ([][]float64, error) {
 	bits := a.Bits
-	fields := newFieldPool(rows * cols)
-	out = make([][]float64, samples)
-	err = par.ForN(par.Workers(ctx), samples, func(s int) error {
+	out := make([][]float64, to-from)
+	err := par.ForN(par.Workers(ctx), to-from, func(i int) error {
+		s := from + i
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("variation: monte-carlo sample %d: %w", s, err)
 		}
 		rng := newMCRand(seed, s)
-		field := fields.get()
-		defer fields.put(field)
-		sampler.Sample(field, rng)
+		field := ms.fields.get()
+		defer ms.fields.put(field)
+		ms.sampler.Sample(field, rng)
 		shifts := make([]float64, bits+1)
 		for _, u := range units {
-			shifts[u.bit] += field[u.c.Row*cols+u.c.Col]
+			shifts[u.bit] += field[u.c.Row*ms.cols+u.c.Col]
 		}
 		for k := 0; k <= bits; k++ {
 			shifts[k] += a.DCSys(k)
 		}
-		out[s] = shifts
+		out[i] = shifts
 		return nil
 	})
 	if err != nil {
-		return nil, true, err
+		return nil, err
 	}
-	obs.Count(ctx, "ccdac_numeric_fft_samples_total", int64(samples))
-	return out, true, nil
+	obs.Count(ctx, "ccdac_numeric_fft_samples_total", int64(to-from))
+	return out, nil
+}
+
+// monteCarloFFT attempts the spectral sampling path: ok reports
+// whether it ran (false → caller takes the dense Cholesky path).
+func monteCarloFFT(ctx context.Context, units []mcUnit, rows, cols int, t *tech.Technology, a *Analysis, from, to int, seed int64) (out [][]float64, ok bool, err error) {
+	ms, ok := newMCSampler(ctx, units, rows, cols, t)
+	if !ok {
+		return nil, false, nil
+	}
+	out, err = ms.run(ctx, units, a, from, to, seed)
+	return out, true, err
 }

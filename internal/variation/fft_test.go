@@ -381,3 +381,79 @@ func TestSweepAngleZeroAllocs(t *testing.T) {
 		t.Errorf("cstarInto allocates %v per angle, want 0", allocs)
 	}
 }
+
+// TestSharedMonteCarloMatchesPackage pins the Shared sampler-reuse
+// contract behind the job tier's coalesced tails and checkpointed
+// block loops: Shared.MonteCarloRangeContext must reproduce the
+// package-level MonteCarloRangeContext byte for byte — on the
+// spectral path, on the dense FFTOff path, and at any block partition
+// — while paying the spectral setup exactly once across blocks.
+func TestSharedMonteCarloMatchesPackage(t *testing.T) {
+	m, err := place.NewSpiral(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tch := tech.FinFET12()
+	pos := GridPositioner(tch)
+	const samples, seed, block = 64, 9, 17
+	for _, tc := range []struct {
+		name string
+		mode FFTMode
+	}{
+		{"spectral", FFTAuto},
+		{"dense", FFTOff},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sh, err := NewShared(m, pos, tch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := sh.Analysis(math.Pi / 4)
+			ctx, tr := tracedCtx(t)
+			ctx = WithFFTMode(ctx, tc.mode)
+			want, err := MonteCarloRangeContext(ctx, m, pos, tch, a, 0, samples, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got [][]float64
+			blocks := 0
+			for from := 0; from < samples; from += block {
+				to := from + block
+				if to > samples {
+					to = samples
+				}
+				blk, err := sh.MonteCarloRangeContext(ctx, a, from, to, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, blk...)
+				blocks++
+			}
+			if len(got) != len(want) {
+				t.Fatalf("got %d samples, want %d", len(got), len(want))
+			}
+			for s := range want {
+				for k := range want[s] {
+					if got[s][k] != want[s][k] {
+						t.Fatalf("sample %d bit %d: shared %v != package %v", s, k, got[s][k], want[s][k])
+					}
+				}
+			}
+			snap := tr.Registry().Snapshot()
+			structured := snap.Counter("ccdac_numeric_fft_structured_total", obs.Labels{"path": "mc"})
+			switch tc.mode {
+			case FFTOff:
+				if structured != 0 {
+					t.Errorf("structured_total{mc} = %d, want 0 on the dense path", structured)
+				}
+			default:
+				// The package call pays the setup once; the Shared pays it
+				// once more across all its blocks — not once per block.
+				if structured != 2 {
+					t.Errorf("structured_total{mc} = %d over 1 package call + %d shared blocks, want 2 (setup not shared)",
+						structured, blocks)
+				}
+			}
+		})
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"ccdac/internal/ccmatrix"
@@ -449,17 +450,44 @@ func MonteCarloContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, 
 	if samples < 1 {
 		return nil, fmt.Errorf("variation: need at least 1 sample")
 	}
+	return MonteCarloRangeContext(ctx, m, pos, t, a, 0, samples, seed)
+}
+
+// MonteCarloRangeContext draws the contiguous sample block [from, to)
+// of the stream MonteCarloContext consumes: sample s seeds its private
+// RNG from (seed, s) regardless of the block bounds, so partitioning a
+// run into blocks — checkpointed long jobs, coalesced batch tails —
+// reproduces the full run's output byte for byte at any block size.
+// out[i] is absolute sample from+i.
+func MonteCarloRangeContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, t *tech.Technology, a *Analysis, from, to int, seed int64) ([][]float64, error) {
+	if from < 0 || to <= from {
+		return nil, fmt.Errorf("variation: bad sample range [%d,%d)", from, to)
+	}
+	units := gatherUnits(m, pos)
+	if FFTModeOf(ctx) != FFTOff {
+		if out, ok, err := monteCarloFFT(ctx, units, m.Rows, m.Cols, t, a, from, to, seed); ok || err != nil {
+			return out, err
+		}
+	}
+	return monteCarloDense(ctx, units, m.Bits, t, a, from, to, seed)
+}
+
+// gatherUnits flattens the placement into bit-tagged unit cells, in
+// the canonical bit-major order every Monte-Carlo sampler folds in.
+func gatherUnits(m *ccmatrix.Matrix, pos Positioner) []mcUnit {
 	var units []mcUnit
 	for k := 0; k <= m.Bits; k++ {
 		for _, c := range m.CellsOf(k) {
 			units = append(units, mcUnit{bit: k, c: c, p: pos(c)})
 		}
 	}
-	if FFTModeOf(ctx) != FFTOff {
-		if out, ok, err := monteCarloFFT(ctx, units, m.Rows, m.Cols, t, a, samples, seed); ok || err != nil {
-			return out, err
-		}
-	}
+	return units
+}
+
+// monteCarloDense is the dense-Cholesky sampling path over flattened
+// units: the fallback when the placement fits no spectral lattice (or
+// the context forces FFTOff).
+func monteCarloDense(ctx context.Context, units []mcUnit, bits int, t *tech.Technology, a *Analysis, from, to int, seed int64) ([][]float64, error) {
 	n := len(units)
 	sigmaU2 := t.SigmaU() * t.SigmaU()
 	workers := par.Workers(ctx)
@@ -513,8 +541,9 @@ func MonteCarloContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, 
 	// diagonal: the high-correlation regime that needs the 1e-9 jitter
 	// above is exactly the regime this gauge exists to make visible.
 	obs.SetGauge(ctx, "ccdac_numeric_cov_cond_estimate", linalg.CondEstFromChol(chol))
-	out := make([][]float64, samples)
-	if err := par.ForN(workers, samples, func(s int) error {
+	out := make([][]float64, to-from)
+	if err := par.ForN(workers, to-from, func(i int) error {
+		s := from + i
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("variation: monte-carlo sample %d: %w", s, err)
 		}
@@ -524,7 +553,7 @@ func MonteCarloContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, 
 			z[i] = rng.NormFloat64()
 		}
 		// delta = L z.
-		shifts := make([]float64, m.Bits+1)
+		shifts := make([]float64, bits+1)
 		for i := 0; i < n; i++ {
 			d := 0.0
 			for j := 0; j <= i; j++ {
@@ -532,15 +561,110 @@ func MonteCarloContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, 
 			}
 			shifts[units[i].bit] += d
 		}
-		for k := 0; k <= m.Bits; k++ {
+		for k := 0; k <= bits; k++ {
 			shifts[k] += a.DCSys(k)
 		}
-		out[s] = shifts
+		out[i] = shifts
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// Shared captures the expensive, angle- and seed-independent prefix of
+// a variation analysis — the gathered geometry and the covariance
+// matrix — so compatible analyses (distinct theta, seed or sample
+// counts over one layout) build it once and share it structurally.
+// Unlike the memo caches (opt-in, byte-bounded, eviction-prone), the
+// sharing here is explicit: the caller holds the value exactly as long
+// as the batch needs it. The job tier's compatibility micro-batching
+// (internal/jobs) is the primary consumer.
+type Shared struct {
+	bits  int
+	g     *cellGeom
+	t     *tech.Technology
+	cov   *linalg.Dense
+	warns []string
+
+	// units is the flattened placement the Monte-Carlo samplers fold;
+	// the spectral sampler's fixed setup (grid fit + embedding) is
+	// geometry- and technology-only, so it is built at most once per
+	// Shared and reused by every sample block.
+	units  []mcUnit
+	mcOnce sync.Once
+	mcSmp  *mcSampler
+	mcOK   bool
+}
+
+// NewShared is NewSharedContext under context.Background.
+func NewShared(m *ccmatrix.Matrix, pos Positioner, t *tech.Technology) (*Shared, error) {
+	return NewSharedContext(context.Background(), m, pos, t)
+}
+
+// NewSharedContext gathers the placement geometry and builds the
+// covariance matrix once, on the context's worker budget (and through
+// the memo cache when the context opts in — the two sharing layers
+// compose).
+func NewSharedContext(ctx context.Context, m *ccmatrix.Matrix, pos Positioner, t *tech.Technology) (*Shared, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("variation: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("variation: %w", err)
+	}
+	g := gatherCells(m, pos)
+	cov, warns, err := covarianceMemo(ctx, g, t)
+	if err != nil {
+		return nil, err
+	}
+	return &Shared{bits: m.Bits, g: g, t: t, cov: cov, warns: warns,
+		units: gatherUnits(m, pos)}, nil
+}
+
+// Warnings reports degradations the shared covariance build survived.
+func (sh *Shared) Warnings() []string { return sh.warns }
+
+// Tech returns the technology the shared prefix was built against.
+func (sh *Shared) Tech() *tech.Technology { return sh.t }
+
+// MonteCarloRangeContext draws the contiguous sample block [from, to)
+// of the shared layout's per-sample streams — byte-identical to the
+// package-level MonteCarloRangeContext over the same placement, seed
+// and FFT mode — while paying the spectral sampler's fixed setup
+// (grid fit, circulant embedding, spectrum factorization) at most
+// once per Shared. Checkpointed block loops and coalesced batch tails
+// reuse the sampler instead of rebuilding it per call, which is what
+// keeps the per-request tail cheap relative to the shared prefix.
+func (sh *Shared) MonteCarloRangeContext(ctx context.Context, a *Analysis, from, to int, seed int64) ([][]float64, error) {
+	if from < 0 || to <= from {
+		return nil, fmt.Errorf("variation: bad sample range [%d,%d)", from, to)
+	}
+	if FFTModeOf(ctx) != FFTOff {
+		sh.mcOnce.Do(func() {
+			sh.mcSmp, sh.mcOK = newMCSampler(ctx, sh.units, sh.g.rows, sh.g.cols, sh.t)
+		})
+		if sh.mcOK {
+			return sh.mcSmp.run(ctx, sh.units, a, from, to, seed)
+		}
+	}
+	return monteCarloDense(ctx, sh.units, sh.bits, sh.t, a, from, to, seed)
+}
+
+// Analysis evaluates the gradient at one angle against the shared
+// geometry and covariance. The work is linear in unit cells — the
+// quadratic covariance cost was paid in NewSharedContext — and the
+// result is identical to AnalyzeContext over the same inputs.
+func (sh *Shared) Analysis(thetaRad float64) *Analysis {
+	return &Analysis{
+		Bits:     sh.bits,
+		CuFF:     sh.t.Unit.CfF,
+		ThetaRad: thetaRad,
+		CStar:    gradientCStar(sh.g, sh.t, thetaRad),
+		Counts:   sh.g.counts,
+		Cov:      sh.cov, // shared: angle-independent
+		Warnings: sh.warns,
+	}
 }
 
 // mcStreamSeed derives the RNG stream seed of sample s from the user

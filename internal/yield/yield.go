@@ -49,8 +49,8 @@ func Estimate(m *ccmatrix.Matrix, pos variation.Positioner, t *tech.Technology,
 // worker count.
 func EstimateContext(ctx context.Context, m *ccmatrix.Matrix, pos variation.Positioner, t *tech.Technology,
 	thetaRad float64, spec Spec, par dacmodel.Parasitics, samples int, seed int64) (*Result, error) {
-	if spec.MaxAbsDNL <= 0 || spec.MaxAbsINL <= 0 {
-		return nil, fmt.Errorf("yield: spec bounds must be positive, got %+v", spec)
+	if err := spec.validate(); err != nil {
+		return nil, err
 	}
 	if samples < 1 {
 		return nil, fmt.Errorf("yield: need at least 1 sample")
@@ -59,32 +59,136 @@ func EstimateContext(ctx context.Context, m *ccmatrix.Matrix, pos variation.Posi
 	if err != nil {
 		return nil, err
 	}
-	shifts, err := variation.MonteCarloContext(ctx, m, pos, t, a, samples, seed)
-	if err != nil {
+	var ty Tally
+	if err := BlockContext(ctx, m, pos, t, a, spec, par, 0, samples, seed, &ty); err != nil {
 		return nil, err
+	}
+	return ty.Result(), nil
+}
+
+func (s Spec) validate() error {
+	if s.MaxAbsDNL <= 0 || s.MaxAbsINL <= 0 {
+		return fmt.Errorf("yield: spec bounds must be positive, got %+v", s)
+	}
+	return nil
+}
+
+// Tally accumulates pass/fail evidence across Monte-Carlo sample
+// blocks. Passed and the worst values are order-independent; Hash is a
+// rolling FNV-1a over each sample's per-sample nonlinearity bits and
+// therefore requires blocks to be folded in ascending sample order —
+// which the checkpointed job runner does by construction. Two runs
+// over the same placement and seed produce equal tallies regardless of
+// block partition or worker count, making Hash the byte-identity
+// witness for resumed and coalesced runs.
+type Tally struct {
+	Samples  int     `json:"samples"`
+	Passed   int     `json:"passed"`
+	WorstDNL float64 `json:"worst_dnl"`
+	WorstINL float64 `json:"worst_inl"`
+	Hash     uint64  `json:"hash"`
+}
+
+// add folds one sample's endpoint-corrected nonlinearity into the
+// tally.
+func (ty *Tally) add(nl dacmodel.Result, spec Spec) {
+	ty.Samples++
+	if nl.MaxAbsDNL > ty.WorstDNL {
+		ty.WorstDNL = nl.MaxAbsDNL
+	}
+	if nl.MaxAbsINL > ty.WorstINL {
+		ty.WorstINL = nl.MaxAbsINL
+	}
+	if nl.MaxAbsDNL <= spec.MaxAbsDNL && nl.MaxAbsINL <= spec.MaxAbsINL {
+		ty.Passed++
+	}
+	if ty.Hash == 0 {
+		ty.Hash = fnvOffset
+	}
+	ty.Hash = fnvF64(ty.Hash, nl.MaxAbsDNL)
+	ty.Hash = fnvF64(ty.Hash, nl.MaxAbsINL)
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnvF64 folds one float64's bit pattern into a rolling FNV-1a hash.
+func fnvF64(h uint64, v float64) uint64 {
+	bits := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		h ^= bits & 0xff
+		h *= fnvPrime
+		bits >>= 8
+	}
+	return h
+}
+
+// Result converts the accumulated tally into a yield estimate.
+func (ty Tally) Result() *Result {
+	res := &Result{
+		Samples: ty.Samples, Passed: ty.Passed,
+		WorstDNL: ty.WorstDNL, WorstINL: ty.WorstINL,
+	}
+	if ty.Samples > 0 {
+		res.Yield = float64(ty.Passed) / float64(ty.Samples)
+	}
+	res.CILow, res.CIHigh = wilson(ty.Passed, ty.Samples, 1.959964)
+	return res
+}
+
+// BlockContext evaluates the contiguous Monte-Carlo sample block
+// [from, to) of the estimate's per-sample streams against spec and
+// folds it into tally. Partitioning [0, samples) into blocks and
+// calling this per block — in order, possibly across process restarts
+// — yields a tally identical to one uninterrupted EstimateContext run:
+// sample s depends only on (seed, s), and the endpoint-corrected
+// nonlinearity is evaluated per sample.
+func BlockContext(ctx context.Context, m *ccmatrix.Matrix, pos variation.Positioner, t *tech.Technology,
+	a *variation.Analysis, spec Spec, par dacmodel.Parasitics, from, to int, seed int64, tally *Tally) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	shifts, err := variation.MonteCarloRangeContext(ctx, m, pos, t, a, from, to, seed)
+	if err != nil {
+		return err
 	}
 	// Endpoint-corrected INL, as linearity is measured in production:
 	// gain/offset errors (e.g. the shared C^TS) are removed, so the
 	// spec tests the placement-dependent mismatch.
 	nls, err := dacmodel.MonteCarloNLEndpoint(a, shifts, par, t.VRef)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	res := &Result{Samples: samples}
 	for _, nl := range nls {
-		if nl.MaxAbsDNL > res.WorstDNL {
-			res.WorstDNL = nl.MaxAbsDNL
-		}
-		if nl.MaxAbsINL > res.WorstINL {
-			res.WorstINL = nl.MaxAbsINL
-		}
-		if nl.MaxAbsDNL <= spec.MaxAbsDNL && nl.MaxAbsINL <= spec.MaxAbsINL {
-			res.Passed++
-		}
+		tally.add(nl, spec)
 	}
-	res.Yield = float64(res.Passed) / float64(res.Samples)
-	res.CILow, res.CIHigh = wilson(res.Passed, res.Samples, 1.959964)
-	return res, nil
+	return nil
+}
+
+// BlockSharedContext is BlockContext over a prepared variation.Shared:
+// identical per-sample streams, endpoint correction and tally folds,
+// but the Monte-Carlo sampler's fixed setup is paid at most once by
+// the Shared and reused across blocks — the path the job tier's
+// coalesced tails and checkpointed long runs take.
+func BlockSharedContext(ctx context.Context, sh *variation.Shared, a *variation.Analysis,
+	spec Spec, par dacmodel.Parasitics, from, to int, seed int64, tally *Tally) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	shifts, err := sh.MonteCarloRangeContext(ctx, a, from, to, seed)
+	if err != nil {
+		return err
+	}
+	nls, err := dacmodel.MonteCarloNLEndpoint(a, shifts, par, sh.Tech().VRef)
+	if err != nil {
+		return err
+	}
+	for _, nl := range nls {
+		tally.add(nl, spec)
+	}
+	return nil
 }
 
 // wilson returns the Wilson score interval for a binomial proportion.

@@ -1,0 +1,110 @@
+#!/bin/sh
+# Jobs smoke: submit a long checkpointed Monte-Carlo yield job, kill
+# ccdacd with SIGKILL mid-run, restart over the same -store-dir, and
+# assert the job resumes from its last durable checkpoint and runs to
+# completion. This is the end-to-end version of internal/serve's
+# TestJobCrashResume, run against the real binary (see
+# docs/OBSERVABILITY.md, "Async jobs").
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+STORE="$WORK/store"
+ADDR=127.0.0.1:18081
+trap 'kill -9 $PID 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+$GO build -o "$WORK/ccdacd" ./cmd/ccdacd
+
+start_daemon() {
+    "$WORK/ccdacd" -addr $ADDR -store-dir "$STORE" -job-checkpoint 1000 -log-level warn &
+    PID=$!
+    for _ in $(seq 1 100); do
+        if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "jobs-smoke: daemon never became ready" >&2
+    exit 1
+}
+
+field() { # field <name> — extract a scalar field from indented JSON on stdin
+    sed -n "s/.*\"$1\": *\"\{0,1\}\([^\",}]*\)\"\{0,1\}.*/\1/p" | head -1
+}
+
+echo "jobs-smoke: starting daemon with -store-dir $STORE"
+start_daemon
+
+# A long job: ~100k samples at 8 bits with a checkpoint every 1000
+# samples gives a wide window of durable progress to crash into.
+JOB=$(curl -fsS "http://$ADDR/v1/jobs" \
+    -d '{"kind":"yield","bits":8,"samples":100000,"seed":11,"spec_inl":0.05}')
+ID=$(printf '%s' "$JOB" | field id)
+if [ -z "$ID" ]; then
+    echo "jobs-smoke: FAIL: no job id in response: $JOB" >&2
+    exit 1
+fi
+echo "jobs-smoke: submitted job $ID"
+
+# Wait for durable progress: at least 3 checkpoints on disk.
+CKS=0
+for _ in $(seq 1 200); do
+    REC=$(curl -fsS "http://$ADDR/v1/jobs/$ID")
+    STATE=$(printf '%s' "$REC" | field state)
+    CKS=$(printf '%s' "$REC" | field checkpoints)
+    CKS=${CKS:-0}
+    if [ "$CKS" -ge 3 ]; then break; fi
+    case "$STATE" in
+        done|failed|canceled)
+            echo "jobs-smoke: FAIL: job went $STATE before the crash window" >&2
+            exit 1;;
+    esac
+    sleep 0.05
+done
+if [ "$CKS" -lt 3 ]; then
+    echo "jobs-smoke: FAIL: never saw 3 checkpoints (got $CKS)" >&2
+    exit 1
+fi
+
+echo "jobs-smoke: SIGKILL after $CKS checkpoints"
+kill -9 $PID
+
+echo "jobs-smoke: restarting over the crashed store"
+start_daemon
+
+# The restarted daemon must resume the interrupted job from its last
+# checkpoint and finish it.
+for _ in $(seq 1 600); do
+    REC=$(curl -fsS "http://$ADDR/v1/jobs/$ID")
+    STATE=$(printf '%s' "$REC" | field state)
+    case "$STATE" in
+        done) break;;
+        failed|canceled)
+            echo "jobs-smoke: FAIL: resumed job went $STATE: $REC" >&2
+            exit 1;;
+    esac
+    sleep 0.1
+done
+if [ "$STATE" != "done" ]; then
+    echo "jobs-smoke: FAIL: resumed job never finished (state=$STATE)" >&2
+    exit 1
+fi
+if [ "$(printf '%s' "$REC" | field resumed)" != "true" ]; then
+    echo "jobs-smoke: FAIL: finished job does not report resumed: $REC" >&2
+    exit 1
+fi
+if [ "$(printf '%s' "$REC" | field done_samples)" != "100000" ]; then
+    echo "jobs-smoke: FAIL: resumed job did not complete all samples: $REC" >&2
+    exit 1
+fi
+HASH=$(printf '%s' "$REC" | field sample_hash)
+if [ -z "$HASH" ]; then
+    echo "jobs-smoke: FAIL: no sample_hash in resumed result: $REC" >&2
+    exit 1
+fi
+METRICS=$(curl -fsS "http://$ADDR/metrics")
+if ! printf '%s\n' "$METRICS" | grep -q '^ccdac_jobs_resumed_total 1'; then
+    echo "jobs-smoke: FAIL: metrics do not report one resumed job" >&2
+    exit 1
+fi
+
+kill -9 $PID 2>/dev/null || true
+echo "jobs-smoke: PASS (resumed after $CKS checkpoints, sample_hash $HASH)"
